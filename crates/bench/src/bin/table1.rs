@@ -1,0 +1,36 @@
+//! Regenerates Table 1: template-mining characteristics.
+
+use pins_bench::{paper, parse_args, slug};
+use pins_suite::benchmark;
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "{:<14} {:>4} {:>6} {:>7} {:>4} {:>8} {:>5}   (paper: mined/subset/mod/axms)",
+        "Benchmark", "LoC", "Mined", "Subset", "Mod", "Inv.LoC", "Axms"
+    );
+    for id in args.benchmarks {
+        let b = benchmark(id);
+        let session = b.session();
+        let (orig_loc, inv_loc) = b.loc();
+        let (mined, mods) = b.mined();
+        let subset = session.expr_candidates.len() + session.pred_candidates.len();
+        let axms = session.axioms.len();
+        let paper_row = paper::TABLE1
+            .iter()
+            .find(|r| slug(r.0) == slug(b.name()));
+        let paper_str = paper_row
+            .map(|r| format!("{}/{}/{}/{}", r.2, r.3, r.4, r.6))
+            .unwrap_or_default();
+        println!(
+            "{:<14} {:>4} {:>6} {:>7} {:>4} {:>8} {:>5}   ({paper_str})",
+            b.name(),
+            orig_loc,
+            mined.total(),
+            subset,
+            mods,
+            inv_loc,
+            axms
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table 2: PINS performance (search space, solutions,
+//! iterations, time, |SAT|).
+
+use pins_bench::{paper, parse_args, run_pins, secs, slug};
+use pins_suite::benchmark;
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "{:<14} {:>9} {:>5} {:>6} {:>10} {:>7}   (paper: 2^x/sols/iters/secs/|SAT|)",
+        "Benchmark", "Srch.Sp.", "Sols", "Iters", "Time(s)", "|SAT|"
+    );
+    for id in args.benchmarks.clone() {
+        let b = benchmark(id);
+        let paper_row = paper::TABLE2.iter().find(|r| slug(r.0) == slug(b.name()));
+        let paper_str = paper_row
+            .map(|r| format!("2^{}/{}/{}/{}/{}", r.1, r.2, r.3, r.4, r.5))
+            .unwrap_or_default();
+        match run_pins(&b, &args) {
+            Ok(outcome) => {
+                println!(
+                    "{:<14} {:>9} {:>5} {:>6} {:>10} {:>7}   ({paper_str})",
+                    b.name(),
+                    format!("2^{:.0}", outcome.search_space_log2),
+                    outcome.solutions.len(),
+                    outcome.iterations,
+                    secs(outcome.stats.total_time),
+                    outcome.stats.sat_size,
+                );
+            }
+            Err(e) => {
+                println!("{:<14} {:>9} {e}   ({paper_str})", b.name(), "-");
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table 4: breakdown of PINS running time.
+
+use pins_bench::{paper, parse_args, run_pins, secs, slug};
+use pins_suite::benchmark;
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "{:<14} {:>8} {:>8} {:>6} {:>8} {:>10}   (paper %: sym/smt/sat/pick)",
+        "Benchmark", "Sym.Exe", "SMT Red.", "SAT", "pickOne", "Total(s)"
+    );
+    for id in args.benchmarks.clone() {
+        let b = benchmark(id);
+        let paper_row = paper::TABLE4.iter().find(|r| slug(r.0) == slug(b.name()));
+        let paper_str = paper_row
+            .map(|r| format!("{}/{}/{}/{}", r.1, r.2, r.3, r.4))
+            .unwrap_or_default();
+        match run_pins(&b, &args) {
+            Ok(outcome) => {
+                let s = outcome.stats;
+                let total = s.total_time.as_secs_f64().max(1e-9);
+                let pct = |d: std::time::Duration| format!("{:.0}%", 100.0 * d.as_secs_f64() / total);
+                println!(
+                    "{:<14} {:>8} {:>8} {:>6} {:>8} {:>10}   ({paper_str})",
+                    b.name(),
+                    pct(s.symexec_time),
+                    pct(s.smt_reduction_time),
+                    pct(s.sat_time),
+                    pct(s.pickone_time),
+                    secs(s.total_time),
+                );
+            }
+            Err(e) => println!("{:<14} {e}   ({paper_str})", b.name()),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates Table 5: the finitization parameters and formula sizes of
+//! the BMC (CBMC stand-in) and CEGIS (Sketch stand-in) runs, on the
+//! benchmarks the paper could run them on (the axiom-free ones).
+
+use pins_bench::{parse_args, run_pins, secs};
+use pins_bmc::{check_inverse, BmcConfig};
+use pins_cegis::{synthesize, CegisConfig};
+use pins_suite::benchmark;
+
+fn main() {
+    let mut args = parse_args();
+    // the paper ran this table only on the axiom-free benchmarks
+    args.benchmarks.retain(|&id| !benchmark(id).uses_axioms());
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "Benchmark", "BMC unrl", "BMC size", "BMC time", "CEGIS |SAT|", "CEGIS t"
+    );
+    for id in args.benchmarks.clone() {
+        let b = benchmark(id);
+        let outcome = match run_pins(&b, &args) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("{:<14} synthesis failed: {e}", b.name());
+                continue;
+            }
+        };
+        let session = b.session();
+        let bmc_cfg = BmcConfig { unroll: 4, input_bound: 3, ..BmcConfig::default() };
+        let bmc = check_inverse(&session, &outcome.solutions[0].inverse, bmc_cfg);
+        let env = b.extern_env();
+        let battery: Vec<_> = (0..24)
+            .flat_map(|seed| [0usize, 1, 2, 3].map(|size| b.gen_input(seed, size)))
+            .collect();
+        let cegis_cfg = CegisConfig {
+            time_budget: Some(std::time::Duration::from_secs(120)),
+            ..CegisConfig::default()
+        };
+        let cegis = synthesize(&session, &env, &battery, cegis_cfg);
+        println!(
+            "{:<14} {:>10} {:>10} {:>12} {:>12} {:>10}",
+            b.name(),
+            bmc_cfg.unroll,
+            bmc_cfg.input_bound,
+            secs(bmc.time),
+            cegis.sat_size,
+            if cegis.solution.is_some() { secs(cegis.time) } else { "fail".into() },
+        );
+    }
+}

@@ -1,0 +1,86 @@
+use super::*;
+use pins_core::{Session, Spec, SpecItem};
+
+fn add7_session_with_inverse(correct: bool) -> (Session, Program) {
+    let inv_body = if correct { "xI := y - 7;" } else { "xI := y + 7;" };
+    let mut session = Session::from_sources(
+        "proc add7(in x: int, out y: int) { y := x + 7; }",
+        &format!("proc add7_inv(in y: int, out xI: int) {{ {inv_body} }}"),
+    );
+    let c = session.composed.clone();
+    session.spec = Spec {
+        items: vec![SpecItem::IntEq {
+            input: c.var_by_name("x").unwrap(),
+            output: c.var_by_name("xI").unwrap(),
+        }],
+    };
+    // the "inverse" here is the whole template part (already closed)
+    let mut inverse = session.composed.clone();
+    inverse.body = session.template_body().to_vec();
+    (session, inverse)
+}
+
+#[test]
+fn correct_inverse_verifies() {
+    let (session, inverse) = add7_session_with_inverse(true);
+    let report = check_inverse(&session, &inverse, BmcConfig::default());
+    assert!(report.verified, "{report:?}");
+    assert_eq!(report.paths, 1);
+}
+
+#[test]
+fn wrong_inverse_refuted_with_counterexample() {
+    let (session, inverse) = add7_session_with_inverse(false);
+    let report = check_inverse(&session, &inverse, BmcConfig::default());
+    assert!(!report.verified);
+    assert!(report.counterexample.is_some());
+}
+
+fn double_session(inv_step: &str) -> (Session, Program) {
+    let mut session = Session::from_sources(
+        r#"
+proc double(in n: int, out m: int) {
+  local i: int;
+  assume(n >= 0);
+  i := 0; m := 0;
+  while (i < n) { m, i := m + 2, i + 1; }
+}
+"#,
+        &format!(
+            r#"
+proc double_inv(in m: int, out nI: int) {{
+  local j: int;
+  j := 0; nI := 0;
+  while (j < m) {{ nI, j := nI + 1, {inv_step}; }}
+}}
+"#
+        ),
+    );
+    let c = session.composed.clone();
+    session.spec = Spec {
+        items: vec![SpecItem::IntEq {
+            input: c.var_by_name("n").unwrap(),
+            output: c.var_by_name("nI").unwrap(),
+        }],
+    };
+    let mut inverse = session.composed.clone();
+    inverse.body = session.template_body().to_vec();
+    (session, inverse)
+}
+
+#[test]
+fn loopy_inverse_verifies_within_bounds() {
+    let (session, inverse) = double_session("j + 2");
+    let config = BmcConfig { unroll: 5, input_bound: 3, ..BmcConfig::default() };
+    let report = check_inverse(&session, &inverse, config);
+    assert!(report.verified, "{report:?}");
+    assert!(report.paths > 3);
+}
+
+#[test]
+fn loopy_wrong_inverse_refuted() {
+    let (session, inverse) = double_session("j + 1");
+    let config = BmcConfig { unroll: 5, input_bound: 3, ..BmcConfig::default() };
+    let report = check_inverse(&session, &inverse, config);
+    assert!(!report.verified);
+}

@@ -1,0 +1,106 @@
+use pins_core::{Session, Spec, SpecItem};
+use pins_ir::{parse_expr_in, parse_pred_in, program_to_string, ExternEnv, Store, Value};
+
+use crate::*;
+
+fn double_session() -> Session {
+    let mut s = Session::from_sources(
+        r#"
+proc double(in n: int, out m: int) {
+  local i: int;
+  assume(n >= 0);
+  i := 0; m := 0;
+  while (i < n) {
+    m, i := m + 2, i + 1;
+  }
+}
+"#,
+        r#"
+proc double_inv(in m: int, out nI: int) {
+  local j: int;
+  j, nI := ?e1, ?e2;
+  while (?p1) {
+    nI, j := ?e3, ?e4;
+  }
+}
+"#,
+    );
+    let c = s.composed.clone();
+    s.expr_candidates = ["0", "m", "nI + 1", "nI - 1", "j + 2", "j + 1", "j - 2"]
+        .iter()
+        .map(|src| parse_expr_in(&c, src).unwrap())
+        .collect();
+    s.pred_candidates = ["j < m", "nI < m", "j < nI"]
+        .iter()
+        .map(|src| parse_pred_in(&c, src).unwrap())
+        .collect();
+    s.spec = Spec {
+        items: vec![SpecItem::IntEq {
+            input: c.var_by_name("n").unwrap(),
+            output: c.var_by_name("nI").unwrap(),
+        }],
+    };
+    s
+}
+
+fn battery(session: &Session, ns: &[i64]) -> Vec<Store> {
+    let n_var = session.original.var_by_name("n").unwrap();
+    ns.iter()
+        .map(|&n| {
+            let mut s = Store::new();
+            s.insert(n_var, Value::Int(n));
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn cegis_finds_the_double_inverse() {
+    let session = double_session();
+    let env = ExternEnv::new();
+    let battery = battery(&session, &[0, 1, 2, 3, 4, 5]);
+    let report = synthesize(&session, &env, &battery, CegisConfig::default());
+    let inv = report.solution.expect("cegis should find the inverse");
+    let printed = program_to_string(&inv);
+    assert!(printed.contains("j < m") || printed.contains("nI"), "{printed}");
+    assert!(report.candidates_tried >= 1);
+    assert!(report.sat_size > 0);
+    // validate on a fresh input
+    let n_var = session.original.var_by_name("n").unwrap();
+    let mut input = Store::new();
+    input.insert(n_var, Value::Int(7));
+    let mid = pins_ir::run(&session.original, &input, &env, 10_000).unwrap();
+    let mut inv_inputs = Store::new();
+    inv_inputs.insert(
+        inv.var_by_name("m").unwrap(),
+        mid[&session.original.var_by_name("m").unwrap()].clone(),
+    );
+    let out = pins_ir::run(&inv, &inv_inputs, &env, 10_000).unwrap();
+    assert_eq!(out[&inv.var_by_name("nI").unwrap()], Value::Int(7));
+}
+
+#[test]
+fn cegis_reports_failure_when_candidates_insufficient() {
+    let mut session = double_session();
+    let c = session.composed.clone();
+    // remove the winning step expressions
+    session.expr_candidates = ["0", "m", "nI - 1", "j - 2"]
+        .iter()
+        .map(|src| parse_expr_in(&c, src).unwrap())
+        .collect();
+    let env = ExternEnv::new();
+    let battery = battery(&session, &[0, 1, 2, 3]);
+    let report = synthesize(&session, &env, &battery, CegisConfig::default());
+    assert!(report.solution.is_none());
+    assert!(report.failure.is_some());
+}
+
+#[test]
+fn cegis_counterexamples_accumulate() {
+    let session = double_session();
+    let env = ExternEnv::new();
+    // n = 0 alone accepts trivial inverses; bigger inputs refute them
+    let battery = battery(&session, &[0, 3]);
+    let report = synthesize(&session, &env, &battery, CegisConfig::default());
+    assert!(report.solution.is_some());
+}

@@ -1,0 +1,167 @@
+//! Constraint generation: `safepath` (§2.3 "Safety constraints"),
+//! `bounded`/`decrease` termination constraints, and the lazily-added
+//! `init` invariant constraints.
+
+use pins_ir::{Expr, LoopId, Pred, Stmt};
+use pins_logic::{Sort, TermId};
+use pins_symexec::{EmptyFiller, ExploreConfig, Explorer, PathResult, SymCtx, VersionMap};
+
+use crate::domains::HoleDomains;
+use crate::session::{Session, Spec};
+
+/// Why a constraint exists (used in reporting and debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintLabel {
+    /// A path must satisfy the specification.
+    SafePath,
+    /// The loop guard bounds the ranking function from below.
+    Bounded(LoopId),
+    /// The ranking function decreases across the loop body.
+    Decrease(LoopId),
+    /// The dynamic invariant is maintained by the loop body.
+    InvMaintain(LoopId),
+    /// The dynamic invariant holds on a path prefix reaching the loop.
+    InvInit(LoopId),
+}
+
+/// A universally quantified implication `forall X: (/\ hyps) => goal`,
+/// with unknowns occurring as hole terms.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Hypothesis conjuncts.
+    pub hyps: Vec<TermId>,
+    /// Conclusion.
+    pub goal: TermId,
+    /// Provenance.
+    pub label: ConstraintLabel,
+}
+
+/// Locates the body of loop `id` in `program`.
+fn find_loop_body(stmts: &[Stmt], id: LoopId) -> Option<&Vec<Stmt>> {
+    for s in stmts {
+        match s {
+            Stmt::While(l, _, body) => {
+                if *l == id {
+                    return Some(body);
+                }
+                if let Some(b) = find_loop_body(body, id) {
+                    return Some(b);
+                }
+            }
+            Stmt::If(_, t, e) => {
+                if let Some(b) = find_loop_body(t, id).or_else(|| find_loop_body(e, id)) {
+                    return Some(b);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Generates the `terminate(P)` constraints of §2.3 for every template
+/// loop: `bounded(l)` plus, per loop-body path, `decrease(l)` and the
+/// invariant-maintenance constraint. Body paths are enumerated with inner
+/// loops taking only their exit branch, per the paper's heuristic.
+pub fn terminate_constraints(
+    session: &Session,
+    domains: &HoleDomains,
+    ctx: &mut SymCtx,
+) -> Vec<Constraint> {
+    let program = &session.composed;
+    let mut out = Vec::new();
+    let vmap0 = VersionMap::new();
+    for (i, &(loop_id, guard_hole)) in session.template_loops.iter().enumerate() {
+        let rank_hole = domains.rank_holes[i].1;
+        let inv_hole = domains.inv_holes[i].1;
+        let guard0 = ctx.pred_term(program, &Pred::Hole(guard_hole), &vmap0);
+        let rank0 = ctx.expr_term(program, &Expr::Hole(rank_hole), &vmap0, Sort::Int);
+        let inv0 = ctx.pred_term(program, &Pred::Hole(inv_hole), &vmap0);
+        let zero = ctx.arena.mk_int(0);
+
+        // bounded(l): guard => rank >= 0 (over all states)
+        let bounded_goal = ctx.arena.mk_ge(rank0, zero);
+        out.push(Constraint {
+            hyps: vec![guard0],
+            goal: bounded_goal,
+            label: ConstraintLabel::Bounded(loop_id),
+        });
+
+        // body paths: all paths through the loop body, inner loops exit-only
+        let body = find_loop_body(&program.body, loop_id)
+            .expect("template loop body exists")
+            .clone();
+        let mut body_prog = program.clone();
+        body_prog.body = body;
+        let cfg = ExploreConfig {
+            max_unroll: 0, // inner loops take the exit branch only
+            check_feasibility: false,
+            ..ExploreConfig::default()
+        };
+        let mut explorer = Explorer::new(&body_prog, cfg);
+        let paths = explorer.enumerate(ctx, &EmptyFiller, 256);
+        for path in paths {
+            let rank_v = ctx.expr_term(program, &Expr::Hole(rank_hole), &path.final_vmap, Sort::Int);
+            let inv_v = ctx.pred_term(program, &Pred::Hole(inv_hole), &path.final_vmap);
+            let mut hyps = vec![guard0, inv0];
+            hyps.extend(path.conjuncts.iter().copied());
+            // decrease(l): rank strictly decreases
+            let dec_goal = ctx.arena.mk_lt(rank_v, rank0);
+            out.push(Constraint {
+                hyps: hyps.clone(),
+                goal: dec_goal,
+                label: ConstraintLabel::Decrease(loop_id),
+            });
+            // invariant maintained across the body
+            out.push(Constraint {
+                hyps,
+                goal: inv_v,
+                label: ConstraintLabel::InvMaintain(loop_id),
+            });
+        }
+    }
+    out
+}
+
+/// Builds the `safepath(f, V', spec)` constraint for an explored path.
+pub fn safepath_constraint(
+    session: &Session,
+    spec: &Spec,
+    ctx: &mut SymCtx,
+    path: &PathResult,
+) -> Constraint {
+    let _ = session;
+    let goal = spec.to_term(ctx, &path.final_vmap);
+    Constraint { hyps: path.conjuncts.clone(), goal, label: ConstraintLabel::SafePath }
+}
+
+/// Builds the lazily-added `init` constraints for a freshly explored path:
+/// each template loop reached on the path must have its dynamic invariant
+/// implied by the path prefix (§2.3 "To compute body and init...").
+pub fn init_constraints(
+    session: &Session,
+    domains: &HoleDomains,
+    ctx: &mut SymCtx,
+    path: &PathResult,
+) -> Vec<Constraint> {
+    let program = &session.composed;
+    let mut out = Vec::new();
+    for &(loop_id, prefix_len, ref vmap) in &path.loop_entries {
+        let Some(pos) = session
+            .template_loops
+            .iter()
+            .position(|&(l, _)| l == loop_id)
+        else {
+            continue; // a loop of the original program: no synthesis obligations
+        };
+        let inv_hole = domains.inv_holes[pos].1;
+        let inv_v = ctx.pred_term(program, &Pred::Hole(inv_hole), vmap);
+        out.push(Constraint {
+            hyps: path.conjuncts[..prefix_len].to_vec(),
+            goal: inv_v,
+            label: ConstraintLabel::InvInit(loop_id),
+        });
+    }
+    out
+}
+

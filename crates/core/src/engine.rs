@@ -1,0 +1,585 @@
+//! Algorithm 1: the PINS main loop.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pins_ir::{Expr, Pred, Program, Stmt, Value};
+use pins_logic::{collect_subterms, Term, TermId};
+use pins_smt::{check_formulas, SmtConfig, SmtResult};
+use pins_symexec::{
+    apply_filler_term, ExploreConfig, Explorer, HoleKind, MapFiller, PathResult, SymCtx,
+};
+
+use crate::constraints::{init_constraints, safepath_constraint, terminate_constraints, Constraint};
+use crate::domains::{build_domains, DomainConfig, HoleDomains};
+use crate::session::Session;
+use crate::solve::{HoleSolver, Solution};
+
+/// PINS configuration.
+#[derive(Debug, Clone)]
+pub struct PinsConfig {
+    /// Number of solutions requested from the solver per iteration
+    /// (the paper uses `m = 10`).
+    pub m: usize,
+    /// Iteration safety bound.
+    pub max_iterations: usize,
+    /// Maximum atoms per predicate-hole conjunction.
+    pub pred_subset_max: usize,
+    /// Ablation: replace the `infeasible`-count `pickOne` heuristic by
+    /// uniformly random selection (§2.3 reports this is ~20% slower).
+    pub pick_random: bool,
+    /// RNG seed for tie-breaking.
+    pub seed: u64,
+    /// Symbolic-execution options.
+    pub explore: ExploreConfig,
+    /// SMT options for constraint verification.
+    pub smt: SmtConfig,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for PinsConfig {
+    fn default() -> Self {
+        PinsConfig {
+            m: 10,
+            max_iterations: 64,
+            pred_subset_max: 1,
+            pick_random: false,
+            seed: 0x9142,
+            explore: ExploreConfig::default(),
+            smt: SmtConfig::default(),
+            time_budget: None,
+        }
+    }
+}
+
+/// Per-phase timing breakdown, mirroring the paper's Table 4 columns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PinsStats {
+    /// Symbolic execution (includes its SMT feasibility queries).
+    pub symexec_time: Duration,
+    /// SMT reduction: constraint verification inside `solve`.
+    pub smt_reduction_time: Duration,
+    /// SAT solving inside `solve`.
+    pub sat_time: Duration,
+    /// The `pickOne` heuristic.
+    pub pickone_time: Duration,
+    /// Total wall-clock time of the run.
+    pub total_time: Duration,
+    /// Final SAT formula size (the paper's `|SAT|`).
+    pub sat_size: usize,
+    /// SMT validity queries issued by `solve`.
+    pub smt_queries: u64,
+    /// SMT feasibility queries issued by symbolic execution.
+    pub feasibility_queries: u64,
+}
+
+/// A concrete test input generated from an explored path (§2.5).
+#[derive(Debug, Clone)]
+pub struct ConcreteTest {
+    /// Input variable name and value, for the original program `P`.
+    pub inputs: Vec<(String, Value)>,
+}
+
+/// A verified solution rendered back to the IR.
+#[derive(Debug, Clone)]
+pub struct ResolvedSolution {
+    /// Template-hole assignment.
+    pub filler: MapFiller,
+    /// The synthesized inverse program (template with holes substituted).
+    pub inverse: Program,
+}
+
+/// The result of a successful PINS run.
+#[derive(Debug, Clone)]
+pub struct PinsOutcome {
+    /// The surviving solutions (1–4 on the paper's benchmarks).
+    pub solutions: Vec<ResolvedSolution>,
+    /// Full loop iterations executed.
+    pub iterations: usize,
+    /// Paths explored (the size of `F`).
+    pub paths_explored: usize,
+    /// Whether the run stabilized (vs. hitting a budget with candidates).
+    pub converged: bool,
+    /// Timing and counting statistics.
+    pub stats: PinsStats,
+    /// Concrete tests generated from the explored paths.
+    pub tests: Vec<ConcreteTest>,
+    /// log2 of the paper-comparable search space.
+    pub search_space_log2: f64,
+}
+
+/// Failure modes of a PINS run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PinsError {
+    /// The constraint system admits no template instantiation: the template
+    /// or candidate sets must be refined (§3's feedback loop). Carries the
+    /// number of paths that sufficed to rule everything out.
+    NoSolution {
+        /// Iterations executed.
+        iterations: usize,
+        /// Paths explored.
+        paths_explored: usize,
+    },
+    /// The iteration budget was exhausted before stabilization.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for PinsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinsError::NoSolution { iterations, paths_explored } => write!(
+                f,
+                "no template instantiation satisfies the constraints \
+                 ({iterations} iterations, {paths_explored} paths)"
+            ),
+            PinsError::BudgetExhausted => write!(f, "budget exhausted before stabilization"),
+        }
+    }
+}
+
+impl std::error::Error for PinsError {}
+
+/// The PINS engine.
+#[derive(Debug, Clone)]
+pub struct Pins {
+    config: PinsConfig,
+}
+
+impl Pins {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: PinsConfig) -> Self {
+        Pins { config }
+    }
+
+    /// Runs Algorithm 1 on a session.
+    ///
+    /// # Errors
+    ///
+    /// [`PinsError::NoSolution`] when the constraint system eliminates every
+    /// candidate; [`PinsError::BudgetExhausted`] when iteration or time
+    /// budgets run out before any candidate survives.
+    pub fn run(&self, session: &mut Session) -> Result<PinsOutcome, PinsError> {
+        let start = Instant::now();
+        let mut stats = PinsStats::default();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let mut ctx = SymCtx::new(&session.composed);
+        let axioms = session.axiom_terms(&mut ctx.arena);
+        let domains = build_domains(
+            session,
+            DomainConfig {
+                pred_subset_max: self.config.pred_subset_max,
+                include_true_invariant: true,
+            },
+        );
+        let mut constraints: Vec<Constraint> =
+            terminate_constraints(session, &domains, &mut ctx);
+        let mut solver = HoleSolver::new(&domains);
+
+        let mut explored: HashSet<TermId> = HashSet::new();
+        let mut paths: Vec<PathResult> = Vec::new();
+        let mut path_holes: Vec<Vec<(bool, u32)>> = Vec::new(); // holes per path
+        let mut infeasible_cache: HashMap<(TermId, Vec<(bool, u32, usize)>), bool> =
+            HashMap::new();
+
+        let mut last_size = usize::MAX;
+        let mut iterations = 0;
+        loop {
+            if iterations >= self.config.max_iterations {
+                return Err(PinsError::BudgetExhausted);
+            }
+            if let Some(budget) = self.config.time_budget {
+                if start.elapsed() > budget {
+                    return Err(PinsError::BudgetExhausted);
+                }
+            }
+            let sols = solver.solve(
+                &mut ctx,
+                session,
+                &domains,
+                &axioms,
+                &constraints,
+                self.config.m,
+                self.config.smt,
+            );
+            stats.smt_reduction_time = solver.stats.smt_time;
+            stats.sat_time = solver.stats.sat_time;
+            stats.sat_size = solver.stats.sat_size;
+            stats.smt_queries = solver.stats.smt_queries;
+            if sols.is_empty() {
+                return Err(PinsError::NoSolution {
+                    iterations,
+                    paths_explored: explored.len(),
+                });
+            }
+            if sols.len() == last_size && sols.len() < self.config.m {
+                return Ok(self.finalize(
+                    session, &mut ctx, &domains, &axioms, sols, iterations, &paths, stats, start,
+                    true,
+                ));
+            }
+            last_size = sols.len();
+
+            // pickOne (§2.3): prefer solutions contradicting many explored paths
+            let t0 = Instant::now();
+            let pick = if self.config.pick_random {
+                rng.gen_range(0..sols.len())
+            } else {
+                self.pick_one(
+                    session,
+                    &mut ctx,
+                    &domains,
+                    &axioms,
+                    &sols,
+                    &paths,
+                    &path_holes,
+                    &mut infeasible_cache,
+                    &mut rng,
+                )
+            };
+            stats.pickone_time += t0.elapsed();
+            let filler = sols[pick].to_filler(&domains);
+
+            // symbolic execution guided by the chosen solution; if a bad
+            // candidate makes the search wander past its step budget, fall
+            // back to the other solutions before concluding anything
+            let t0 = Instant::now();
+            let mut path = None;
+            let mut any_budget_hit = false;
+            let mut order: Vec<usize> = (0..sols.len()).collect();
+            order.swap(0, pick);
+            for idx in order {
+                let f = if idx == pick { filler.clone() } else { sols[idx].to_filler(&domains) };
+                let mut cfg = self.config.explore.clone();
+                cfg.axioms = axioms.clone();
+                let mut explorer = Explorer::new(&session.composed, cfg);
+                path = explorer.explore_one(&mut ctx, &f, &explored);
+                stats.feasibility_queries += explorer.feasibility_queries;
+                any_budget_hit |= explorer.budget_hit;
+                if path.is_some() {
+                    break;
+                }
+                if let Some(budget) = self.config.time_budget {
+                    if start.elapsed() > budget {
+                        break;
+                    }
+                }
+            }
+            stats.symexec_time += t0.elapsed();
+
+            let Some(path) = path else {
+                // every feasible path within bounds is covered (or the step
+                // budget cut the search off for every candidate, in which
+                // case the solution set is only path-complete up to bounds)
+                return Ok(self.finalize(
+                    session, &mut ctx, &domains, &axioms, sols, iterations, &paths, stats, start,
+                    !any_budget_hit,
+                ));
+            };
+            explored.insert(path.key);
+            path_holes.push(holes_in_terms(&ctx, &path.conjuncts));
+
+            // extend the constraint system
+            constraints.push(safepath_constraint(session, &session.spec.clone(), &mut ctx, &path));
+            constraints.extend(init_constraints(session, &domains, &mut ctx, &path));
+            paths.push(path);
+            iterations += 1;
+        }
+    }
+
+    /// The `infeasible(S)` heuristic: count explored paths whose condition
+    /// becomes unsatisfiable under `S`; pick the solution maximizing it,
+    /// breaking ties randomly.
+    #[allow(clippy::too_many_arguments)]
+    fn pick_one(
+        &self,
+        session: &Session,
+        ctx: &mut SymCtx,
+        domains: &HoleDomains,
+        axioms: &[TermId],
+        sols: &[Solution],
+        paths: &[PathResult],
+        path_holes: &[Vec<(bool, u32)>],
+        cache: &mut HashMap<(TermId, Vec<(bool, u32, usize)>), bool>,
+        rng: &mut StdRng,
+    ) -> usize {
+        let mut best: Vec<usize> = Vec::new();
+        let mut best_count = -1i64;
+        for (i, s) in sols.iter().enumerate() {
+            let mut count = 0i64;
+            for (p, path) in paths.iter().enumerate() {
+                let key: Vec<(bool, u32, usize)> = path_holes[p]
+                    .iter()
+                    .map(|&(is_expr, h)| {
+                        let choice = if is_expr {
+                            s.exprs[h as usize]
+                        } else {
+                            s.preds[h as usize]
+                        };
+                        (is_expr, h, choice)
+                    })
+                    .collect();
+                let infeasible = if let Some(&v) = cache.get(&(path.key, key.clone())) {
+                    v
+                } else {
+                    let filler = s.to_filler(domains);
+                    let subst: Vec<TermId> = path
+                        .conjuncts
+                        .iter()
+                        .map(|&c| apply_filler_term(ctx, &session.composed, c, &filler))
+                        .collect();
+                    let v = matches!(
+                        check_formulas(&mut ctx.arena, &subst, axioms, self.config.smt),
+                        SmtResult::Unsat
+                    );
+                    cache.insert((path.key, key), v);
+                    v
+                };
+                if infeasible {
+                    count += 1;
+                }
+            }
+            match count.cmp(&best_count) {
+                std::cmp::Ordering::Greater => {
+                    best_count = count;
+                    best = vec![i];
+                }
+                std::cmp::Ordering::Equal => best.push(i),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        best[rng.gen_range(0..best.len())]
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finalize(
+        &self,
+        session: &Session,
+        ctx: &mut SymCtx,
+        domains: &HoleDomains,
+        axioms: &[TermId],
+        sols: Vec<Solution>,
+        iterations: usize,
+        paths: &[PathResult],
+        mut stats: PinsStats,
+        start: Instant,
+        converged: bool,
+    ) -> PinsOutcome {
+        let solutions: Vec<ResolvedSolution> = sols
+            .iter()
+            .map(|s| resolve_solution(session, domains, s))
+            .collect();
+        let tests = if let Some(first) = sols.first() {
+            generate_tests(session, ctx, domains, axioms, first, paths, self.config.smt)
+        } else {
+            Vec::new()
+        };
+        stats.total_time = start.elapsed();
+        PinsOutcome {
+            solutions,
+            iterations,
+            paths_explored: paths.len(),
+            converged,
+            stats,
+            tests,
+            search_space_log2: domains.paper_search_space_log2,
+        }
+    }
+}
+
+/// Collects the holes appearing in a set of terms.
+fn holes_in_terms(ctx: &SymCtx, terms: &[TermId]) -> Vec<(bool, u32)> {
+    let mut subs = HashSet::new();
+    for &t in terms {
+        collect_subterms(&ctx.arena, t, &mut subs);
+    }
+    let mut out = HashSet::new();
+    for s in subs {
+        if let Term::Hole(occ, _) = ctx.arena.term(s) {
+            let occ = *occ;
+            match ctx.occurrence(occ).kind {
+                HoleKind::Expr(e) => {
+                    out.insert((true, e.0));
+                }
+                HoleKind::Pred(p) => {
+                    out.insert((false, p.0));
+                }
+            }
+        }
+    }
+    let mut v: Vec<(bool, u32)> = out.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Renders a solution as an inverse program: the template part of the
+/// composed program with holes substituted.
+pub fn resolve_solution(
+    session: &Session,
+    domains: &HoleDomains,
+    solution: &Solution,
+) -> ResolvedSolution {
+    let filler = solution.to_filler(domains);
+    // restrict to template holes
+    let mut template_filler = MapFiller::default();
+    for (h, e) in &filler.exprs {
+        if h.0 < session.composed.num_eholes {
+            template_filler.exprs.insert(*h, e.clone());
+        }
+    }
+    for (h, p) in &filler.preds {
+        if h.0 < session.composed.num_pholes {
+            template_filler.preds.insert(*h, p.clone());
+        }
+    }
+    let body: Vec<Stmt> = session
+        .template_body()
+        .iter()
+        .map(|s| subst_stmt(s, &template_filler))
+        .collect();
+    let mut inverse = session.composed.clone();
+    inverse.name = format!("{}_inv", session.original.name);
+    inverse.body = body;
+    inverse.num_eholes = 0;
+    inverse.num_pholes = 0;
+    inverse.ehole_names.clear();
+    inverse.phole_names.clear();
+    // parameters: the template's parameters resolved in the composed table
+    inverse.params = session
+        .template
+        .params
+        .iter()
+        .filter_map(|&(v, m)| {
+            let name = &session.template.var(v).name;
+            session.composed.var_by_name(name).map(|cv| (cv, m))
+        })
+        .collect();
+    ResolvedSolution { filler: template_filler, inverse }
+}
+
+fn subst_expr(e: &Expr, filler: &MapFiller) -> Expr {
+    match e {
+        Expr::Hole(h) => filler
+            .exprs
+            .get(h)
+            .cloned()
+            .unwrap_or_else(|| Expr::Hole(*h)),
+        Expr::Int(_) | Expr::Var(_) => e.clone(),
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(subst_expr(a, filler)),
+            Box::new(subst_expr(b, filler)),
+        ),
+        Expr::Sub(a, b) => Expr::Sub(
+            Box::new(subst_expr(a, filler)),
+            Box::new(subst_expr(b, filler)),
+        ),
+        Expr::Mul(a, b) => Expr::Mul(
+            Box::new(subst_expr(a, filler)),
+            Box::new(subst_expr(b, filler)),
+        ),
+        Expr::Sel(a, b) => Expr::Sel(
+            Box::new(subst_expr(a, filler)),
+            Box::new(subst_expr(b, filler)),
+        ),
+        Expr::Upd(a, b, c) => Expr::Upd(
+            Box::new(subst_expr(a, filler)),
+            Box::new(subst_expr(b, filler)),
+            Box::new(subst_expr(c, filler)),
+        ),
+        Expr::Call(f, args) => {
+            Expr::Call(f.clone(), args.iter().map(|a| subst_expr(a, filler)).collect())
+        }
+    }
+}
+
+fn subst_pred(p: &Pred, filler: &MapFiller) -> Pred {
+    match p {
+        Pred::Hole(h) => filler
+            .preds
+            .get(h)
+            .cloned()
+            .unwrap_or_else(|| Pred::Hole(*h)),
+        Pred::Bool(_) | Pred::Star => p.clone(),
+        Pred::Cmp(op, a, b) => Pred::Cmp(*op, subst_expr(a, filler), subst_expr(b, filler)),
+        Pred::And(items) => Pred::And(items.iter().map(|q| subst_pred(q, filler)).collect()),
+        Pred::Or(items) => Pred::Or(items.iter().map(|q| subst_pred(q, filler)).collect()),
+        Pred::Not(q) => Pred::Not(Box::new(subst_pred(q, filler))),
+        Pred::Call(f, args) => {
+            Pred::Call(f.clone(), args.iter().map(|a| subst_expr(a, filler)).collect())
+        }
+    }
+}
+
+fn subst_stmt(s: &Stmt, filler: &MapFiller) -> Stmt {
+    match s {
+        Stmt::Assign(pairs) => Stmt::Assign(
+            pairs
+                .iter()
+                .map(|(v, e)| (*v, subst_expr(e, filler)))
+                .collect(),
+        ),
+        Stmt::If(p, t, e) => Stmt::If(
+            subst_pred(p, filler),
+            t.iter().map(|x| subst_stmt(x, filler)).collect(),
+            e.iter().map(|x| subst_stmt(x, filler)).collect(),
+        ),
+        Stmt::While(id, p, body) => Stmt::While(
+            *id,
+            subst_pred(p, filler),
+            body.iter().map(|x| subst_stmt(x, filler)).collect(),
+        ),
+        Stmt::Assume(p) => Stmt::Assume(subst_pred(p, filler)),
+        Stmt::Exit => Stmt::Exit,
+        Stmt::Skip => Stmt::Skip,
+    }
+}
+
+/// Generates concrete test inputs from the explored paths under the first
+/// surviving solution (§2.5: "our implementation uses the SMT solver to
+/// output a concrete input that will take that path").
+fn generate_tests(
+    session: &Session,
+    ctx: &mut SymCtx,
+    domains: &HoleDomains,
+    axioms: &[TermId],
+    solution: &Solution,
+    paths: &[PathResult],
+    smt: SmtConfig,
+) -> Vec<ConcreteTest> {
+    let filler = solution.to_filler(domains);
+    let mut tests = Vec::new();
+    for path in paths {
+        let subst: Vec<TermId> = path
+            .conjuncts
+            .iter()
+            .map(|&c| apply_filler_term(ctx, &session.composed, c, &filler))
+            .collect();
+        let SmtResult::Sat(model) = check_formulas(&mut ctx.arena, &subst, axioms, smt) else {
+            continue; // path infeasible under the final solution
+        };
+        let mut inputs = Vec::new();
+        for v in session.original.inputs() {
+            let name = session.original.var(v).name.clone();
+            let cv = session
+                .composed
+                .var_by_name(&name)
+                .expect("input survives composition");
+            let term = ctx.var_term(cv, 0);
+            let value = match session.composed.var(cv).ty {
+                pins_ir::Type::Int => Value::Int(model.eval_int(&ctx.arena, term)),
+                pins_ir::Type::IntArray => {
+                    let entries = model.arrays.get(&term).cloned().unwrap_or_default();
+                    Value::Arr(entries.into_iter().collect())
+                }
+                pins_ir::Type::Abstract(_) => Value::Seq(Vec::new()),
+            };
+            inputs.push((name, value));
+        }
+        tests.push(ConcreteTest { inputs });
+    }
+    tests
+}

@@ -1,0 +1,301 @@
+//! The `solve` procedure (§2.3): reduces the synthesis constraints to SAT
+//! over indicator variables and enumerates up to `m` verified solutions.
+//!
+//! Each unknown gets an exactly-one block of indicator variables over its
+//! finite domain. The loop is a lazy CEGIS over indicators: a SAT model
+//! proposes a full assignment; every constraint is verified by an SMT
+//! validity query under that assignment (with memoization keyed on the
+//! restricted assignment of the holes that actually occur in the
+//! constraint); a failed constraint contributes a blocking clause over
+//! exactly those holes — the generalization that makes the search converge.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use pins_ir::{EHoleId, PHoleId};
+use pins_logic::{collect_subterms, Term, TermId};
+use pins_sat::{Lit, SolveResult, Solver as SatSolver, Var};
+use pins_smt::{is_valid, SmtConfig};
+use pins_symexec::{apply_filler_term, HoleKind, MapFiller, SymCtx};
+
+use crate::constraints::Constraint;
+use crate::domains::HoleDomains;
+use crate::session::Session;
+
+/// A full assignment: per hole, the index of the chosen candidate in its
+/// domain (`usize::MAX` marks an empty-domain hole, treated as unfilled).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Solution {
+    /// Per expression hole.
+    pub exprs: Vec<usize>,
+    /// Per predicate hole.
+    pub preds: Vec<usize>,
+}
+
+impl Solution {
+    /// Converts to a hole filler using the domain table.
+    pub fn to_filler(&self, domains: &HoleDomains) -> MapFiller {
+        let mut filler = MapFiller::default();
+        for (h, &choice) in self.exprs.iter().enumerate() {
+            if choice != usize::MAX {
+                filler
+                    .exprs
+                    .insert(EHoleId(h as u32), domains.exprs[h][choice].clone());
+            }
+        }
+        for (h, &choice) in self.preds.iter().enumerate() {
+            if choice != usize::MAX {
+                filler
+                    .preds
+                    .insert(PHoleId(h as u32), domains.preds[h][choice].clone());
+            }
+        }
+        filler
+    }
+}
+
+/// The holes occurring in a constraint (determines the blocking clause).
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintHoles {
+    eholes: Vec<u32>,
+    pholes: Vec<u32>,
+}
+
+/// Timing and counting statistics from `solve`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Time in SAT solving.
+    pub sat_time: Duration,
+    /// Time in SMT validity checking (the paper's "SMT reduction").
+    pub smt_time: Duration,
+    /// Number of SMT validity queries issued.
+    pub smt_queries: u64,
+    /// Number of candidate assignments proposed by SAT.
+    pub candidates_proposed: u64,
+    /// Final SAT formula size (vars + literal occurrences).
+    pub sat_size: usize,
+}
+
+/// The incremental hole solver, persistent across PINS iterations
+/// (blocking clauses learned from old constraints remain valid as the
+/// constraint set grows).
+pub struct HoleSolver {
+    sat: SatSolver,
+    evars: Vec<Vec<Var>>,
+    pvars: Vec<Vec<Var>>,
+    /// `(constraint index, restricted assignment) -> verified?`
+    cache: HashMap<(usize, Vec<(bool, u32, usize)>), bool>,
+    holes_of: Vec<ConstraintHoles>,
+    /// Statistics accumulated across calls.
+    pub stats: SolveStats,
+}
+
+impl HoleSolver {
+    /// Builds the indicator encoding for the domain table.
+    pub fn new(domains: &HoleDomains) -> Self {
+        let mut sat = SatSolver::new();
+        let mut evars = Vec::new();
+        for dom in &domains.exprs {
+            let vars: Vec<Var> = dom.iter().map(|_| sat.new_var()).collect();
+            exactly_one(&mut sat, &vars);
+            evars.push(vars);
+        }
+        let mut pvars = Vec::new();
+        for dom in &domains.preds {
+            let vars: Vec<Var> = dom.iter().map(|_| sat.new_var()).collect();
+            exactly_one(&mut sat, &vars);
+            pvars.push(vars);
+        }
+        HoleSolver {
+            sat,
+            evars,
+            pvars,
+            cache: HashMap::new(),
+            holes_of: Vec::new(),
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// Registers the holes occurring in constraint `idx` (call once per new
+    /// constraint, in order).
+    pub fn register_constraint(&mut self, ctx: &SymCtx, idx: usize, c: &Constraint) {
+        assert_eq!(idx, self.holes_of.len(), "constraints must register in order");
+        let mut eholes = HashSet::new();
+        let mut pholes = HashSet::new();
+        let mut subs = HashSet::new();
+        for &h in c.hyps.iter().chain(std::iter::once(&c.goal)) {
+            collect_subterms(&ctx.arena, h, &mut subs);
+        }
+        for s in &subs {
+            if let Term::Hole(occ, _) = ctx.arena.term(*s) {
+                match ctx.occurrence(*occ).kind {
+                    HoleKind::Expr(e) => {
+                        eholes.insert(e.0);
+                    }
+                    HoleKind::Pred(p) => {
+                        pholes.insert(p.0);
+                    }
+                }
+            }
+        }
+        let mut eholes: Vec<u32> = eholes.into_iter().collect();
+        let mut pholes: Vec<u32> = pholes.into_iter().collect();
+        eholes.sort_unstable();
+        pholes.sort_unstable();
+        self.holes_of.push(ConstraintHoles { eholes, pholes });
+    }
+
+    fn extract_solution(sat: &SatSolver, evars: &[Vec<Var>], pvars: &[Vec<Var>]) -> Solution {
+        let pick = |vars: &Vec<Var>| -> usize {
+            vars.iter()
+                .position(|&v| sat.value(v) == Some(true))
+                .unwrap_or(usize::MAX)
+        };
+        Solution {
+            exprs: evars.iter().map(pick).collect(),
+            preds: pvars.iter().map(pick).collect(),
+        }
+    }
+
+    fn restricted_key(&self, c: usize, s: &Solution) -> Vec<(bool, u32, usize)> {
+        let holes = &self.holes_of[c];
+        let mut key = Vec::with_capacity(holes.eholes.len() + holes.pholes.len());
+        for &h in &holes.eholes {
+            key.push((true, h, s.exprs[h as usize]));
+        }
+        for &h in &holes.pholes {
+            key.push((false, h, s.preds[h as usize]));
+        }
+        key
+    }
+
+    /// Verifies one constraint under a solution, with memoization.
+    fn verify(
+        &mut self,
+        ctx: &mut SymCtx,
+        session: &Session,
+        axioms: &[TermId],
+        constraints: &[Constraint],
+        c: usize,
+        solution: &Solution,
+        domains: &HoleDomains,
+        smt: SmtConfig,
+    ) -> bool {
+        let key = self.restricted_key(c, solution);
+        if let Some(&v) = self.cache.get(&(c, key.clone())) {
+            return v;
+        }
+        let filler = solution.to_filler(domains);
+        let program = &session.composed;
+        let t0 = Instant::now();
+        let hyps: Vec<TermId> = constraints[c]
+            .hyps
+            .iter()
+            .map(|&h| apply_filler_term(ctx, program, h, &filler))
+            .collect();
+        let goal = apply_filler_term(ctx, program, constraints[c].goal, &filler);
+        let valid = is_valid(&mut ctx.arena, &hyps, goal, axioms, smt);
+        self.stats.smt_time += t0.elapsed();
+        self.stats.smt_queries += 1;
+        self.cache.insert((c, key), valid);
+        valid
+    }
+
+    /// Adds a blocking clause rejecting the restricted assignment of
+    /// constraint `c` under `s` (every extension of that assignment fails
+    /// the constraint too).
+    fn block(&mut self, c: usize, s: &Solution, into_main: bool, snapshot: &mut SatSolver) {
+        let holes = self.holes_of[c].clone();
+        let mut clause = Vec::new();
+        for &h in &holes.eholes {
+            let choice = s.exprs[h as usize];
+            if choice != usize::MAX {
+                clause.push(Lit::neg(self.evars[h as usize][choice]));
+            }
+        }
+        for &h in &holes.pholes {
+            let choice = s.preds[h as usize];
+            if choice != usize::MAX {
+                clause.push(Lit::neg(self.pvars[h as usize][choice]));
+            }
+        }
+        // an empty clause (no holes occur in the constraint) correctly makes
+        // the system unsatisfiable: the constraint fails unconditionally
+        snapshot.add_clause(&clause);
+        if into_main {
+            self.sat.add_clause(&clause);
+        }
+    }
+
+    /// Finds up to `m` solutions satisfying all constraints (Algorithm 1's
+    /// `solve(C, Δp, Δe, m)`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve(
+        &mut self,
+        ctx: &mut SymCtx,
+        session: &Session,
+        domains: &HoleDomains,
+        axioms: &[TermId],
+        constraints: &[Constraint],
+        m: usize,
+        smt: SmtConfig,
+    ) -> Vec<Solution> {
+        // register any new constraints
+        for idx in self.holes_of.len()..constraints.len() {
+            self.register_constraint(ctx, idx, &constraints[idx]);
+        }
+        let mut found = Vec::new();
+        let mut snapshot = self.sat.clone();
+        'outer: loop {
+            let t0 = Instant::now();
+            let res = snapshot.solve();
+            self.stats.sat_time += t0.elapsed();
+            self.stats.sat_size = self.stats.sat_size.max(snapshot.formula_size());
+            match res {
+                SolveResult::Unsat => break,
+                SolveResult::Sat => {
+                    let s = Self::extract_solution(&snapshot, &self.evars, &self.pvars);
+                    self.stats.candidates_proposed += 1;
+                    for c in 0..constraints.len() {
+                        if !self.verify(ctx, session, axioms, constraints, c, &s, domains, smt) {
+                            self.block(c, &s, true, &mut snapshot);
+                            continue 'outer;
+                        }
+                    }
+                    // verified: block the exact full assignment in the
+                    // snapshot only (the solution remains globally valid)
+                    let mut clause = Vec::new();
+                    for (h, &choice) in s.exprs.iter().enumerate() {
+                        if choice != usize::MAX {
+                            clause.push(Lit::neg(self.evars[h][choice]));
+                        }
+                    }
+                    for (h, &choice) in s.preds.iter().enumerate() {
+                        if choice != usize::MAX {
+                            clause.push(Lit::neg(self.pvars[h][choice]));
+                        }
+                    }
+                    found.push(s);
+                    if found.len() >= m || clause.is_empty() {
+                        break;
+                    }
+                    snapshot.add_clause(&clause);
+                }
+            }
+        }
+        found
+    }
+}
+
+fn exactly_one(sat: &mut SatSolver, vars: &[Var]) {
+    if vars.is_empty() {
+        return; // empty-domain hole: left unconstrained (unfilled)
+    }
+    let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+    sat.add_clause(&lits);
+    for i in 0..vars.len() {
+        for j in (i + 1)..vars.len() {
+            sat.add_clause(&[Lit::neg(vars[i]), Lit::neg(vars[j])]);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+use pins_ir::{
+    parse_expr_in, parse_pred_in, program_to_string, run, ExternEnv, Store, Type, Value,
+};
+
+use crate::*;
+
+/// Synthesize the inverse of `y := x + 7`.
+fn add7_session() -> Session {
+    let mut s = Session::from_sources(
+        "proc add7(in x: int, out y: int) { y := x + 7; }",
+        "proc add7_inv(in y: int, out xI: int) { xI := ?e1; }",
+    );
+    let c = s.composed.clone();
+    s.expr_candidates = vec![
+        parse_expr_in(&c, "y + 7").unwrap(),
+        parse_expr_in(&c, "y - 7").unwrap(),
+        parse_expr_in(&c, "0").unwrap(),
+        parse_expr_in(&c, "y").unwrap(),
+    ];
+    s.spec = Spec {
+        items: vec![SpecItem::IntEq {
+            input: c.var_by_name("x").unwrap(),
+            output: c.var_by_name("xI").unwrap(),
+        }],
+    };
+    s
+}
+
+#[test]
+fn add7_inverse_synthesized() {
+    let mut session = add7_session();
+    let outcome = Pins::new(PinsConfig::default()).run(&mut session).unwrap();
+    assert_eq!(outcome.solutions.len(), 1, "exactly one inverse should survive");
+    let inv = &outcome.solutions[0].inverse;
+    let printed = program_to_string(inv);
+    assert!(printed.contains("y - 7"), "got:\n{printed}");
+    assert!(outcome.converged);
+    assert!(outcome.paths_explored >= 1);
+}
+
+#[test]
+fn add7_concrete_tests_generated() {
+    let mut session = add7_session();
+    let outcome = Pins::new(PinsConfig::default()).run(&mut session).unwrap();
+    assert!(!outcome.tests.is_empty());
+    // each test assigns the input x
+    for t in &outcome.tests {
+        assert!(t.inputs.iter().any(|(n, _)| n == "x"));
+    }
+}
+
+#[test]
+fn no_solution_when_candidates_insufficient() {
+    let mut session = add7_session();
+    let c = session.composed.clone();
+    session.expr_candidates = vec![
+        parse_expr_in(&c, "y + 7").unwrap(), // wrong direction only
+        parse_expr_in(&c, "0").unwrap(),
+    ];
+    let err = Pins::new(PinsConfig::default()).run(&mut session).unwrap_err();
+    assert!(matches!(err, PinsError::NoSolution { .. }), "{err:?}");
+}
+
+/// `m := 2 * n` by repeated addition; inverse halves by counting.
+fn double_session() -> Session {
+    let mut s = Session::from_sources(
+        r#"
+proc double(in n: int, out m: int) {
+  local i: int;
+  assume(n >= 0);
+  i := 0; m := 0;
+  while (i < n) {
+    m, i := m + 2, i + 1;
+  }
+}
+"#,
+        r#"
+proc double_inv(in m: int, out nI: int) {
+  local j: int;
+  j, nI := ?e1, ?e2;
+  while (?p1) {
+    nI, j := ?e3, ?e4;
+  }
+}
+"#,
+    );
+    let c = s.composed.clone();
+    s.expr_candidates = ["0", "m", "nI + 1", "nI - 1", "j + 2", "j + 1", "j - 2"]
+        .iter()
+        .map(|src| parse_expr_in(&c, src).unwrap())
+        .collect();
+    s.pred_candidates = ["j < m", "nI < m", "j < nI"]
+        .iter()
+        .map(|src| parse_pred_in(&c, src).unwrap())
+        .collect();
+    s.spec = Spec {
+        items: vec![SpecItem::IntEq {
+            input: c.var_by_name("n").unwrap(),
+            output: c.var_by_name("nI").unwrap(),
+        }],
+    };
+    s
+}
+
+#[test]
+fn double_inverse_synthesized_and_correct() {
+    let mut session = double_session();
+    let config = PinsConfig { max_iterations: 40, ..PinsConfig::default() };
+    let outcome = Pins::new(config).run(&mut session).unwrap();
+    assert!(
+        !outcome.solutions.is_empty() && outcome.solutions.len() <= 4,
+        "expected a small surviving set, got {}",
+        outcome.solutions.len()
+    );
+
+    // validate all surviving solutions by concrete round-trips
+    let env = ExternEnv::new();
+    let orig = &session.original;
+    let mut correct = 0;
+    for sol in &outcome.solutions {
+        let inv = &sol.inverse;
+        let mut ok = true;
+        for n in 0..8i64 {
+            let mut inputs = Store::new();
+            inputs.insert(orig.var_by_name("n").unwrap(), Value::Int(n));
+            let mid = run(orig, &inputs, &env, 10_000).unwrap();
+            let m = mid[&orig.var_by_name("m").unwrap()].clone();
+            let mut inv_inputs = Store::new();
+            inv_inputs.insert(inv.var_by_name("m").unwrap(), m);
+            match run(inv, &inv_inputs, &env, 10_000) {
+                Ok(out) => {
+                    if out[&inv.var_by_name("nI").unwrap()] != Value::Int(n) {
+                        ok = false;
+                    }
+                }
+                Err(_) => ok = false,
+            }
+        }
+        if ok {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 1, "at least one surviving solution must be a true inverse");
+}
+
+#[test]
+fn iterations_match_small_path_bound_hypothesis() {
+    let mut session = double_session();
+    let outcome = Pins::new(PinsConfig::default()).run(&mut session).unwrap();
+    // the paper reports 1..14 iterations across all benchmarks
+    assert!(outcome.iterations <= 20, "too many iterations: {}", outcome.iterations);
+    assert!(outcome.paths_explored <= 20);
+}
+
+#[test]
+fn random_pickone_also_converges() {
+    let mut session = double_session();
+    let config = PinsConfig { pick_random: true, seed: 7, ..PinsConfig::default() };
+    let outcome = Pins::new(config).run(&mut session).unwrap();
+    assert!(!outcome.solutions.is_empty());
+}
+
+#[test]
+fn stats_are_populated() {
+    let mut session = double_session();
+    let outcome = Pins::new(PinsConfig::default()).run(&mut session).unwrap();
+    let s = outcome.stats;
+    assert!(s.total_time.as_nanos() > 0);
+    assert!(s.smt_queries > 0);
+    assert!(s.sat_size > 0);
+    assert!(s.smt_reduction_time.as_nanos() > 0);
+}
+
+// ---------------- unit-level checks ----------------
+
+#[test]
+fn rank_candidates_derived_from_inequalities() {
+    let s = double_session();
+    let ranks = derive_rank_candidates(&s.pred_candidates);
+    // j < m and nI < m and j < nI each yield a candidate
+    assert_eq!(ranks.len(), 3);
+    for r in &ranks {
+        assert_eq!(type_of_expr(&s.composed, r), Type::Int);
+    }
+}
+
+#[test]
+fn ehole_types_inferred_from_targets() {
+    let s = Session::from_sources(
+        "proc f(in A: int[], in n: int, out B: int[]) { B := upd(B, 0, A[0]); }",
+        "proc g(in B: int[], out AI: int[], out k: int) { AI := ?e1; k := ?e2; }",
+    );
+    let types = ehole_types(&s.composed);
+    assert_eq!(types, vec![Type::IntArray, Type::Int]);
+}
+
+#[test]
+fn pred_subsets_bounded() {
+    let s = double_session();
+    let singles = pred_subset_candidates(&s.pred_candidates, 1, true);
+    assert_eq!(singles.len(), 1 + 3);
+    let pairs = pred_subset_candidates(&s.pred_candidates, 2, true);
+    assert_eq!(pairs.len(), 1 + 3 + 3);
+}
+
+#[test]
+fn search_space_accounting() {
+    let session = double_session();
+    let domains = build_domains(&session, DomainConfig::default());
+    // paper-comparable space: 4 int-expr holes over 7 candidates each plus
+    // one predicate hole over 2^3 subsets
+    let expected = 4.0 * (7.0f64).log2() + 3.0;
+    assert!((domains.paper_search_space_log2 - expected).abs() < 1e-9);
+    assert!(domains.encoded_search_space_log2 > 0.0);
+}
+
+#[test]
+fn axiom_def_round_trip() {
+    use pins_ir::ExternDecl;
+    let externs = vec![ExternDecl {
+        name: "strlen".into(),
+        args: vec![Type::Abstract("Str".into())],
+        ret: Type::Int,
+        returns_bool: false,
+    }];
+    let ax = AxiomDef::parse(&externs, &[("s", Type::Abstract("Str".into()))], "strlen(s) >= 0");
+    let mut arena = pins_logic::TermArena::new();
+    let t = ax.to_term(&mut arena);
+    let shown = arena.display(t).to_string();
+    assert!(shown.contains("forall"), "{shown}");
+    assert!(shown.contains("strlen"), "{shown}");
+}
+
+#[test]
+fn terminate_constraints_generated_per_template_loop() {
+    let session = double_session();
+    let domains = build_domains(&session, DomainConfig::default());
+    let mut ctx = pins_symexec::SymCtx::new(&session.composed);
+    let cs = terminate_constraints(&session, &domains, &mut ctx);
+    // one bounded + per body path (1) a decrease and an inv-maintain
+    assert_eq!(cs.len(), 3);
+    assert!(cs.iter().any(|c| matches!(c.label, ConstraintLabel::Bounded(_))));
+    assert!(cs.iter().any(|c| matches!(c.label, ConstraintLabel::Decrease(_))));
+    assert!(cs.iter().any(|c| matches!(c.label, ConstraintLabel::InvMaintain(_))));
+}

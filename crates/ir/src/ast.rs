@@ -1,0 +1,329 @@
+//! The template language of Section 2.1: statements with parallel
+//! assignment, nondeterministic control flow, `assume`, and expressions
+//! with array reads/writes, external calls, and unknown holes.
+
+/// Index of a variable in its [`Program`]'s variable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Identity of a loop, used by termination-constraint generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+/// Identity of an unknown expression hole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EHoleId(pub u32);
+
+/// Identity of an unknown predicate hole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PHoleId(pub u32);
+
+/// Variable and expression types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Mathematical integer.
+    Int,
+    /// Integer array.
+    IntArray,
+    /// An abstract data type modelled by axioms (e.g. `Str`, `Angle`).
+    Abstract(String),
+}
+
+/// A declared variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Source name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// Direction of a procedure parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Input only.
+    In,
+    /// Output only.
+    Out,
+    /// Both input and output (destructive update).
+    InOut,
+}
+
+/// Signature of an external (library) function, modelled by axioms during
+/// synthesis and by a host closure during concrete interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExternDecl {
+    /// Function name.
+    pub name: String,
+    /// Argument types.
+    pub args: Vec<Type>,
+    /// Return type (`Type::Int`, abstract, or bool — see `returns_bool`).
+    pub ret: Type,
+    /// Whether the function is a boolean predicate.
+    pub returns_bool: bool,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var(VarId),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Array read `sel(a, i)`, written `a[i]`.
+    Sel(Box<Expr>, Box<Expr>),
+    /// Functional array write `upd(a, i, v)`.
+    Upd(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// External function call.
+    Call(String, Vec<Expr>),
+    /// Unknown expression hole (to be instantiated from Δe).
+    Hole(EHoleId),
+}
+
+/// Comparison operators of predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Predicates (guards and assumptions).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// Constant.
+    Bool(bool),
+    /// Comparison of two expressions.
+    Cmp(CmpOp, Expr, Expr),
+    /// Conjunction.
+    And(Vec<Pred>),
+    /// Disjunction.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Boolean external call.
+    Call(String, Vec<Expr>),
+    /// Unknown predicate hole (to be instantiated from subsets of Δp).
+    Hole(PHoleId),
+    /// Nondeterministic choice `*`.
+    Star,
+}
+
+/// Statements. Sequencing is a `Vec<Stmt>` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Parallel assignment `x1, ..., xn := e1, ..., en`.
+    Assign(Vec<(VarId, Expr)>),
+    /// Conditional (sugar for nondeterministic choice + `assume` per §2.1).
+    If(Pred, Vec<Stmt>, Vec<Stmt>),
+    /// Loop (sugar for `while(*){assume(p); body}; assume(!p)`).
+    While(LoopId, Pred, Vec<Stmt>),
+    /// `assume(p)`.
+    Assume(Pred),
+    /// Program exit marker.
+    Exit,
+    /// No-op.
+    Skip,
+}
+
+/// A whole procedure: the unit PINS works on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Procedure name.
+    pub name: String,
+    /// All variables (parameters first, then locals).
+    pub vars: Vec<VarDecl>,
+    /// Parameter modes, parallel to the parameter prefix of `vars`.
+    pub params: Vec<(VarId, Mode)>,
+    /// External function signatures used by the body.
+    pub externs: Vec<ExternDecl>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// Number of loops (loop ids are `0..num_loops`).
+    pub num_loops: u32,
+    /// Number of expression holes.
+    pub num_eholes: u32,
+    /// Number of predicate holes.
+    pub num_pholes: u32,
+    /// Source names of expression holes, indexed by [`EHoleId`].
+    pub ehole_names: Vec<String>,
+    /// Source names of predicate holes, indexed by [`PHoleId`].
+    pub phole_names: Vec<String>,
+}
+
+impl Program {
+    /// Looks up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// The declaration of `v`.
+    pub fn var(&self, v: VarId) -> &VarDecl {
+        &self.vars[v.0 as usize]
+    }
+
+    /// Input variables (modes `in` and `inout`), in declaration order.
+    pub fn inputs(&self) -> Vec<VarId> {
+        self.params
+            .iter()
+            .filter(|(_, m)| matches!(m, Mode::In | Mode::InOut))
+            .map(|&(v, _)| v)
+            .collect()
+    }
+
+    /// Output variables (modes `out` and `inout`), in declaration order.
+    pub fn outputs(&self) -> Vec<VarId> {
+        self.params
+            .iter()
+            .filter(|(_, m)| matches!(m, Mode::Out | Mode::InOut))
+            .map(|&(v, _)| v)
+            .collect()
+    }
+
+    /// The extern declaration for `name`.
+    pub fn extern_by_name(&self, name: &str) -> Option<&ExternDecl> {
+        self.externs.iter().find(|e| e.name == name)
+    }
+
+    /// Declares a fresh local variable, returning its id.
+    pub fn add_local(&mut self, name: &str, ty: Type) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDecl { name: name.to_owned(), ty });
+        id
+    }
+
+    /// Concatenates `self` with `other` (the inverse template), merging
+    /// variable tables by name: variables of `other` that share a name with
+    /// a variable of `self` refer to the same slot; others are appended.
+    /// Returns the combined program together with the variable mapping for
+    /// `other` and the loop-id offset of `other`'s loops.
+    pub fn concat(&self, other: &Program) -> (Program, Vec<VarId>, u32) {
+        let mut combined = self.clone();
+        combined.name = format!("{};{}", self.name, other.name);
+        let mut map: Vec<VarId> = Vec::with_capacity(other.vars.len());
+        for v in &other.vars {
+            if let Some(existing) = combined.var_by_name(&v.name) {
+                assert_eq!(
+                    combined.var(existing).ty,
+                    v.ty,
+                    "variable {} re-declared with a different type",
+                    v.name
+                );
+                map.push(existing);
+            } else {
+                map.push(combined.add_local(&v.name, v.ty.clone()));
+            }
+        }
+        for e in &other.externs {
+            if combined.extern_by_name(&e.name).is_none() {
+                combined.externs.push(e.clone());
+            }
+        }
+        let loop_offset = combined.num_loops;
+        let ehole_offset = combined.num_eholes;
+        let phole_offset = combined.num_pholes;
+        let remapped: Vec<Stmt> = other
+            .body
+            .iter()
+            .map(|s| remap_stmt(s, &map, loop_offset, ehole_offset, phole_offset))
+            .collect();
+        combined.body.extend(remapped);
+        combined.num_loops += other.num_loops;
+        combined.num_eholes += other.num_eholes;
+        combined.num_pholes += other.num_pholes;
+        combined.ehole_names.extend(other.ehole_names.iter().cloned());
+        combined.phole_names.extend(other.phole_names.iter().cloned());
+        (combined, map, loop_offset)
+    }
+}
+
+fn remap_expr(e: &Expr, map: &[VarId], eoff: u32) -> Expr {
+    match e {
+        Expr::Int(v) => Expr::Int(*v),
+        Expr::Var(v) => Expr::Var(map[v.0 as usize]),
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(remap_expr(a, map, eoff)),
+            Box::new(remap_expr(b, map, eoff)),
+        ),
+        Expr::Sub(a, b) => Expr::Sub(
+            Box::new(remap_expr(a, map, eoff)),
+            Box::new(remap_expr(b, map, eoff)),
+        ),
+        Expr::Mul(a, b) => Expr::Mul(
+            Box::new(remap_expr(a, map, eoff)),
+            Box::new(remap_expr(b, map, eoff)),
+        ),
+        Expr::Sel(a, b) => Expr::Sel(
+            Box::new(remap_expr(a, map, eoff)),
+            Box::new(remap_expr(b, map, eoff)),
+        ),
+        Expr::Upd(a, b, c) => Expr::Upd(
+            Box::new(remap_expr(a, map, eoff)),
+            Box::new(remap_expr(b, map, eoff)),
+            Box::new(remap_expr(c, map, eoff)),
+        ),
+        Expr::Call(f, args) => Expr::Call(
+            f.clone(),
+            args.iter().map(|a| remap_expr(a, map, eoff)).collect(),
+        ),
+        Expr::Hole(h) => Expr::Hole(EHoleId(h.0 + eoff)),
+    }
+}
+
+fn remap_pred(p: &Pred, map: &[VarId], eoff: u32, poff: u32) -> Pred {
+    match p {
+        Pred::Bool(b) => Pred::Bool(*b),
+        Pred::Cmp(op, a, b) => Pred::Cmp(*op, remap_expr(a, map, eoff), remap_expr(b, map, eoff)),
+        Pred::And(ps) => Pred::And(ps.iter().map(|q| remap_pred(q, map, eoff, poff)).collect()),
+        Pred::Or(ps) => Pred::Or(ps.iter().map(|q| remap_pred(q, map, eoff, poff)).collect()),
+        Pred::Not(q) => Pred::Not(Box::new(remap_pred(q, map, eoff, poff))),
+        Pred::Call(f, args) => Pred::Call(
+            f.clone(),
+            args.iter().map(|a| remap_expr(a, map, eoff)).collect(),
+        ),
+        Pred::Hole(h) => Pred::Hole(PHoleId(h.0 + poff)),
+        Pred::Star => Pred::Star,
+    }
+}
+
+fn remap_stmt(s: &Stmt, map: &[VarId], loff: u32, eoff: u32, poff: u32) -> Stmt {
+    match s {
+        Stmt::Assign(pairs) => Stmt::Assign(
+            pairs
+                .iter()
+                .map(|(v, e)| (map[v.0 as usize], remap_expr(e, map, eoff)))
+                .collect(),
+        ),
+        Stmt::If(p, t, e) => Stmt::If(
+            remap_pred(p, map, eoff, poff),
+            t.iter().map(|s| remap_stmt(s, map, loff, eoff, poff)).collect(),
+            e.iter().map(|s| remap_stmt(s, map, loff, eoff, poff)).collect(),
+        ),
+        Stmt::While(id, p, body) => Stmt::While(
+            LoopId(id.0 + loff),
+            remap_pred(p, map, eoff, poff),
+            body.iter().map(|s| remap_stmt(s, map, loff, eoff, poff)).collect(),
+        ),
+        Stmt::Assume(p) => Stmt::Assume(remap_pred(p, map, eoff, poff)),
+        Stmt::Exit => Stmt::Exit,
+        Stmt::Skip => Stmt::Skip,
+    }
+}

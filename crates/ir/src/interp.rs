@@ -1,0 +1,363 @@
+//! A concrete interpreter for *closed* programs (no holes, no `*` guards).
+//!
+//! PINS uses it to validate synthesized inverses on concrete tests (the
+//! paper's Section 2.5 methodology), to drive the CEGIS baseline, and to
+//! cross-check the symbolic executor in property tests. External library
+//! functions are supplied as host closures through [`ExternEnv`], the
+//! executable counterpart of the axioms used during synthesis.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::*;
+
+/// Runtime values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Boolean (result of boolean externs).
+    Bool(bool),
+    /// Integer array as a sparse map (absent cells read 0).
+    Arr(BTreeMap<i64, i64>),
+    /// A sequence value, used for abstract data types (strings, serialized
+    /// objects): the executable counterpart of an uninterpreted sort.
+    Seq(Vec<Value>),
+}
+
+impl Value {
+    /// An empty array.
+    pub fn empty_arr() -> Value {
+        Value::Arr(BTreeMap::new())
+    }
+
+    /// Builds an array value from a slice (indices `0..len`).
+    pub fn arr_from(items: &[i64]) -> Value {
+        Value::Arr(items.iter().enumerate().map(|(i, &v)| (i as i64, v)).collect())
+    }
+
+    /// Extracts an integer.
+    pub fn as_int(&self) -> Result<i64, InterpError> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(InterpError::TypeError(format!("expected int, got {other:?}"))),
+        }
+    }
+
+    /// Extracts an array map.
+    pub fn as_arr(&self) -> Result<&BTreeMap<i64, i64>, InterpError> {
+        match self {
+            Value::Arr(m) => Ok(m),
+            other => Err(InterpError::TypeError(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Reads the first `n` elements of an array value.
+    pub fn arr_prefix(&self, n: i64) -> Result<Vec<i64>, InterpError> {
+        let m = self.as_arr()?;
+        Ok((0..n.max(0)).map(|i| m.get(&i).copied().unwrap_or(0)).collect())
+    }
+}
+
+/// Errors raised by interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// An `assume` evaluated to false: the run is outside the program's
+    /// precondition (or took an infeasible template path).
+    AssumeViolated,
+    /// The step budget was exhausted (probable divergence).
+    OutOfFuel,
+    /// The program contains an unknown hole; only closed programs run.
+    HoleInProgram,
+    /// A `*` guard was reached; only deterministic programs run.
+    NondetGuard,
+    /// A called external function has no host implementation.
+    MissingExtern(String),
+    /// A host extern or operation failed.
+    TypeError(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::AssumeViolated => write!(f, "assume violated"),
+            InterpError::OutOfFuel => write!(f, "out of fuel"),
+            InterpError::HoleInProgram => write!(f, "program contains an unresolved hole"),
+            InterpError::NondetGuard => write!(f, "nondeterministic guard in concrete run"),
+            InterpError::MissingExtern(n) => write!(f, "missing extern implementation: {n}"),
+            InterpError::TypeError(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+type ExternFn = Rc<dyn Fn(&[Value]) -> Result<Value, InterpError>>;
+
+/// Host implementations for external library functions.
+#[derive(Default, Clone)]
+pub struct ExternEnv {
+    fns: HashMap<String, ExternFn>,
+}
+
+impl fmt::Debug for ExternEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.fns.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        f.debug_struct("ExternEnv").field("fns", &names).finish()
+    }
+}
+
+impl ExternEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a host implementation for `name`.
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value, InterpError> + 'static,
+    ) {
+        self.fns.insert(name.to_owned(), Rc::new(f));
+    }
+
+    /// Invokes a registered extern directly (used by validation harnesses).
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::MissingExtern`] when no host implementation exists,
+    /// or whatever the host closure reports.
+    pub fn try_call(&self, name: &str, args: &[Value]) -> Result<Value, InterpError> {
+        self.call(name, args)
+    }
+
+    fn call(&self, name: &str, args: &[Value]) -> Result<Value, InterpError> {
+        match self.fns.get(name) {
+            Some(f) => f(args),
+            None => Err(InterpError::MissingExtern(name.to_owned())),
+        }
+    }
+}
+
+/// The variable store of a run.
+pub type Store = HashMap<VarId, Value>;
+
+enum Flow {
+    Normal,
+    Exited,
+}
+
+/// Runs `program` on `inputs` with the given extern environment and fuel
+/// (an upper bound on loop iterations + statements).
+///
+/// # Errors
+///
+/// See [`InterpError`]. Notably `AssumeViolated` when inputs are outside the
+/// precondition and `OutOfFuel` on divergence.
+pub fn run(
+    program: &Program,
+    inputs: &Store,
+    env: &ExternEnv,
+    fuel: u64,
+) -> Result<Store, InterpError> {
+    let mut store: Store = Store::new();
+    for (i, decl) in program.vars.iter().enumerate() {
+        let id = VarId(i as u32);
+        let v = inputs.get(&id).cloned().unwrap_or_else(|| default_value(&decl.ty));
+        store.insert(id, v);
+    }
+    let mut fuel = fuel;
+    exec_block(program, &program.body, &mut store, env, &mut fuel)?;
+    Ok(store)
+}
+
+fn default_value(ty: &Type) -> Value {
+    match ty {
+        Type::Int => Value::Int(0),
+        Type::IntArray => Value::empty_arr(),
+        Type::Abstract(_) => Value::Seq(Vec::new()),
+    }
+}
+
+fn exec_block(
+    p: &Program,
+    stmts: &[Stmt],
+    store: &mut Store,
+    env: &ExternEnv,
+    fuel: &mut u64,
+) -> Result<Flow, InterpError> {
+    for s in stmts {
+        match exec_stmt(p, s, store, env, fuel)? {
+            Flow::Normal => {}
+            Flow::Exited => return Ok(Flow::Exited),
+        }
+    }
+    Ok(Flow::Normal)
+}
+
+fn charge(fuel: &mut u64) -> Result<(), InterpError> {
+    if *fuel == 0 {
+        return Err(InterpError::OutOfFuel);
+    }
+    *fuel -= 1;
+    Ok(())
+}
+
+fn exec_stmt(
+    p: &Program,
+    s: &Stmt,
+    store: &mut Store,
+    env: &ExternEnv,
+    fuel: &mut u64,
+) -> Result<Flow, InterpError> {
+    charge(fuel)?;
+    match s {
+        Stmt::Assign(pairs) => {
+            let values: Vec<Value> = pairs
+                .iter()
+                .map(|(_, e)| eval_expr(p, e, store, env))
+                .collect::<Result<_, _>>()?;
+            for ((v, _), value) in pairs.iter().zip(values) {
+                store.insert(*v, value);
+            }
+            Ok(Flow::Normal)
+        }
+        Stmt::If(c, t, e) => {
+            if eval_pred(p, c, store, env)? {
+                exec_block(p, t, store, env, fuel)
+            } else {
+                exec_block(p, e, store, env, fuel)
+            }
+        }
+        Stmt::While(_, c, body) => {
+            while eval_pred(p, c, store, env)? {
+                charge(fuel)?;
+                match exec_block(p, body, store, env, fuel)? {
+                    Flow::Normal => {}
+                    Flow::Exited => return Ok(Flow::Exited),
+                }
+            }
+            Ok(Flow::Normal)
+        }
+        Stmt::Assume(c) => {
+            if eval_pred(p, c, store, env)? {
+                Ok(Flow::Normal)
+            } else {
+                Err(InterpError::AssumeViolated)
+            }
+        }
+        Stmt::Exit => Ok(Flow::Exited),
+        Stmt::Skip => Ok(Flow::Normal),
+    }
+}
+
+/// Evaluates an expression in a store.
+pub fn eval_expr(
+    p: &Program,
+    e: &Expr,
+    store: &Store,
+    env: &ExternEnv,
+) -> Result<Value, InterpError> {
+    match e {
+        Expr::Int(v) => Ok(Value::Int(*v)),
+        Expr::Var(v) => Ok(store
+            .get(v)
+            .cloned()
+            .unwrap_or_else(|| default_value(&p.var(*v).ty))),
+        Expr::Add(a, b) => {
+            let x = eval_expr(p, a, store, env)?.as_int()?;
+            let y = eval_expr(p, b, store, env)?.as_int()?;
+            Ok(Value::Int(x.wrapping_add(y)))
+        }
+        Expr::Sub(a, b) => {
+            let x = eval_expr(p, a, store, env)?.as_int()?;
+            let y = eval_expr(p, b, store, env)?.as_int()?;
+            Ok(Value::Int(x.wrapping_sub(y)))
+        }
+        Expr::Mul(a, b) => {
+            let x = eval_expr(p, a, store, env)?.as_int()?;
+            let y = eval_expr(p, b, store, env)?.as_int()?;
+            Ok(Value::Int(x.wrapping_mul(y)))
+        }
+        Expr::Sel(a, i) => {
+            let arr = eval_expr(p, a, store, env)?;
+            let idx = eval_expr(p, i, store, env)?.as_int()?;
+            Ok(Value::Int(arr.as_arr()?.get(&idx).copied().unwrap_or(0)))
+        }
+        Expr::Upd(a, i, v) => {
+            let arr = eval_expr(p, a, store, env)?;
+            let idx = eval_expr(p, i, store, env)?.as_int()?;
+            let val = eval_expr(p, v, store, env)?.as_int()?;
+            let mut m = arr.as_arr()?.clone();
+            m.insert(idx, val);
+            Ok(Value::Arr(m))
+        }
+        Expr::Call(f, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_expr(p, a, store, env))
+                .collect::<Result<_, _>>()?;
+            env.call(f, &vals)
+        }
+        Expr::Hole(_) => Err(InterpError::HoleInProgram),
+    }
+}
+
+/// Evaluates a predicate in a store.
+pub fn eval_pred(
+    p: &Program,
+    pr: &Pred,
+    store: &Store,
+    env: &ExternEnv,
+) -> Result<bool, InterpError> {
+    match pr {
+        Pred::Bool(b) => Ok(*b),
+        Pred::Cmp(op, a, b) => {
+            let x = eval_expr(p, a, store, env)?.as_int()?;
+            let y = eval_expr(p, b, store, env)?.as_int()?;
+            Ok(match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            })
+        }
+        Pred::And(items) => {
+            for q in items {
+                if !eval_pred(p, q, store, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Pred::Or(items) => {
+            for q in items {
+                if eval_pred(p, q, store, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Pred::Not(q) => Ok(!eval_pred(p, q, store, env)?),
+        Pred::Call(f, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_expr(p, a, store, env))
+                .collect::<Result<_, _>>()?;
+            match env.call(f, &vals)? {
+                Value::Bool(b) => Ok(b),
+                Value::Int(v) => Ok(v != 0),
+                other => Err(InterpError::TypeError(format!(
+                    "predicate {f} returned {other:?}"
+                ))),
+            }
+        }
+        Pred::Hole(_) => Err(InterpError::HoleInProgram),
+        Pred::Star => Err(InterpError::NondetGuard),
+    }
+}

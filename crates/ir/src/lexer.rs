@@ -1,0 +1,229 @@
+//! A hand-written lexer for the template DSL.
+
+use std::fmt;
+
+/// Lexical tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A hole name: `?e1`, `?p2`.
+    Hole(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Hole(s) => write!(f, "?{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Assign => write!(f, ":="),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+        }
+    }
+}
+
+/// A token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A lexing error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`. `//` starts a line comment.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned { token: $tok, line, col });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Token::LParen, 1),
+            ')' => push!(Token::RParen, 1),
+            '{' => push!(Token::LBrace, 1),
+            '}' => push!(Token::RBrace, 1),
+            '[' => push!(Token::LBracket, 1),
+            ']' => push!(Token::RBracket, 1),
+            ',' => push!(Token::Comma, 1),
+            ';' => push!(Token::Semi, 1),
+            '+' => push!(Token::Plus, 1),
+            '-' => push!(Token::Minus, 1),
+            '*' => push!(Token::Star, 1),
+            ':' if next == Some('=') => push!(Token::Assign, 2),
+            ':' => push!(Token::Colon, 1),
+            '=' if next == Some('=') => push!(Token::Eq, 2),
+            '=' => push!(Token::Eq, 1),
+            '!' if next == Some('=') => push!(Token::Ne, 2),
+            '!' => push!(Token::Bang, 1),
+            '<' if next == Some('=') => push!(Token::Le, 2),
+            '<' => push!(Token::Lt, 1),
+            '>' if next == Some('=') => push!(Token::Ge, 2),
+            '>' => push!(Token::Gt, 1),
+            '&' if next == Some('&') => push!(Token::AndAnd, 2),
+            '|' if next == Some('|') => push!(Token::OrOr, 2),
+            '?' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError {
+                        message: "expected hole name after '?'".into(),
+                        line,
+                        col,
+                    });
+                }
+                let name: String = chars[start..j].iter().collect();
+                let len = j - i;
+                push!(Token::Hole(name), len);
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| LexError {
+                    message: format!("integer literal out of range: {text}"),
+                    line,
+                    col,
+                })?;
+                let len = j - i;
+                push!(Token::Int(value), len);
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let name: String = chars[start..j].iter().collect();
+                let len = j - i;
+                push!(Token::Ident(name), len);
+            }
+            _ => {
+                return Err(LexError {
+                    message: format!("unexpected character {c:?}"),
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,47 @@
+//! The PINS template language (Section 2.1 of the paper): AST, a readable
+//! DSL with parser and pretty printer, and a concrete interpreter.
+//!
+//! Programs consist of parallel assignments, (sugar-level) conditionals and
+//! loops, `assume`, `exit`, and expressions with array `sel`/`upd`, external
+//! calls, and *unknown holes* (`?e1`, `?p1`) that the PINS engine fills in
+//! from candidate sets.
+//!
+//! # Example
+//!
+//! ```
+//! use pins_ir::{parse_program, program_to_string};
+//!
+//! let src = r#"
+//! proc double(in n: int, out m: int) {
+//!   local i: int;
+//!   i := 0; m := 0;
+//!   while (i < n) {
+//!     m, i := m + 2, i + 1;
+//!   }
+//! }
+//! "#;
+//! let p = parse_program(src).unwrap();
+//! assert_eq!(p.num_loops, 1);
+//! // the printer round-trips through the parser
+//! let printed = program_to_string(&p);
+//! let p2 = parse_program(&printed).unwrap();
+//! assert_eq!(p, p2);
+//! ```
+
+mod ast;
+mod interp;
+mod lexer;
+mod parser;
+mod printer;
+
+pub use ast::{
+    CmpOp, EHoleId, Expr, ExternDecl, LoopId, Mode, PHoleId, Pred, Program, Stmt, Type, VarDecl,
+    VarId,
+};
+pub use interp::{eval_expr, eval_pred, run, ExternEnv, InterpError, Store, Value};
+pub use lexer::{lex, LexError, Spanned, Token};
+pub use parser::{parse_expr_in, parse_pred_in, parse_program, ParseError};
+pub use printer::{expr_to_string, pred_to_string, program_to_string};
+
+#[cfg(test)]
+mod tests;

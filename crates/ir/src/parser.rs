@@ -1,0 +1,625 @@
+//! Recursive-descent parser for the template DSL.
+//!
+//! ```text
+//! program  := extern* proc
+//! extern   := "extern" NAME "(" type,* ")" ":" type ";"
+//! proc     := "proc" NAME "(" param,* ")" block
+//! param    := ("in"|"out"|"inout") NAME ":" type
+//! type     := "int" | "int[]" | "bool" | NAME        (capitalised = abstract)
+//! block    := "{" stmt* "}"
+//! stmt     := "local" NAME ":" type ("," NAME ":" type)* ";"
+//!           | "assume" "(" pred ")" ";"
+//!           | "exit" ";" | "skip" ";"
+//!           | "while" "(" pred ")" block
+//!           | "if" "(" pred ")" block ("else" block)?
+//!           | lval,+ ":=" expr,+ ";"
+//! lval     := NAME | NAME "[" expr "]"
+//! pred     := conj ("||" conj)*
+//! conj     := punit ("&&" punit)*
+//! punit    := "!" punit | "*" | "true" | "false" | ?HOLE
+//!           | cmp | "(" pred ")" | callpred
+//! cmp      := expr (= | != | < | <= | > | >=) expr
+//! expr     := term (("+"|"-") term)*
+//! term     := unary ("*" unary)*
+//! unary    := "-" unary | atom
+//! atom     := INT | NAME | NAME "(" expr,* ")" | NAME "[" expr "]"
+//!           | "upd" "(" expr "," expr "," expr ")" | ?HOLE | "(" expr ")"
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Spanned, Token};
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line (0 for end of input).
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line, col: e.col }
+    }
+}
+
+/// Parses a complete program from DSL source.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with source position on malformed input,
+/// undeclared variables, or type mismatches detectable at parse time.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        program: Program::default(),
+        vars: HashMap::new(),
+        eholes: HashMap::new(),
+        pholes: HashMap::new(),
+    };
+    p.program()?;
+    Ok(p.program)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    program: Program,
+    vars: HashMap<String, VarId>,
+    eholes: HashMap<String, EHoleId>,
+    pholes: HashMap<String, PHoleId>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self
+            .tokens
+            .get(self.pos)
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0));
+        ParseError { message: message.into(), line, col }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected `{expected}`, found `{t}`"))),
+            None => Err(self.err(format!("expected `{expected}`, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(&mut self) -> Result<(), ParseError> {
+        while self.eat_keyword("extern") {
+            self.extern_decl()?;
+        }
+        if !self.eat_keyword("proc") {
+            return Err(self.err("expected `proc`"));
+        }
+        self.program.name = self.expect_ident()?;
+        self.expect(&Token::LParen)?;
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                self.param()?;
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let body = self.block()?;
+        self.program.body = body;
+        if self.pos != self.tokens.len() {
+            return Err(self.err("trailing input after procedure body"));
+        }
+        Ok(())
+    }
+
+    fn extern_decl(&mut self) -> Result<(), ParseError> {
+        let name = self.expect_ident()?;
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.ty()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::Colon)?;
+        let (ret, returns_bool) = if self.eat_keyword("bool") {
+            (Type::Int, true)
+        } else {
+            (self.ty()?, false)
+        };
+        self.expect(&Token::Semi)?;
+        self.program.externs.push(ExternDecl { name, args, ret, returns_bool });
+        Ok(())
+    }
+
+    fn param(&mut self) -> Result<(), ParseError> {
+        let mode = if self.eat_keyword("inout") {
+            Mode::InOut
+        } else if self.eat_keyword("in") {
+            Mode::In
+        } else if self.eat_keyword("out") {
+            Mode::Out
+        } else {
+            return Err(self.err("expected parameter mode `in`, `out`, or `inout`"));
+        };
+        let name = self.expect_ident()?;
+        self.expect(&Token::Colon)?;
+        let ty = self.ty()?;
+        if self.vars.contains_key(&name) {
+            return Err(self.err(format!("duplicate parameter {name}")));
+        }
+        let id = self.program.add_local(&name, ty);
+        self.program.params.push((id, mode));
+        self.vars.insert(name, id);
+        Ok(())
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let name = self.expect_ident()?;
+        if name == "int" {
+            if self.peek() == Some(&Token::LBracket) {
+                self.pos += 1;
+                self.expect(&Token::RBracket)?;
+                Ok(Type::IntArray)
+            } else {
+                Ok(Type::Int)
+            }
+        } else {
+            Ok(Type::Abstract(name))
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated block"));
+            }
+            if let Some(s) = self.stmt()? {
+                stmts.push(s);
+            }
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Option<Stmt>, ParseError> {
+        if self.eat_keyword("local") {
+            loop {
+                let name = self.expect_ident()?;
+                self.expect(&Token::Colon)?;
+                let ty = self.ty()?;
+                if self.vars.contains_key(&name) {
+                    return Err(self.err(format!("duplicate variable {name}")));
+                }
+                let id = self.program.add_local(&name, ty);
+                self.vars.insert(name, id);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Token::Semi)?;
+            return Ok(None);
+        }
+        if self.eat_keyword("assume") {
+            self.expect(&Token::LParen)?;
+            let p = self.pred()?;
+            self.expect(&Token::RParen)?;
+            self.expect(&Token::Semi)?;
+            return Ok(Some(Stmt::Assume(p)));
+        }
+        if self.eat_keyword("exit") {
+            self.expect(&Token::Semi)?;
+            return Ok(Some(Stmt::Exit));
+        }
+        if self.eat_keyword("skip") {
+            self.expect(&Token::Semi)?;
+            return Ok(Some(Stmt::Skip));
+        }
+        if self.eat_keyword("while") {
+            self.expect(&Token::LParen)?;
+            let p = self.pred()?;
+            self.expect(&Token::RParen)?;
+            let id = LoopId(self.program.num_loops);
+            self.program.num_loops += 1;
+            let body = self.block()?;
+            return Ok(Some(Stmt::While(id, p, body)));
+        }
+        if self.eat_keyword("if") {
+            self.expect(&Token::LParen)?;
+            let p = self.pred()?;
+            self.expect(&Token::RParen)?;
+            let then_body = self.block()?;
+            let else_body = if self.eat_keyword("else") {
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Some(Stmt::If(p, then_body, else_body)));
+        }
+        // assignment: lval-list := expr-list
+        let mut lvals: Vec<(VarId, Option<Expr>)> = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let var = *self
+                .vars
+                .get(&name)
+                .ok_or_else(|| self.err(format!("undeclared variable {name}")))?;
+            if self.peek() == Some(&Token::LBracket) {
+                self.pos += 1;
+                let idx = self.expr()?;
+                self.expect(&Token::RBracket)?;
+                lvals.push((var, Some(idx)));
+            } else {
+                lvals.push((var, None));
+            }
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(&Token::Assign)?;
+        let mut rhss = Vec::new();
+        loop {
+            rhss.push(self.expr()?);
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(&Token::Semi)?;
+        if lvals.len() != rhss.len() {
+            return Err(self.err(format!(
+                "parallel assignment arity mismatch: {} targets, {} expressions",
+                lvals.len(),
+                rhss.len()
+            )));
+        }
+        let pairs = lvals
+            .into_iter()
+            .zip(rhss)
+            .map(|((var, idx), rhs)| match idx {
+                None => (var, rhs),
+                Some(i) => (
+                    var,
+                    Expr::Upd(Box::new(Expr::Var(var)), Box::new(i), Box::new(rhs)),
+                ),
+            })
+            .collect();
+        Ok(Some(Stmt::Assign(pairs)))
+    }
+
+    // ---- predicates -------------------------------------------------------
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        let mut items = vec![self.conj()?];
+        while self.peek() == Some(&Token::OrOr) {
+            self.pos += 1;
+            items.push(self.conj()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Pred::Or(items)
+        })
+    }
+
+    fn conj(&mut self) -> Result<Pred, ParseError> {
+        let mut items = vec![self.punit()?];
+        while self.peek() == Some(&Token::AndAnd) {
+            self.pos += 1;
+            items.push(self.punit()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Pred::And(items)
+        })
+    }
+
+    fn punit(&mut self) -> Result<Pred, ParseError> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.pos += 1;
+                Ok(Pred::Not(Box::new(self.punit()?)))
+            }
+            Some(Token::Star) => {
+                self.pos += 1;
+                Ok(Pred::Star)
+            }
+            Some(Token::Ident(s)) if s == "true" => {
+                self.pos += 1;
+                Ok(Pred::Bool(true))
+            }
+            Some(Token::Ident(s)) if s == "false" => {
+                self.pos += 1;
+                Ok(Pred::Bool(false))
+            }
+            Some(Token::Hole(name)) if name.starts_with('p') => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(Pred::Hole(self.phole(&name)))
+            }
+            Some(Token::LParen) => {
+                // backtrack point: try comparison first, else parenthesised pred
+                let save = self.pos;
+                if let Ok(p) = self.try_cmp() {
+                    return Ok(p);
+                }
+                self.pos = save;
+                self.expect(&Token::LParen)?;
+                let p = self.pred()?;
+                self.expect(&Token::RParen)?;
+                Ok(p)
+            }
+            _ => self.try_cmp(),
+        }
+    }
+
+    fn try_cmp(&mut self) -> Result<Pred, ParseError> {
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            _ => {
+                // a boolean extern call used as a predicate
+                if let Expr::Call(name, args) = &lhs {
+                    if self
+                        .program
+                        .extern_by_name(name)
+                        .is_some_and(|e| e.returns_bool)
+                    {
+                        return Ok(Pred::Call(name.clone(), args.clone()));
+                    }
+                }
+                return Err(self.err("expected comparison operator"));
+            }
+        };
+        self.pos += 1;
+        let rhs = self.expr()?;
+        Ok(Pred::Cmp(op, lhs, rhs))
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Some(Token::Minus) => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Expr::Int(v) => Expr::Int(-v),
+                e => Expr::Sub(Box::new(Expr::Int(0)), Box::new(e)),
+            });
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::Hole(name)) if name.starts_with('e') => Ok(Expr::Hole(self.ehole(&name))),
+            Some(Token::Hole(name)) => Err(self.err(format!(
+                "hole ?{name} used in expression position (expression holes start with 'e')"
+            ))),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) if name == "upd" => {
+                self.expect(&Token::LParen)?;
+                let a = self.expr()?;
+                self.expect(&Token::Comma)?;
+                let i = self.expr()?;
+                self.expect(&Token::Comma)?;
+                let v = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Upd(Box::new(a), Box::new(i), Box::new(v)))
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    // call
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == Some(&Token::Comma) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    if self.program.extern_by_name(&name).is_none() {
+                        return Err(self.err(format!("call to undeclared function {name}")));
+                    }
+                    return Ok(Expr::Call(name, args));
+                }
+                let var = *self
+                    .vars
+                    .get(&name)
+                    .ok_or_else(|| self.err(format!("undeclared variable {name}")))?;
+                let mut e = Expr::Var(var);
+                while self.peek() == Some(&Token::LBracket) {
+                    self.pos += 1;
+                    let idx = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    e = Expr::Sel(Box::new(e), Box::new(idx));
+                }
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn ehole(&mut self, name: &str) -> EHoleId {
+        if let Some(&id) = self.eholes.get(name) {
+            return id;
+        }
+        let id = EHoleId(self.program.num_eholes);
+        self.program.num_eholes += 1;
+        self.program.ehole_names.push(name.to_owned());
+        self.eholes.insert(name.to_owned(), id);
+        id
+    }
+
+    fn phole(&mut self, name: &str) -> PHoleId {
+        if let Some(&id) = self.pholes.get(name) {
+            return id;
+        }
+        let id = PHoleId(self.program.num_pholes);
+        self.program.num_pholes += 1;
+        self.program.phole_names.push(name.to_owned());
+        self.pholes.insert(name.to_owned(), id);
+        id
+    }
+}
+
+/// Parses a single expression against an existing program's variable table
+/// (used to read candidate-set entries for Δe).
+pub fn parse_expr_in(program: &Program, src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let vars = program
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.name.clone(), VarId(i as u32)))
+        .collect();
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        program: program.clone(),
+        vars,
+        eholes: HashMap::new(),
+        pholes: HashMap::new(),
+    };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+/// Parses a single predicate against an existing program's variable table
+/// (used to read candidate-set entries for Δp).
+pub fn parse_pred_in(program: &Program, src: &str) -> Result<Pred, ParseError> {
+    let tokens = lex(src)?;
+    let vars = program
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.name.clone(), VarId(i as u32)))
+        .collect();
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        program: program.clone(),
+        vars,
+        eholes: HashMap::new(),
+        pholes: HashMap::new(),
+    };
+    let e = p.pred()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing input after predicate"));
+    }
+    Ok(e)
+}

@@ -1,0 +1,288 @@
+//! Pretty-printing of programs back to DSL syntax (round-trips through the
+//! parser).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders an expression to DSL syntax.
+pub fn expr_to_string(p: &Program, e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(p, e, &mut s, 0);
+    s
+}
+
+/// Renders a predicate to DSL syntax.
+pub fn pred_to_string(p: &Program, pr: &Pred) -> String {
+    let mut s = String::new();
+    write_pred(p, pr, &mut s, 0);
+    s
+}
+
+/// Renders a whole program to DSL syntax.
+pub fn program_to_string(p: &Program) -> String {
+    let mut s = String::new();
+    for e in &p.externs {
+        let args: Vec<String> = e.args.iter().map(ty_str).collect();
+        let ret = if e.returns_bool { "bool".to_owned() } else { ty_str(&e.ret) };
+        let _ = writeln!(s, "extern {}({}): {};", e.name, args.join(", "), ret);
+    }
+    let params: Vec<String> = p
+        .params
+        .iter()
+        .map(|&(v, m)| {
+            let mode = match m {
+                Mode::In => "in",
+                Mode::Out => "out",
+                Mode::InOut => "inout",
+            };
+            format!("{} {}: {}", mode, p.var(v).name, ty_str(&p.var(v).ty))
+        })
+        .collect();
+    let _ = writeln!(s, "proc {}({}) {{", p.name, params.join(", "));
+    let param_ids: Vec<VarId> = p.params.iter().map(|&(v, _)| v).collect();
+    let locals: Vec<String> = p
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !param_ids.contains(&VarId(*i as u32)))
+        .map(|(_, v)| format!("{}: {}", v.name, ty_str(&v.ty)))
+        .collect();
+    if !locals.is_empty() {
+        let _ = writeln!(s, "  local {};", locals.join(", "));
+    }
+    for st in &p.body {
+        write_stmt(p, st, &mut s, 1);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn ty_str(t: &Type) -> String {
+    match t {
+        Type::Int => "int".to_owned(),
+        Type::IntArray => "int[]".to_owned(),
+        Type::Abstract(n) => n.clone(),
+    }
+}
+
+fn indent(s: &mut String, depth: usize) {
+    for _ in 0..depth {
+        s.push_str("  ");
+    }
+}
+
+fn write_stmt(p: &Program, st: &Stmt, s: &mut String, depth: usize) {
+    match st {
+        Stmt::Assign(pairs) => {
+            indent(s, depth);
+            // array-store sugar: single pair (A, upd(A, i, v)) prints A[i] := v
+            if let [(v, Expr::Upd(base, i, val))] = pairs.as_slice() {
+                if **base == Expr::Var(*v) {
+                    let _ = write!(s, "{}[", p.var(*v).name);
+                    write_expr(p, i, s, 0);
+                    s.push_str("] := ");
+                    write_expr(p, val, s, 0);
+                    s.push_str(";\n");
+                    return;
+                }
+            }
+            let lhs: Vec<&str> = pairs.iter().map(|(v, _)| p.var(*v).name.as_str()).collect();
+            let _ = write!(s, "{} := ", lhs.join(", "));
+            for (i, (_, e)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_expr(p, e, s, 0);
+            }
+            s.push_str(";\n");
+        }
+        Stmt::If(c, t, e) => {
+            indent(s, depth);
+            s.push_str("if (");
+            write_pred(p, c, s, 0);
+            s.push_str(") {\n");
+            for st in t {
+                write_stmt(p, st, s, depth + 1);
+            }
+            indent(s, depth);
+            s.push('}');
+            if !e.is_empty() {
+                s.push_str(" else {\n");
+                for st in e {
+                    write_stmt(p, st, s, depth + 1);
+                }
+                indent(s, depth);
+                s.push('}');
+            }
+            s.push('\n');
+        }
+        Stmt::While(_, c, body) => {
+            indent(s, depth);
+            s.push_str("while (");
+            write_pred(p, c, s, 0);
+            s.push_str(") {\n");
+            for st in body {
+                write_stmt(p, st, s, depth + 1);
+            }
+            indent(s, depth);
+            s.push_str("}\n");
+        }
+        Stmt::Assume(c) => {
+            indent(s, depth);
+            s.push_str("assume(");
+            write_pred(p, c, s, 0);
+            s.push_str(");\n");
+        }
+        Stmt::Exit => {
+            indent(s, depth);
+            s.push_str("exit;\n");
+        }
+        Stmt::Skip => {
+            indent(s, depth);
+            s.push_str("skip;\n");
+        }
+    }
+}
+
+/// Precedence levels: 0 = additive context, 1 = multiplicative, 2 = atom.
+fn write_expr(p: &Program, e: &Expr, s: &mut String, prec: u8) {
+    match e {
+        Expr::Int(v) => {
+            let _ = write!(s, "{v}");
+        }
+        Expr::Var(v) => s.push_str(&p.var(*v).name),
+        Expr::Add(a, b) => {
+            if prec > 0 {
+                s.push('(');
+            }
+            write_expr(p, a, s, 0);
+            s.push_str(" + ");
+            write_expr(p, b, s, 1);
+            if prec > 0 {
+                s.push(')');
+            }
+        }
+        Expr::Sub(a, b) => {
+            if prec > 0 {
+                s.push('(');
+            }
+            write_expr(p, a, s, 0);
+            s.push_str(" - ");
+            write_expr(p, b, s, 1);
+            if prec > 0 {
+                s.push(')');
+            }
+        }
+        Expr::Mul(a, b) => {
+            if prec > 1 {
+                s.push('(');
+            }
+            write_expr(p, a, s, 1);
+            s.push_str(" * ");
+            write_expr(p, b, s, 2);
+            if prec > 1 {
+                s.push(')');
+            }
+        }
+        Expr::Sel(a, i) => {
+            write_expr(p, a, s, 2);
+            s.push('[');
+            write_expr(p, i, s, 0);
+            s.push(']');
+        }
+        Expr::Upd(a, i, v) => {
+            s.push_str("upd(");
+            write_expr(p, a, s, 0);
+            s.push_str(", ");
+            write_expr(p, i, s, 0);
+            s.push_str(", ");
+            write_expr(p, v, s, 0);
+            s.push(')');
+        }
+        Expr::Call(f, args) => {
+            s.push_str(f);
+            s.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_expr(p, a, s, 0);
+            }
+            s.push(')');
+        }
+        Expr::Hole(h) => {
+            let _ = write!(s, "?{}", p.ehole_names[h.0 as usize]);
+        }
+    }
+}
+
+fn write_pred(p: &Program, pr: &Pred, s: &mut String, prec: u8) {
+    match pr {
+        Pred::Bool(b) => {
+            let _ = write!(s, "{b}");
+        }
+        Pred::Cmp(op, a, b) => {
+            write_expr(p, a, s, 0);
+            let sym = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            let _ = write!(s, " {sym} ");
+            write_expr(p, b, s, 0);
+        }
+        Pred::And(items) => {
+            if prec > 1 {
+                s.push('(');
+            }
+            for (i, q) in items.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(" && ");
+                }
+                write_pred(p, q, s, 2);
+            }
+            if prec > 1 {
+                s.push(')');
+            }
+        }
+        Pred::Or(items) => {
+            if prec > 0 {
+                s.push('(');
+            }
+            for (i, q) in items.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(" || ");
+                }
+                write_pred(p, q, s, 1);
+            }
+            if prec > 0 {
+                s.push(')');
+            }
+        }
+        Pred::Not(q) => {
+            s.push('!');
+            s.push('(');
+            write_pred(p, q, s, 0);
+            s.push(')');
+        }
+        Pred::Call(f, args) => {
+            s.push_str(f);
+            s.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_expr(p, a, s, 0);
+            }
+            s.push(')');
+        }
+        Pred::Hole(h) => {
+            let _ = write!(s, "?{}", p.phole_names[h.0 as usize]);
+        }
+        Pred::Star => s.push('*'),
+    }
+}

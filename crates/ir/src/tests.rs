@@ -1,0 +1,310 @@
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use crate::*;
+
+const RUNLENGTH: &str = r#"
+proc runlength(inout A: int[], in n: int, out N: int[], out m: int) {
+  local i: int, r: int;
+  assume(n >= 0);
+  i := 0; m := 0;
+  while (i < n) {
+    r := 1;
+    while (i + 1 < n && A[i] = A[i + 1]) {
+      r, i := r + 1, i + 1;
+    }
+    A[m] := A[i];
+    N[m] := r;
+    m, i := m + 1, i + 1;
+  }
+}
+"#;
+
+const RL_INVERSE_TEMPLATE: &str = r#"
+proc rl_inverse(in A: int[], in N: int[], in m: int, out AI: int[], out iI: int) {
+  local mI: int, rI: int;
+  iI, mI := ?e1, ?e2;
+  while (?p1) {
+    rI := ?e3;
+    while (?p2) {
+      rI, iI, AI := ?e4, ?e5, ?e6;
+    }
+    mI := ?e7;
+  }
+}
+"#;
+
+#[test]
+fn parses_runlength() {
+    let p = parse_program(RUNLENGTH).unwrap();
+    assert_eq!(p.name, "runlength");
+    assert_eq!(p.num_loops, 2);
+    assert_eq!(p.params.len(), 4);
+    assert_eq!(p.inputs().len(), 2); // A, n
+    assert_eq!(p.outputs().len(), 3); // A, N, m
+    assert_eq!(p.num_eholes, 0);
+    assert_eq!(p.num_pholes, 0);
+}
+
+#[test]
+fn parses_template_with_holes() {
+    let p = parse_program(RL_INVERSE_TEMPLATE).unwrap();
+    assert_eq!(p.num_eholes, 7);
+    assert_eq!(p.num_pholes, 2);
+    assert_eq!(p.ehole_names[0], "e1");
+    assert_eq!(p.phole_names[1], "p2");
+}
+
+#[test]
+fn printer_round_trips() {
+    for src in [RUNLENGTH, RL_INVERSE_TEMPLATE] {
+        let p = parse_program(src).unwrap();
+        let printed = program_to_string(&p);
+        let p2 = parse_program(&printed).unwrap_or_else(|e| {
+            panic!("reparse failed: {e}\n--- printed ---\n{printed}")
+        });
+        assert_eq!(p, p2, "round trip mismatch for\n{printed}");
+    }
+}
+
+#[test]
+fn concat_merges_variables_by_name() {
+    let p = parse_program(RUNLENGTH).unwrap();
+    let t = parse_program(RL_INVERSE_TEMPLATE).unwrap();
+    let (c, map, loop_off) = p.concat(&t);
+    // A, N, m are shared
+    assert_eq!(map[0], p.var_by_name("A").unwrap());
+    assert_eq!(loop_off, 2);
+    assert_eq!(c.num_loops, 4);
+    assert_eq!(c.num_eholes, 7);
+    // names resolve uniquely in the combined program
+    assert!(c.var_by_name("iI").is_some());
+    assert!(c.var_by_name("i").is_some());
+}
+
+#[test]
+fn parse_errors_have_positions() {
+    let err = parse_program("proc f(in x: int) { y := 1; }").unwrap_err();
+    assert!(err.message.contains("undeclared variable y"), "{err}");
+    assert!(err.line >= 1);
+}
+
+#[test]
+fn arity_mismatch_rejected() {
+    let err = parse_program("proc f(in x: int, out y: int) { y, x := 1; }").unwrap_err();
+    assert!(err.message.contains("arity"), "{err}");
+}
+
+#[test]
+fn extern_calls_type_checked_at_parse() {
+    let src = r#"
+extern strlen(Str): int;
+proc f(in s: Str, out n: int) {
+  n := strlen(s);
+}
+"#;
+    let p = parse_program(src).unwrap();
+    assert_eq!(p.externs.len(), 1);
+    let bad = r#"proc f(in s: Str, out n: int) { n := strlen(s); }"#;
+    assert!(parse_program(bad).is_err());
+}
+
+// ---------------- interpreter ----------------
+
+fn run_runlength(input: &[i64]) -> (Vec<i64>, Vec<i64>, i64) {
+    let p = parse_program(RUNLENGTH).unwrap();
+    let mut inputs = Store::new();
+    inputs.insert(p.var_by_name("A").unwrap(), Value::arr_from(input));
+    inputs.insert(p.var_by_name("n").unwrap(), Value::Int(input.len() as i64));
+    let out = run(&p, &inputs, &ExternEnv::new(), 100_000).unwrap();
+    let m = out[&p.var_by_name("m").unwrap()].as_int().unwrap();
+    let a = out[&p.var_by_name("A").unwrap()].arr_prefix(m).unwrap();
+    let n = out[&p.var_by_name("N").unwrap()].arr_prefix(m).unwrap();
+    (a, n, m)
+}
+
+#[test]
+fn runlength_compresses() {
+    let (a, n, m) = run_runlength(&[5, 5, 5, 7, 7, 2]);
+    assert_eq!(m, 3);
+    assert_eq!(a, vec![5, 7, 2]);
+    assert_eq!(n, vec![3, 2, 1]);
+}
+
+#[test]
+fn runlength_empty_input() {
+    let (a, n, m) = run_runlength(&[]);
+    assert_eq!(m, 0);
+    assert!(a.is_empty() && n.is_empty());
+}
+
+#[test]
+fn runlength_single_element() {
+    let (a, n, m) = run_runlength(&[9]);
+    assert_eq!(m, 1);
+    assert_eq!(a, vec![9]);
+    assert_eq!(n, vec![1]);
+}
+
+#[test]
+fn assume_violation_reported() {
+    let p = parse_program(RUNLENGTH).unwrap();
+    let mut inputs = Store::new();
+    inputs.insert(p.var_by_name("n").unwrap(), Value::Int(-1));
+    let err = run(&p, &inputs, &ExternEnv::new(), 1000).unwrap_err();
+    assert_eq!(err, InterpError::AssumeViolated);
+}
+
+#[test]
+fn fuel_exhaustion_detected() {
+    let src = r#"
+proc spin(in n: int, out x: int) {
+  x := 0;
+  while (0 < 1) { x := x + 1; }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let err = run(&p, &Store::new(), &ExternEnv::new(), 500).unwrap_err();
+    assert_eq!(err, InterpError::OutOfFuel);
+}
+
+#[test]
+fn holes_do_not_execute() {
+    let p = parse_program(RL_INVERSE_TEMPLATE).unwrap();
+    let err = run(&p, &Store::new(), &ExternEnv::new(), 1000).unwrap_err();
+    assert_eq!(err, InterpError::HoleInProgram);
+}
+
+#[test]
+fn externs_execute_via_host_closures() {
+    let src = r#"
+extern strlen(Str): int;
+proc f(in s: Str, out n: int) {
+  n := strlen(s);
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let mut env = ExternEnv::new();
+    env.register("strlen", |args| match &args[0] {
+        Value::Seq(items) => Ok(Value::Int(items.len() as i64)),
+        other => Err(InterpError::TypeError(format!("strlen on {other:?}"))),
+    });
+    let mut inputs = Store::new();
+    inputs.insert(
+        p.var_by_name("s").unwrap(),
+        Value::Seq(vec![Value::Int(104), Value::Int(105)]),
+    );
+    let out = run(&p, &inputs, &env, 1000).unwrap();
+    assert_eq!(out[&p.var_by_name("n").unwrap()], Value::Int(2));
+}
+
+#[test]
+fn parallel_assignment_is_simultaneous() {
+    let src = r#"
+proc swap(inout x: int, inout y: int) {
+  x, y := y, x;
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let mut inputs = Store::new();
+    inputs.insert(p.var_by_name("x").unwrap(), Value::Int(1));
+    inputs.insert(p.var_by_name("y").unwrap(), Value::Int(2));
+    let out = run(&p, &inputs, &ExternEnv::new(), 100).unwrap();
+    assert_eq!(out[&p.var_by_name("x").unwrap()], Value::Int(2));
+    assert_eq!(out[&p.var_by_name("y").unwrap()], Value::Int(1));
+}
+
+#[test]
+fn exit_stops_execution() {
+    let src = r#"
+proc f(out x: int) {
+  x := 1;
+  exit;
+  x := 2;
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let out = run(&p, &Store::new(), &ExternEnv::new(), 100).unwrap();
+    assert_eq!(out[&p.var_by_name("x").unwrap()], Value::Int(1));
+}
+
+#[test]
+fn array_store_sugar_and_upd_agree() {
+    let src1 = r#"
+proc f(inout A: int[]) {
+  A[3] := 7;
+}
+"#;
+    let src2 = r#"
+proc f(inout A: int[]) {
+  A := upd(A, 3, 7);
+}
+"#;
+    let p1 = parse_program(src1).unwrap();
+    let p2 = parse_program(src2).unwrap();
+    let out1 = run(&p1, &Store::new(), &ExternEnv::new(), 100).unwrap();
+    let out2 = run(&p2, &Store::new(), &ExternEnv::new(), 100).unwrap();
+    let a1 = out1[&p1.var_by_name("A").unwrap()].clone();
+    let a2 = out2[&p2.var_by_name("A").unwrap()].clone();
+    assert_eq!(a1, a2);
+    let mut expect = BTreeMap::new();
+    expect.insert(3, 7);
+    assert_eq!(a1, Value::Arr(expect));
+}
+
+#[test]
+fn parse_expr_in_existing_program() {
+    let p = parse_program(RUNLENGTH).unwrap();
+    let e = parse_expr_in(&p, "m + 1").unwrap();
+    assert_eq!(
+        e,
+        Expr::Add(
+            Box::new(Expr::Var(p.var_by_name("m").unwrap())),
+            Box::new(Expr::Int(1))
+        )
+    );
+    let pr = parse_pred_in(&p, "r > 0").unwrap();
+    assert!(matches!(pr, Pred::Cmp(CmpOp::Gt, _, _)));
+}
+
+#[test]
+fn nested_pred_parens_parse() {
+    let p = parse_program(RUNLENGTH).unwrap();
+    let pr = parse_pred_in(&p, "(i < n) && (r > 0 || !(m = 0))").unwrap();
+    assert!(matches!(pr, Pred::And(_)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn runlength_output_is_consistent(input in prop::collection::vec(0i64..4, 0..24)) {
+        // decompressing the compressor's output by hand reproduces the input
+        let (vals, counts, m) = run_runlength(&input);
+        prop_assert_eq!(vals.len(), m as usize);
+        let mut rebuilt = Vec::new();
+        for (v, c) in vals.iter().zip(&counts) {
+            prop_assert!(*c >= 1);
+            for _ in 0..*c {
+                rebuilt.push(*v);
+            }
+        }
+        prop_assert_eq!(rebuilt, input);
+    }
+
+    #[test]
+    fn printer_parser_round_trip_on_rl_variants(seed in 0u64..1000) {
+        // perturb the run-length program with extra skip/assume statements
+        let mut src = String::from(RUNLENGTH);
+        if seed % 2 == 0 {
+            src = src.replace("r := 1;", "r := 1; skip;");
+        }
+        if seed % 3 == 0 {
+            src = src.replace("i := 0; m := 0;", "i, m := 0, 0; assume(true);");
+        }
+        let p = parse_program(&src).unwrap();
+        let printed = program_to_string(&p);
+        let p2 = parse_program(&printed).unwrap();
+        prop_assert_eq!(p, p2);
+    }
+}

@@ -1,0 +1,92 @@
+//! S-expression pretty printing of terms for debugging and logging.
+
+use std::fmt;
+
+use crate::term::{Term, TermArena, TermId, BOUND_VERSION};
+
+/// A display adapter printing a term as an s-expression.
+///
+/// ```
+/// use pins_logic::{TermArena, Sort};
+/// let mut a = TermArena::new();
+/// let x = a.sym("x");
+/// let vx = a.mk_var(x, 1, Sort::Int);
+/// let one = a.mk_int(1);
+/// let t = a.mk_add(vx, one);
+/// assert_eq!(a.display(t).to_string(), "(+ x@1 1)");
+/// ```
+pub struct TermDisplay<'a> {
+    arena: &'a TermArena,
+    id: TermId,
+}
+
+impl TermArena {
+    /// Returns a [`TermDisplay`] adapter for `id`.
+    pub fn display(&self, id: TermId) -> TermDisplay<'_> {
+        TermDisplay { arena: self, id }
+    }
+}
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_term(self.arena, self.id, f)
+    }
+}
+
+fn write_list(
+    arena: &TermArena,
+    op: &str,
+    kids: &[TermId],
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    write!(f, "({op}")?;
+    for &k in kids {
+        write!(f, " ")?;
+        write_term(arena, k, f)?;
+    }
+    write!(f, ")")
+}
+
+fn write_term(arena: &TermArena, id: TermId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match arena.term(id) {
+        Term::IntConst(v) => write!(f, "{v}"),
+        Term::BoolConst(b) => write!(f, "{b}"),
+        Term::Var { sym, version, .. } => {
+            let name = arena.symbols().name(*sym);
+            if *version == BOUND_VERSION {
+                write!(f, "?{name}")
+            } else {
+                write!(f, "{name}@{version}")
+            }
+        }
+        Term::Add(a, b) => write_list(arena, "+", &[*a, *b], f),
+        Term::Sub(a, b) => write_list(arena, "-", &[*a, *b], f),
+        Term::Mul(a, b) => write_list(arena, "*", &[*a, *b], f),
+        Term::Sel(a, b) => write_list(arena, "sel", &[*a, *b], f),
+        Term::Upd(a, b, c) => write_list(arena, "upd", &[*a, *b, *c], f),
+        Term::App(g, args) => {
+            let name = arena.symbols().name(*g).to_owned();
+            write_list(arena, &name, args, f)
+        }
+        Term::Eq(a, b) => write_list(arena, "=", &[*a, *b], f),
+        Term::Le(a, b) => write_list(arena, "<=", &[*a, *b], f),
+        Term::Lt(a, b) => write_list(arena, "<", &[*a, *b], f),
+        Term::Not(a) => write_list(arena, "not", &[*a], f),
+        Term::And(kids) => write_list(arena, "and", kids, f),
+        Term::Or(kids) => write_list(arena, "or", kids, f),
+        Term::Ite(c, t, e) => write_list(arena, "ite", &[*c, *t, *e], f),
+        Term::Forall(vars, body) => {
+            write!(f, "(forall (")?;
+            for (i, (sym, _)) in vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "?{}", arena.symbols().name(*sym))?;
+            }
+            write!(f, ") ")?;
+            write_term(arena, *body, f)?;
+            write!(f, ")")
+        }
+        Term::Hole(occ, _) => write!(f, "hole#{occ}"),
+    }
+}

@@ -1,0 +1,36 @@
+use crate::symbol::Symbol;
+
+/// The sort (type) of a term.
+///
+/// PINS needs exactly four kinds of values: booleans for path conditions,
+/// mathematical integers for program scalars, integer-indexed integer arrays
+/// for program arrays, and uninterpreted sorts for abstract data types
+/// modelled by axioms (strings, angles, serialised objects, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// Propositional sort of formulas and predicates.
+    Bool,
+    /// Unbounded mathematical integers.
+    Int,
+    /// Arrays from `Int` to `Int` (the `sel`/`upd` theory).
+    IntArray,
+    /// An uninterpreted sort named by a symbol, e.g. `Str` or `Angle`.
+    Unint(Symbol),
+}
+
+impl Sort {
+    /// Whether the sort is `Bool`.
+    pub fn is_bool(self) -> bool {
+        self == Sort::Bool
+    }
+
+    /// Whether the sort is `Int`.
+    pub fn is_int(self) -> bool {
+        self == Sort::Int
+    }
+
+    /// Whether the sort is the integer-array sort.
+    pub fn is_array(self) -> bool {
+        self == Sort::IntArray
+    }
+}

@@ -1,0 +1,348 @@
+//! Semi-automated template mining (Section 3 of the paper).
+//!
+//! Mining builds initial guesses for the candidate sets Δp and Δe from the
+//! text of the program to be inverted, in three steps:
+//!
+//! 1. **harvest** every expression appearing on the right of an assignment
+//!    and every predicate appearing in a guard or `assume`;
+//! 2. **project** through the eight inversion projections (identity,
+//!    addition/subtraction inversion, copy inversion, array reads,
+//!    `out`-derived progress predicates, iterator scans, and
+//!    multiplication/division inversion via the `mul`/`div` ADT);
+//! 3. **rename** variables to their primed counterparts in the inverse
+//!    frame, dropping candidates that mention variables without a
+//!    counterpart (e.g. `n` in the run-length decoder).
+//!
+//! The result is the paper's "Mined" column of Table 1; the per-benchmark
+//! curated subsets and their modification counts are computed against it.
+
+use std::collections::HashMap;
+
+use pins_ir::{CmpOp, Expr, Pred, Program, Stmt, VarId};
+
+/// The outcome of mining: candidates expressed over the *composed* program
+/// (so primed variables resolve), plus raw counts for Table 1.
+#[derive(Debug, Clone, Default)]
+pub struct MinedSets {
+    /// Candidate expressions (Δe guess).
+    pub exprs: Vec<Expr>,
+    /// Candidate predicates (Δp guess).
+    pub preds: Vec<Pred>,
+}
+
+impl MinedSets {
+    /// Size of `Δp ∪ Δe` as the paper counts it.
+    pub fn total(&self) -> usize {
+        self.exprs.len() + self.preds.len()
+    }
+
+    /// How many of `chosen_exprs`/`chosen_preds` are *not* in the mined set —
+    /// the paper's "Mod" column (manual modifications needed).
+    pub fn modifications(&self, chosen_exprs: &[Expr], chosen_preds: &[Pred]) -> usize {
+        let e = chosen_exprs.iter().filter(|e| !self.exprs.contains(e)).count();
+        let p = chosen_preds.iter().filter(|p| !self.preds.contains(p)).count();
+        e + p
+    }
+}
+
+/// Step 1: harvests assignment right-hand sides and guard/assume predicates
+/// from a program body.
+pub fn harvest(program: &Program) -> (Vec<Expr>, Vec<Pred>) {
+    let mut exprs = Vec::new();
+    let mut preds = Vec::new();
+    fn walk(stmts: &[Stmt], exprs: &mut Vec<Expr>, preds: &mut Vec<Pred>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(pairs) => {
+                    for (_, e) in pairs {
+                        push_unique(exprs, e.clone());
+                    }
+                }
+                Stmt::Assume(p) => push_pred_atoms(preds, p),
+                Stmt::If(p, t, e) => {
+                    push_pred_atoms(preds, p);
+                    walk(t, exprs, preds);
+                    walk(e, exprs, preds);
+                }
+                Stmt::While(_, p, b) => {
+                    push_pred_atoms(preds, p);
+                    walk(b, exprs, preds);
+                }
+                Stmt::Exit | Stmt::Skip => {}
+            }
+        }
+    }
+    walk(&program.body, &mut exprs, &mut preds);
+    (exprs, preds)
+}
+
+fn push_unique<T: PartialEq>(v: &mut Vec<T>, item: T) {
+    if !v.contains(&item) {
+        v.push(item);
+    }
+}
+
+/// Conjunctions are split into atoms (guards like `i + 1 < n && A[i] = A[i+1]`
+/// contribute each conjunct).
+fn push_pred_atoms(preds: &mut Vec<Pred>, p: &Pred) {
+    match p {
+        Pred::And(items) | Pred::Or(items) => {
+            for q in items {
+                push_pred_atoms(preds, q);
+            }
+        }
+        Pred::Not(q) => push_pred_atoms(preds, q),
+        Pred::Bool(_) | Pred::Star => {}
+        _ => push_unique(preds, p.clone()),
+    }
+}
+
+/// Step 2: applies the eight inversion projections.
+pub fn project(program: &Program, exprs: &[Expr], preds: &[Pred]) -> (Vec<Expr>, Vec<Pred>) {
+    let mut out_e: Vec<Expr> = Vec::new();
+    let mut out_p: Vec<Pred> = Vec::new();
+
+    for e in exprs {
+        // 1. identity
+        push_unique(&mut out_e, e.clone());
+        match e {
+            // 2. addition inversion
+            Expr::Add(a, b) => {
+                push_unique(&mut out_e, Expr::Sub(a.clone(), b.clone()));
+            }
+            // 3. subtraction inversion
+            Expr::Sub(a, b) => {
+                push_unique(&mut out_e, Expr::Add(a.clone(), b.clone()));
+            }
+            // 4. copy inversion: upd(A, i, sel(B, j)) -> upd(B, j, sel(A, i))
+            Expr::Upd(a, i, v) => {
+                if let Expr::Sel(b, j) = v.as_ref() {
+                    push_unique(
+                        &mut out_e,
+                        Expr::Upd(
+                            b.clone(),
+                            j.clone(),
+                            Box::new(Expr::Sel(a.clone(), i.clone())),
+                        ),
+                    );
+                }
+            }
+            // 8. multiplication/division inversion through the mul/div ADT
+            Expr::Call(f, args) if f == "mul" && args.len() == 2 => {
+                let recip = Expr::Call("div".into(), vec![Expr::Int(1), args[1].clone()]);
+                push_unique(
+                    &mut out_e,
+                    Expr::Call("mul".into(), vec![args[0].clone(), recip]),
+                );
+            }
+            _ => {}
+        }
+    }
+    // small constants are always useful initialisers
+    push_unique(&mut out_e, Expr::Int(0));
+    push_unique(&mut out_e, Expr::Int(1));
+
+    for p in preds {
+        // 1. identity on predicates
+        push_unique(&mut out_p, p.clone());
+        // 5. array-read projection: sel(A, i) op X contributes sel(A, i)
+        if let Pred::Cmp(_, a, b) = p {
+            for side in [a, b] {
+                if let Expr::Sel(..) = side {
+                    push_unique(&mut out_e, side.clone());
+                }
+            }
+        }
+    }
+
+    // 6. out-derived progress predicates: for each integer output m of the
+    //    program, the inverse typically scans it: m' < m (the rename step
+    //    later primes the left occurrence).
+    for v in program.outputs() {
+        if matches!(program.var(v).ty, pins_ir::Type::Int) {
+            push_unique(&mut out_p, Pred::Cmp(CmpOp::Lt, Expr::Var(v), Expr::Var(v)));
+        }
+    }
+
+    // 7. iterator scan: variables initialised to a positive constant and
+    //    incremented are counters; their reversed form counts down to zero.
+    for counter in find_counters(program) {
+        push_unique(
+            &mut out_p,
+            Pred::Cmp(CmpOp::Gt, Expr::Var(counter), Expr::Int(0)),
+        );
+    }
+
+    (out_e, out_p)
+}
+
+/// Finds variables that are initialised to a constant `>= 1` somewhere and
+/// incremented elsewhere — counter-style locals like `r` in run-length.
+fn find_counters(program: &Program) -> Vec<VarId> {
+    let mut init_pos: Vec<VarId> = Vec::new();
+    let mut incremented: Vec<VarId> = Vec::new();
+    fn walk(stmts: &[Stmt], init_pos: &mut Vec<VarId>, incremented: &mut Vec<VarId>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(pairs) => {
+                    for (v, e) in pairs {
+                        match e {
+                            Expr::Int(c) if *c >= 1 => push_unique(init_pos, *v),
+                            Expr::Add(a, b) => {
+                                let reads_self = **a == Expr::Var(*v) || **b == Expr::Var(*v);
+                                if reads_self {
+                                    push_unique(incremented, *v);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Stmt::If(_, t, e) => {
+                    walk(t, init_pos, incremented);
+                    walk(e, init_pos, incremented);
+                }
+                Stmt::While(_, _, b) => walk(b, init_pos, incremented),
+                _ => {}
+            }
+        }
+    }
+    walk(&program.body, &mut init_pos, &mut incremented);
+    init_pos.retain(|v| incremented.contains(v));
+    init_pos
+}
+
+/// Step 3 + driver: mines candidates from `original` and renames them into
+/// the frame of the composed program. `rename` maps original variable names
+/// to their primed counterparts (e.g. `[("i", "iI"), ("m", "mI")]`); names
+/// listed in `keep` stay unprimed (shared variables like the compressed
+/// input array); all other names kill the candidates mentioning them.
+pub fn mine(
+    original: &Program,
+    composed: &Program,
+    rename: &[(&str, &str)],
+    keep: &[&str],
+) -> MinedSets {
+    let (h_exprs, h_preds) = harvest(original);
+    let (p_exprs, p_preds) = project(original, &h_exprs, &h_preds);
+
+    // build the VarId translation from original ids to composed ids
+    let mut map: HashMap<VarId, Option<VarId>> = HashMap::new();
+    for (i, decl) in original.vars.iter().enumerate() {
+        let from = VarId(i as u32);
+        let target = rename
+            .iter()
+            .find(|(o, _)| *o == decl.name)
+            .map(|(_, p)| *p)
+            .or_else(|| keep.contains(&decl.name.as_str()).then_some(decl.name.as_str()));
+        map.insert(from, target.and_then(|name| composed.var_by_name(name)));
+    }
+
+    let mut out = MinedSets::default();
+    for e in p_exprs {
+        if let Some(e2) = rename_expr(&e, &map) {
+            push_unique(&mut out.exprs, e2);
+        }
+    }
+    for p in p_preds {
+        if let Some(p2) = rename_pred(&p, &map) {
+            push_unique(&mut out.preds, p2);
+        }
+    }
+
+    // the out-int progress predicates compare primed against unprimed: add
+    // `m' < m` for each int output with both frames present
+    let mut extra = Vec::new();
+    for (orig_name, primed_name) in rename {
+        let (Some(unprimed), Some(primed)) = (
+            composed.var_by_name(orig_name),
+            composed.var_by_name(primed_name),
+        ) else {
+            continue;
+        };
+        if composed.var(unprimed).ty == pins_ir::Type::Int
+            && original
+                .outputs()
+                .iter()
+                .any(|&v| original.var(v).name == *orig_name)
+        {
+            extra.push(Pred::Cmp(CmpOp::Lt, Expr::Var(primed), Expr::Var(unprimed)));
+        }
+    }
+    for p in extra {
+        push_unique(&mut out.preds, p);
+    }
+    out.preds.retain(|p| !trivial_pred(p));
+    out
+}
+
+/// `x < x` and friends left over from the projection placeholder shapes.
+fn trivial_pred(p: &Pred) -> bool {
+    matches!(p, Pred::Cmp(_, a, b) if a == b)
+}
+
+fn rename_expr(e: &Expr, map: &HashMap<VarId, Option<VarId>>) -> Option<Expr> {
+    Some(match e {
+        Expr::Int(v) => Expr::Int(*v),
+        Expr::Var(v) => Expr::Var((*map.get(v)?)?),
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(rename_expr(a, map)?),
+            Box::new(rename_expr(b, map)?),
+        ),
+        Expr::Sub(a, b) => Expr::Sub(
+            Box::new(rename_expr(a, map)?),
+            Box::new(rename_expr(b, map)?),
+        ),
+        Expr::Mul(a, b) => Expr::Mul(
+            Box::new(rename_expr(a, map)?),
+            Box::new(rename_expr(b, map)?),
+        ),
+        Expr::Sel(a, b) => Expr::Sel(
+            Box::new(rename_expr(a, map)?),
+            Box::new(rename_expr(b, map)?),
+        ),
+        Expr::Upd(a, b, c) => Expr::Upd(
+            Box::new(rename_expr(a, map)?),
+            Box::new(rename_expr(b, map)?),
+            Box::new(rename_expr(c, map)?),
+        ),
+        Expr::Call(f, args) => Expr::Call(
+            f.clone(),
+            args.iter()
+                .map(|a| rename_expr(a, map))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Expr::Hole(h) => Expr::Hole(*h),
+    })
+}
+
+fn rename_pred(p: &Pred, map: &HashMap<VarId, Option<VarId>>) -> Option<Pred> {
+    Some(match p {
+        Pred::Bool(b) => Pred::Bool(*b),
+        Pred::Star => Pred::Star,
+        Pred::Cmp(op, a, b) => Pred::Cmp(*op, rename_expr(a, map)?, rename_expr(b, map)?),
+        Pred::And(items) => Pred::And(
+            items
+                .iter()
+                .map(|q| rename_pred(q, map))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Pred::Or(items) => Pred::Or(
+            items
+                .iter()
+                .map(|q| rename_pred(q, map))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Pred::Not(q) => Pred::Not(Box::new(rename_pred(q, map)?)),
+        Pred::Call(f, args) => Pred::Call(
+            f.clone(),
+            args.iter()
+                .map(|a| rename_expr(a, map))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Pred::Hole(h) => Pred::Hole(*h),
+    })
+}
+
+#[cfg(test)]
+mod tests;

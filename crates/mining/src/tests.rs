@@ -1,0 +1,157 @@
+use pins_ir::{expr_to_string, parse_program, pred_to_string, CmpOp, Expr, Pred};
+
+use crate::*;
+
+const RUNLENGTH: &str = r#"
+proc runlength(inout A: int[], in n: int, out N: int[], out m: int) {
+  local i: int, r: int;
+  assume(n >= 0);
+  i := 0; m := 0;
+  while (i < n) {
+    r := 1;
+    while (i + 1 < n && A[i] = A[i + 1]) {
+      r, i := r + 1, i + 1;
+    }
+    A[m] := A[i];
+    N[m] := r;
+    m, i := m + 1, i + 1;
+  }
+}
+"#;
+
+const RL_TEMPLATE: &str = r#"
+proc rl_inverse(in A: int[], in N: int[], in m: int, out AI: int[], out iI: int) {
+  local mI: int, rI: int;
+  iI, mI := ?e1, ?e2;
+  while (?p1) {
+    rI := ?e3;
+    while (?p2) {
+      rI, iI, AI := ?e4, ?e5, ?e6;
+    }
+    mI := ?e7;
+  }
+}
+"#;
+
+fn composed() -> (pins_ir::Program, pins_ir::Program) {
+    let p = parse_program(RUNLENGTH).unwrap();
+    let t = parse_program(RL_TEMPLATE).unwrap();
+    let (c, _, _) = p.concat(&t);
+    (p, c)
+}
+
+#[test]
+fn harvest_collects_rhs_and_guards() {
+    let p = parse_program(RUNLENGTH).unwrap();
+    let (exprs, preds) = harvest(&p);
+    // paper lists: 0, 1, m+1, r+1, i+1, upd(A,m,sel(A,i)), upd(N,m,r)
+    // and: sel(A,i)=sel(A,i+1), n>=0, i+1<n, i<n
+    assert!(exprs.len() >= 6, "{exprs:?}");
+    assert_eq!(preds.len(), 4, "{preds:?}");
+}
+
+#[test]
+fn projections_add_inverted_forms() {
+    let p = parse_program(RUNLENGTH).unwrap();
+    let (exprs, preds) = harvest(&p);
+    let (pe, pp) = project(&p, &exprs, &preds);
+    let rendered: Vec<String> = pe.iter().map(|e| expr_to_string(&p, e)).collect();
+    // addition inversion on m + 1
+    assert!(rendered.iter().any(|s| s == "m - 1"), "{rendered:?}");
+    // copy inversion on A[m] := A[i] i.e. upd(A, m, sel(A, i))
+    assert!(
+        rendered.iter().any(|s| s.contains("upd(A, i, A[m])")),
+        "{rendered:?}"
+    );
+    let rendered_p: Vec<String> = pp.iter().map(|q| pred_to_string(&p, q)).collect();
+    // counter r (initialised to 1, incremented) gives r > 0
+    assert!(rendered_p.iter().any(|s| s == "r > 0"), "{rendered_p:?}");
+}
+
+#[test]
+fn mine_renames_into_primed_frame_and_drops_n() {
+    let (p, c) = composed();
+    let mined = mine(
+        &p,
+        &c,
+        &[("i", "iI"), ("m", "mI"), ("r", "rI"), ("A", "AI")],
+        &["N", "m", "A"],
+    );
+    let re: Vec<String> = mined.exprs.iter().map(|e| expr_to_string(&c, e)).collect();
+    let rp: Vec<String> = mined.preds.iter().map(|q| pred_to_string(&c, q)).collect();
+    // primed arithmetic candidates exist
+    assert!(re.iter().any(|s| s == "mI + 1"), "{re:?}");
+    assert!(re.iter().any(|s| s == "rI - 1"), "{re:?}");
+    // nothing mentions the dropped variable n
+    assert!(!re.iter().any(|s| s.contains('n')), "{re:?}");
+    assert!(!rp.iter().any(|s| s.split(['<', '=', '>']).any(|p| p.trim() == "n")), "{rp:?}");
+    // the out-derived progress predicate appears
+    assert!(rp.iter().any(|s| s == "mI < m"), "{rp:?}");
+    // counter scan gives rI > 0
+    assert!(rp.iter().any(|s| s == "rI > 0"), "{rp:?}");
+}
+
+#[test]
+fn modification_count_matches_curation() {
+    let (p, c) = composed();
+    let mined = mine(
+        &p,
+        &c,
+        &[("i", "iI"), ("m", "mI"), ("r", "rI"), ("A", "AI")],
+        &["N", "m", "A"],
+    );
+    // a curated candidate present in the mined set costs no modification
+    let present = mined.exprs[0].clone();
+    assert_eq!(mined.modifications(&[present], &[]), 0);
+    // an exotic candidate not mined costs one
+    let exotic = Expr::Int(424_242);
+    assert_eq!(mined.modifications(&[exotic], &[]), 1);
+}
+
+#[test]
+fn trivial_predicates_are_dropped() {
+    let (p, c) = composed();
+    let mined = mine(&p, &c, &[("m", "mI")], &[]);
+    for q in &mined.preds {
+        assert!(
+            !matches!(q, Pred::Cmp(_, a, b) if a == b),
+            "trivial predicate survived: {}",
+            pred_to_string(&c, q)
+        );
+    }
+}
+
+#[test]
+fn mul_div_projection() {
+    let src = r#"
+extern mul(int, int): int;
+extern div(int, int): int;
+proc scale(inout x: int, in f: int) {
+  x := mul(x, f);
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let (exprs, preds) = harvest(&p);
+    let (pe, _) = project(&p, &exprs, &preds);
+    let rendered: Vec<String> = pe.iter().map(|e| expr_to_string(&p, e)).collect();
+    assert!(
+        rendered.iter().any(|s| s == "mul(x, div(1, f))"),
+        "{rendered:?}"
+    );
+}
+
+#[test]
+fn out_int_predicates_only_for_int_outputs() {
+    let src = r#"
+proc f(in A: int[], out B: int[]) {
+  B := upd(B, 0, A[0]);
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let (exprs, preds) = harvest(&p);
+    let (_, pp) = project(&p, &exprs, &preds);
+    // no int outputs: no m' < m style predicates (array outputs skipped)
+    assert!(pp
+        .iter()
+        .all(|q| !matches!(q, Pred::Cmp(CmpOp::Lt, Expr::Var(a), Expr::Var(b)) if a == b)));
+}

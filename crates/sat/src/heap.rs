@@ -1,0 +1,142 @@
+//! An indexed max-heap over variable activities, used by the VSIDS decision
+//! heuristic. Supports O(log n) insert/remove-max and O(log n) priority
+//! increase for an element already in the heap.
+
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ActivityHeap {
+    /// Heap of variable indices ordered by activity.
+    heap: Vec<u32>,
+    /// `pos[v]` is the index of `v` in `heap`, or `NOT_IN` if absent.
+    pos: Vec<u32>,
+}
+
+const NOT_IN: u32 = u32::MAX;
+
+impl ActivityHeap {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new variable (initially outside the heap).
+    pub(crate) fn grow(&mut self) {
+        self.pos.push(NOT_IN);
+    }
+
+    pub(crate) fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != NOT_IN
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn insert(&mut self, v: u32, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as u32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = NOT_IN;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Re-establishes heap order after `v`'s activity increased.
+    pub(crate) fn increased(&mut self, v: u32, activity: &[f64]) {
+        let p = self.pos[v as usize];
+        if p != NOT_IN {
+            self.sift_up(p as usize, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as u32;
+        self.pos[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_orders_by_activity() {
+        let mut h = ActivityHeap::new();
+        let act = vec![1.0, 5.0, 3.0, 4.0];
+        for v in 0..4 {
+            h.grow();
+            h.insert(v, &act);
+        }
+        assert_eq!(h.pop_max(&act), Some(1));
+        assert_eq!(h.pop_max(&act), Some(3));
+        assert_eq!(h.pop_max(&act), Some(2));
+        assert_eq!(h.pop_max(&act), Some(0));
+        assert_eq!(h.pop_max(&act), None);
+    }
+
+    #[test]
+    fn increase_resifts() {
+        let mut h = ActivityHeap::new();
+        let mut act = vec![1.0, 2.0, 3.0];
+        for v in 0..3 {
+            h.grow();
+            h.insert(v, &act);
+        }
+        act[0] = 10.0;
+        h.increased(0, &act);
+        assert_eq!(h.pop_max(&act), Some(0));
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut h = ActivityHeap::new();
+        let act = vec![1.0];
+        h.grow();
+        h.insert(0, &act);
+        h.insert(0, &act);
+        assert_eq!(h.pop_max(&act), Some(0));
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+use crate::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+    (0..n).map(|_| s.new_var()).collect()
+}
+
+#[test]
+fn empty_formula_is_sat() {
+    let mut s = Solver::new();
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn unit_clause_forces_value() {
+    let mut s = Solver::new();
+    let v = s.new_var();
+    assert!(s.add_clause(&[Lit::neg(v)]));
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.value(v), Some(false));
+}
+
+#[test]
+fn contradictory_units_are_unsat() {
+    let mut s = Solver::new();
+    let v = s.new_var();
+    assert!(s.add_clause(&[Lit::pos(v)]));
+    assert!(!s.add_clause(&[Lit::neg(v)]));
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn simple_implication_chain() {
+    let mut s = Solver::new();
+    let v = vars(&mut s, 5);
+    for i in 0..4 {
+        s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+    }
+    s.add_clause(&[Lit::pos(v[0])]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    for &x in &v {
+        assert_eq!(s.value(x), Some(true));
+    }
+}
+
+#[test]
+fn pigeonhole_3_into_2_is_unsat() {
+    // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+    for row in &p {
+        s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+    }
+    for j in 0..2 {
+        for i1 in 0..3 {
+            for i2 in (i1 + 1)..3 {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn pigeonhole_5_into_4_is_unsat() {
+    let n = 5;
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..n).map(|_| vars(&mut s, n - 1)).collect();
+    for row in &p {
+        let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&lits);
+    }
+    for j in 0..n - 1 {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn tautologies_are_ignored() {
+    let mut s = Solver::new();
+    let v = s.new_var();
+    assert!(s.add_clause(&[Lit::pos(v), Lit::neg(v)]));
+    assert_eq!(s.num_clauses(), 0);
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn assumptions_restrict_but_do_not_persist() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    // unsat under both-false assumptions
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)]),
+        SolveResult::Unsat
+    );
+    // still sat without them
+    assert_eq!(s.solve(), SolveResult::Sat);
+    // and sat under a single assumption, which the model must respect
+    assert_eq!(s.solve_with_assumptions(&[Lit::neg(a)]), SolveResult::Sat);
+    assert_eq!(s.value(a), Some(false));
+    assert_eq!(s.value(b), Some(true));
+}
+
+#[test]
+fn model_enumeration_with_blocking_clauses() {
+    let mut s = Solver::new();
+    let v = vars(&mut s, 3);
+    // no constraints: 8 models
+    let mut count = 0;
+    while s.solve() == SolveResult::Sat {
+        count += 1;
+        assert!(count <= 8, "enumerated too many models");
+        let blocking: Vec<Lit> = v
+            .iter()
+            .map(|&x| Lit::new(x, !s.value(x).unwrap()))
+            .collect();
+        if !s.add_clause(&blocking) {
+            break;
+        }
+    }
+    assert_eq!(count, 8);
+}
+
+#[test]
+fn exactly_one_constraint() {
+    let mut s = Solver::new();
+    let v = vars(&mut s, 4);
+    let all: Vec<Lit> = v.iter().map(|&x| Lit::pos(x)).collect();
+    s.add_clause(&all);
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            s.add_clause(&[Lit::neg(v[i]), Lit::neg(v[j])]);
+        }
+    }
+    let mut models = 0;
+    while s.solve() == SolveResult::Sat {
+        models += 1;
+        assert!(models <= 4);
+        let trues: Vec<_> = v.iter().filter(|&&x| s.value(x) == Some(true)).collect();
+        assert_eq!(trues.len(), 1);
+        let blocking: Vec<Lit> = v
+            .iter()
+            .map(|&x| Lit::new(x, !s.value(x).unwrap()))
+            .collect();
+        if !s.add_clause(&blocking) {
+            break;
+        }
+    }
+    assert_eq!(models, 4);
+}
+
+#[test]
+fn lit_negation_round_trips() {
+    let v = Var(7);
+    let l = Lit::pos(v);
+    assert_eq!(!(!l), l);
+    assert_eq!((!l).var(), v);
+    assert!((!l).is_neg());
+}
+
+/// Brute-force satisfiability for cross-checking (up to ~12 variables).
+fn brute_force(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    'outer: for m in 0u32..(1 << num_vars) {
+        for clause in clauses {
+            let sat = clause
+                .iter()
+                .any(|&(v, positive)| ((m >> v) & 1 == 1) == positive);
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec((0..num_vars, any::<bool>()), 1..=4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn solver_agrees_with_brute_force(
+        clauses in prop::collection::vec(clause_strategy(6), 1..30)
+    ) {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 6);
+        let mut consistent = true;
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause.iter().map(|&(i, pos)| Lit::new(v[i], pos)).collect();
+            consistent &= s.add_clause(&lits);
+        }
+        let expected = brute_force(6, &clauses);
+        let got = consistent && s.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expected);
+        if got {
+            // model must satisfy every clause
+            for clause in &clauses {
+                let ok = clause.iter().any(|&(i, pos)| s.value(v[i]) == Some(pos));
+                prop_assert!(ok, "model does not satisfy {:?}", clause);
+            }
+        }
+    }
+
+    #[test]
+    fn assumption_solving_matches_augmented_formula(
+        clauses in prop::collection::vec(clause_strategy(5), 1..20),
+        assumps in prop::collection::vec((0..5usize, any::<bool>()), 0..3)
+    ) {
+        // solving with assumptions == solving with those units added
+        let build = |extra: bool| {
+            let mut s = Solver::new();
+            let v = vars(&mut s, 5);
+            let mut consistent = true;
+            for clause in &clauses {
+                let lits: Vec<Lit> = clause.iter().map(|&(i, pos)| Lit::new(v[i], pos)).collect();
+                consistent &= s.add_clause(&lits);
+            }
+            if extra {
+                for &(i, pos) in &assumps {
+                    consistent &= s.add_clause(&[Lit::new(v[i], pos)]);
+                }
+            }
+            (s, v, consistent)
+        };
+        let (mut s1, v1, c1) = build(false);
+        let a: Vec<Lit> = assumps.iter().map(|&(i, pos)| Lit::new(v1[i], pos)).collect();
+        let r1 = c1 && s1.solve_with_assumptions(&a) == SolveResult::Sat;
+        let (mut s2, _, c2) = build(true);
+        let r2 = c2 && s2.solve() == SolveResult::Sat;
+        prop_assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,479 @@
+//! Congruence closure (EUF) with proof-forest explanations.
+//!
+//! The engine registers the full subterm DAG of every asserted (dis)equality,
+//! treating *all* operators — uninterpreted applications, `sel`/`upd`, and
+//! even the arithmetic operators — as congruence-respecting function symbols
+//! (which is sound and improves equality propagation between the theories).
+//! Conflicts come with explanations: the set of asserted atom tags whose
+//! equalities force the clash, extracted from a Nieuwenhuis–Oliveras style
+//! proof forest.
+
+use std::collections::{HashMap, HashSet};
+
+use pins_logic::{Term, TermArena, TermId};
+
+/// Why two nodes were merged.
+#[derive(Debug, Clone, Copy)]
+enum Cause {
+    /// An equality asserted by the SAT model, tagged by the caller.
+    Asserted(u32),
+    /// Congruence of two application nodes with pairwise-equal children.
+    Congruence(u32, u32),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Signature {
+    /// Operator code: distinguishes App(f)/Sel/Upd/Add/Sub/Mul.
+    op: (u8, u32),
+    children: Vec<u32>,
+}
+
+/// A batch congruence-closure solver.
+#[derive(Debug, Default)]
+pub struct Euf {
+    terms: Vec<TermId>,
+    node_of: HashMap<TermId, u32>,
+    /// union-find parent (roots point to themselves)
+    uf: Vec<u32>,
+    rank: Vec<u32>,
+    /// proof forest: edge to another node with a cause
+    proof: Vec<Option<(u32, Cause)>>,
+    /// per-root list of application nodes with a member as a child
+    use_list: Vec<Vec<u32>>,
+    /// per-node operator structure (None for leaves)
+    sig_template: Vec<Option<((u8, u32), Vec<u32>)>>,
+    sig_table: HashMap<Signature, u32>,
+    /// per-root integer constant witness
+    int_const: Vec<Option<(i64, u32)>>,
+    pending: Vec<(u32, u32, Cause)>,
+    diseqs: Vec<(u32, u32, u32)>,
+    closed: bool,
+}
+
+impl Euf {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn op_code(arena: &TermArena, t: TermId) -> Option<((u8, u32), Vec<TermId>)> {
+        match arena.term(t) {
+            Term::App(f, args) => Some(((0, f.index() as u32), args.clone())),
+            Term::Sel(a, b) => Some(((1, 0), vec![*a, *b])),
+            Term::Upd(a, b, c) => Some(((2, 0), vec![*a, *b, *c])),
+            Term::Add(a, b) => Some(((3, 0), vec![*a, *b])),
+            Term::Sub(a, b) => Some(((4, 0), vec![*a, *b])),
+            Term::Mul(a, b) => Some(((5, 0), vec![*a, *b])),
+            _ => None,
+        }
+    }
+
+    /// Registers `t` and its subterm DAG; returns its node.
+    pub fn add_term(&mut self, arena: &TermArena, t: TermId) -> u32 {
+        if let Some(&n) = self.node_of.get(&t) {
+            return n;
+        }
+        let structure = Self::op_code(arena, t);
+        let child_nodes: Option<((u8, u32), Vec<u32>)> = structure.map(|(op, kids)| {
+            let kid_nodes = kids.iter().map(|&k| self.add_term(arena, k)).collect();
+            (op, kid_nodes)
+        });
+        let n = self.terms.len() as u32;
+        self.terms.push(t);
+        self.node_of.insert(t, n);
+        self.uf.push(n);
+        self.rank.push(0);
+        self.proof.push(None);
+        self.use_list.push(Vec::new());
+        self.int_const.push(match arena.term(t) {
+            Term::IntConst(v) => Some((*v, n)),
+            _ => None,
+        });
+        self.sig_template.push(child_nodes.clone());
+        if let Some((op, kids)) = child_nodes {
+            for &k in &kids {
+                let rk = self.find(k);
+                self.use_list[rk as usize].push(n);
+            }
+            let sig = Signature { op, children: kids.iter().map(|&k| self.find(k)).collect() };
+            if let Some(&other) = self.sig_table.get(&sig) {
+                if self.find(other) != self.find(n) {
+                    self.pending.push((n, other, Cause::Congruence(n, other)));
+                }
+            } else {
+                self.sig_table.insert(sig, n);
+            }
+        }
+        self.closed = false;
+        n
+    }
+
+    fn find(&mut self, mut n: u32) -> u32 {
+        while self.uf[n as usize] != n {
+            let p = self.uf[n as usize];
+            self.uf[n as usize] = self.uf[p as usize];
+            n = self.uf[n as usize];
+        }
+        n
+    }
+
+    /// Asserts `a = b` with atom tag `tag`.
+    pub fn assert_eq(&mut self, arena: &TermArena, a: TermId, b: TermId, tag: u32) {
+        let na = self.add_term(arena, a);
+        let nb = self.add_term(arena, b);
+        self.pending.push((na, nb, Cause::Asserted(tag)));
+        self.closed = false;
+    }
+
+    /// Asserts `a != b` with atom tag `tag`.
+    pub fn assert_neq(&mut self, arena: &TermArena, a: TermId, b: TermId, tag: u32) {
+        let na = self.add_term(arena, a);
+        let nb = self.add_term(arena, b);
+        self.diseqs.push((na, nb, tag));
+        self.closed = false;
+    }
+
+    /// Reverses the proof-forest path from `n` to its tree root so that `n`
+    /// becomes the root of its explanation tree.
+    fn reroot(&mut self, n: u32) {
+        let mut prev: Option<(u32, Cause)> = None;
+        let mut cur = n;
+        loop {
+            let next = self.proof[cur as usize];
+            self.proof[cur as usize] = prev;
+            match next {
+                Some((to, cause)) => {
+                    prev = Some((cur, cause));
+                    cur = to;
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn union(&mut self, a: u32, b: u32, cause: Cause) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // proof forest edge a -> b
+        self.reroot(a);
+        self.proof[a as usize] = Some((b, cause));
+
+        // merge smaller-rank class into larger
+        let (winner, loser) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        if self.rank[winner as usize] == self.rank[loser as usize] {
+            self.rank[winner as usize] += 1;
+        }
+        self.uf[loser as usize] = winner;
+        // constant witnesses
+        match (self.int_const[winner as usize], self.int_const[loser as usize]) {
+            (None, Some(c)) => self.int_const[winner as usize] = Some(c),
+            _ => {}
+        }
+        // recompute signatures of parents of the losing class
+        let parents = std::mem::take(&mut self.use_list[loser as usize]);
+        for p in parents {
+            if let Some((op, kids)) = self.sig_template[p as usize].clone() {
+                let sig = Signature {
+                    op,
+                    children: kids.iter().map(|&k| self.find(k)).collect(),
+                };
+                if let Some(&other) = self.sig_table.get(&sig) {
+                    if self.find(other) != self.find(p) {
+                        self.pending.push((p, other, Cause::Congruence(p, other)));
+                    }
+                } else {
+                    self.sig_table.insert(sig, p);
+                }
+            }
+            self.use_list[winner as usize].push(p);
+        }
+    }
+
+    fn close(&mut self) {
+        while let Some((a, b, cause)) = self.pending.pop() {
+            self.union(a, b, cause);
+        }
+        self.closed = true;
+    }
+
+    /// Runs the closure and checks disequalities and integer-constant clashes.
+    /// On conflict, returns the asserted atom tags responsible.
+    pub fn check(&mut self) -> Result<(), Vec<u32>> {
+        self.close();
+        // disequality violations
+        for i in 0..self.diseqs.len() {
+            let (a, b, tag) = self.diseqs[i];
+            if self.find(a) == self.find(b) {
+                let mut expl = self.explain(a, b);
+                expl.push(tag);
+                expl.sort_unstable();
+                expl.dedup();
+                return Err(expl);
+            }
+        }
+        // distinct integer constants merged
+        let mut const_witness: HashMap<u32, (i64, u32)> = HashMap::new();
+        for n in 0..self.terms.len() as u32 {
+            if let Some((v, node)) = self.int_const[n as usize] {
+                if node != n {
+                    continue; // only process witness entries once (at their node)
+                }
+                let root = self.find(n);
+                if let Some(&(v0, n0)) = const_witness.get(&root) {
+                    if v0 != v {
+                        let mut expl = self.explain(n0, n);
+                        expl.sort_unstable();
+                        expl.dedup();
+                        return Err(expl);
+                    }
+                } else {
+                    const_witness.insert(root, (v, n));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `a` and `b` are currently in the same class (both must have
+    /// been added).
+    pub fn same_class(&mut self, a: TermId, b: TermId) -> bool {
+        if !self.closed {
+            self.close();
+        }
+        match (self.node_of.get(&a), self.node_of.get(&b)) {
+            (Some(&na), Some(&nb)) => self.find(na) == self.find(nb),
+            _ => false,
+        }
+    }
+
+    /// All registered terms together with their class root node.
+    pub fn class_of_terms(&mut self) -> Vec<(TermId, u32)> {
+        if !self.closed {
+            self.close();
+        }
+        (0..self.terms.len() as u32)
+            .map(|n| (self.terms[n as usize], self.find(n)))
+            .collect()
+    }
+
+    /// The class root of a registered term.
+    pub fn root_of(&mut self, t: TermId) -> Option<u32> {
+        let n = *self.node_of.get(&t)?;
+        Some(self.find(n))
+    }
+
+    /// Explains why two registered terms are in the same class: returns the
+    /// asserted atom tags responsible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the terms are not registered or not congruent.
+    pub fn explain_terms(&mut self, a: TermId, b: TermId) -> Vec<u32> {
+        let na = self.node_of[&a];
+        let nb = self.node_of[&b];
+        if !self.closed {
+            self.close();
+        }
+        let mut tags = self.explain(na, nb);
+        tags.sort_unstable();
+        tags.dedup();
+        tags
+    }
+
+    /// Explains why `a` and `b` are congruent: the set of asserted tags.
+    fn explain(&mut self, a: u32, b: u32) -> Vec<u32> {
+        let mut tags = Vec::new();
+        let mut queue = vec![(a, b)];
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        while let Some((x, y)) = queue.pop() {
+            if x == y || !seen.insert((x.min(y), x.max(y))) {
+                continue;
+            }
+            // collect proof paths to the common ancestor
+            let px = self.proof_path(x);
+            let py = self.proof_path(y);
+            let setx: HashMap<u32, usize> =
+                px.iter().enumerate().map(|(i, &(n, _))| (n, i)).collect();
+            let mut common = None;
+            for (j, &(n, _)) in py.iter().enumerate() {
+                if let Some(&i) = setx.get(&n) {
+                    common = Some((i, j));
+                    break;
+                }
+            }
+            let (ci, cj) = common.unwrap_or_else(||
+
+                panic!("explain called on nodes not in the same proof tree"));
+            for k in 0..ci {
+                self.push_cause(px[k].1.expect("edge"), &mut tags, &mut queue);
+            }
+            for k in 0..cj {
+                self.push_cause(py[k].1.expect("edge"), &mut tags, &mut queue);
+            }
+        }
+        tags
+    }
+
+    /// Nodes on the proof path from `n` to its proof-tree root, with the
+    /// cause of each outgoing edge (`None` for the root entry).
+    fn proof_path(&self, n: u32) -> Vec<(u32, Option<Cause>)> {
+        let mut path = Vec::new();
+        let mut cur = n;
+        loop {
+            match self.proof[cur as usize] {
+                Some((to, cause)) => {
+                    path.push((cur, Some(cause)));
+                    cur = to;
+                }
+                None => {
+                    path.push((cur, None));
+                    return path;
+                }
+            }
+        }
+    }
+
+    fn push_cause(&mut self, cause: Cause, tags: &mut Vec<u32>, queue: &mut Vec<(u32, u32)>) {
+        match cause {
+            Cause::Asserted(tag) => tags.push(tag),
+            Cause::Congruence(p, q) => {
+                let kp = self.sig_template[p as usize].clone().expect("app node").1;
+                let kq = self.sig_template[q as usize].clone().expect("app node").1;
+                for (x, y) in kp.into_iter().zip(kq) {
+                    queue.push((x, y));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pins_logic::Sort;
+
+    fn setup() -> (TermArena, TermId, TermId, TermId) {
+        let mut a = TermArena::new();
+        let x = a.sym("x");
+        let y = a.sym("y");
+        let z = a.sym("z");
+        let vx = a.mk_var(x, 0, Sort::Int);
+        let vy = a.mk_var(y, 0, Sort::Int);
+        let vz = a.mk_var(z, 0, Sort::Int);
+        (a, vx, vy, vz)
+    }
+
+    #[test]
+    fn transitivity() {
+        let (arena, x, y, z) = setup();
+        let mut e = Euf::new();
+        e.assert_eq(&arena, x, y, 1);
+        e.assert_eq(&arena, y, z, 2);
+        assert!(e.check().is_ok());
+        assert!(e.same_class(x, z));
+    }
+
+    #[test]
+    fn diseq_conflict_explained() {
+        let (arena, x, y, z) = setup();
+        let mut e = Euf::new();
+        e.assert_eq(&arena, x, y, 1);
+        e.assert_eq(&arena, y, z, 2);
+        e.assert_neq(&arena, x, z, 3);
+        let expl = e.check().unwrap_err();
+        assert_eq!(expl, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn congruence_propagates() {
+        let (mut arena, x, y, _) = setup();
+        let f = arena.declare_fun("f", vec![Sort::Int], Sort::Int);
+        let fx = arena.mk_app(f, vec![x]);
+        let fy = arena.mk_app(f, vec![y]);
+        let mut e = Euf::new();
+        e.assert_eq(&arena, x, y, 1);
+        e.add_term(&arena, fx);
+        e.add_term(&arena, fy);
+        assert!(e.check().is_ok());
+        assert!(e.same_class(fx, fy));
+    }
+
+    #[test]
+    fn congruence_conflict_has_minimal_explanation() {
+        let (mut arena, x, y, z) = setup();
+        let f = arena.declare_fun("f", vec![Sort::Int], Sort::Int);
+        let fx = arena.mk_app(f, vec![x]);
+        let fy = arena.mk_app(f, vec![y]);
+        let mut e = Euf::new();
+        e.assert_eq(&arena, x, y, 1);
+        e.assert_eq(&arena, y, z, 2); // irrelevant
+        e.assert_neq(&arena, fx, fy, 3);
+        let expl = e.check().unwrap_err();
+        assert_eq!(expl, vec![1, 3], "tag 2 must not appear");
+    }
+
+    #[test]
+    fn nested_congruence() {
+        let (mut arena, x, y, _) = setup();
+        let f = arena.declare_fun("g", vec![Sort::Int], Sort::Int);
+        let fx = arena.mk_app(f, vec![x]);
+        let ffx = arena.mk_app(f, vec![fx]);
+        let fy = arena.mk_app(f, vec![y]);
+        let ffy = arena.mk_app(f, vec![fy]);
+        let mut e = Euf::new();
+        e.assert_eq(&arena, x, y, 1);
+        e.assert_neq(&arena, ffx, ffy, 2);
+        let expl = e.check().unwrap_err();
+        assert_eq!(expl, vec![1, 2]);
+    }
+
+    #[test]
+    fn distinct_constants_clash() {
+        let (mut arena, x, _, _) = setup();
+        let one = arena.mk_int(1);
+        let two = arena.mk_int(2);
+        let mut e = Euf::new();
+        e.assert_eq(&arena, x, one, 1);
+        e.assert_eq(&arena, x, two, 2);
+        let expl = e.check().unwrap_err();
+        assert_eq!(expl, vec![1, 2]);
+    }
+
+    #[test]
+    fn arithmetic_ops_respect_congruence() {
+        let (mut arena, x, y, z) = setup();
+        let xz = arena.mk_add(x, z);
+        let yz = arena.mk_add(y, z);
+        let mut e = Euf::new();
+        e.assert_eq(&arena, x, y, 1);
+        e.add_term(&arena, xz);
+        e.add_term(&arena, yz);
+        assert!(e.check().is_ok());
+        assert!(e.same_class(xz, yz));
+    }
+
+    #[test]
+    fn sel_congruence_over_arrays() {
+        let mut arena = TermArena::new();
+        let a1 = arena.sym("A");
+        let a2 = arena.sym("B");
+        let i = arena.sym("i");
+        let va = arena.mk_var(a1, 0, Sort::IntArray);
+        let vb = arena.mk_var(a2, 0, Sort::IntArray);
+        let vi = arena.mk_var(i, 0, Sort::Int);
+        let sa = arena.mk_sel(va, vi);
+        let sb = arena.mk_sel(vb, vi);
+        let mut e = Euf::new();
+        e.assert_eq(&arena, va, vb, 1);
+        e.assert_neq(&arena, sa, sb, 2);
+        let expl = e.check().unwrap_err();
+        assert_eq!(expl, vec![1, 2]);
+    }
+}

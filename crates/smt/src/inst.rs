@@ -1,0 +1,353 @@
+//! Trigger-based (e-matching style) instantiation of quantified axioms.
+//!
+//! PINS uses quantified facts in two roles: library axioms (e.g.
+//! `forall s, c. strlen(append(s, c)) = strlen(s) + 1`) and the identity
+//! specification's array quantifier. The latter is skolemized away during
+//! preprocessing; axioms are grounded here by *syntactic* matching of
+//! triggers against the ground subterm universe, iterated for a bounded
+//! number of rounds (new instances contribute new ground terms that may
+//! enable further matches).
+
+use std::collections::{HashMap, HashSet};
+
+use pins_logic::{collect_subterms, Sort, Term, TermArena, TermId, BOUND_VERSION};
+
+/// Budget for instantiation.
+#[derive(Debug, Clone, Copy)]
+pub struct InstConfig {
+    /// Fixpoint rounds over the growing ground-term universe.
+    pub max_rounds: usize,
+    /// Hard cap on generated instances across all axioms.
+    pub max_instances: usize,
+}
+
+impl Default for InstConfig {
+    fn default() -> Self {
+        InstConfig { max_rounds: 3, max_instances: 2000 }
+    }
+}
+
+/// Result of one instantiation run.
+#[derive(Debug, Default)]
+pub struct InstOutcome {
+    /// Ground instances of the axiom bodies.
+    pub instances: Vec<TermId>,
+    /// Whether the instance cap was hit (the solver reports incompleteness).
+    pub truncated: bool,
+}
+
+/// Instantiates `axioms` (each a `Forall` term) against the ground terms of
+/// `roots`.
+pub fn instantiate(
+    arena: &mut TermArena,
+    axioms: &[TermId],
+    roots: &[TermId],
+    config: InstConfig,
+) -> InstOutcome {
+    let mut outcome = InstOutcome::default();
+    let mut universe: HashSet<TermId> = HashSet::new();
+    for &r in roots {
+        collect_subterms(arena, r, &mut universe);
+    }
+    let mut done: HashSet<(TermId, Vec<TermId>)> = HashSet::new();
+
+    for _round in 0..config.max_rounds {
+        let mut new_instances: Vec<TermId> = Vec::new();
+        for &ax in axioms {
+            let Term::Forall(vars, body) = arena.term(ax).clone() else {
+                continue;
+            };
+            let bound: Vec<(TermId, Sort)> = vars
+                .iter()
+                .map(|&(sym, sort)| (arena.mk_var(sym, BOUND_VERSION, sort), sort))
+                .collect();
+            let triggers = select_triggers(arena, body, &bound);
+            if triggers.is_empty() {
+                continue;
+            }
+            let ground: Vec<TermId> = universe.iter().copied().collect();
+            let substs = match_triggers(arena, &triggers, &ground, &bound);
+            for subst in substs {
+                let key: Vec<TermId> = bound.iter().map(|&(v, _)| subst[&v]).collect();
+                if !done.insert((ax, key)) {
+                    continue;
+                }
+                if outcome.instances.len() + new_instances.len() >= config.max_instances {
+                    outcome.truncated = true;
+                    break;
+                }
+                let inst = arena.substitute(body, &subst);
+                new_instances.push(inst);
+            }
+        }
+        if new_instances.is_empty() || outcome.truncated {
+            outcome.instances.extend(new_instances);
+            break;
+        }
+        for &i in &new_instances {
+            collect_subterms(arena, i, &mut universe);
+        }
+        outcome.instances.extend(new_instances);
+    }
+    outcome
+}
+
+/// Chooses trigger patterns for an axiom body: prefer the smallest single
+/// application subterm covering all bound variables; otherwise a greedy set
+/// of application subterms jointly covering them.
+fn select_triggers(arena: &TermArena, body: TermId, bound: &[(TermId, Sort)]) -> Vec<TermId> {
+    let mut subs = HashSet::new();
+    collect_subterms(arena, body, &mut subs);
+    let bound_set: HashSet<TermId> = bound.iter().map(|&(v, _)| v).collect();
+    let mut candidates: Vec<(TermId, HashSet<TermId>, usize)> = Vec::new();
+    for &s in &subs {
+        if !matches!(arena.term(s), Term::App(..) | Term::Sel(..) | Term::Upd(..)) {
+            continue;
+        }
+        let mut inner = HashSet::new();
+        collect_subterms(arena, s, &mut inner);
+        let vars: HashSet<TermId> = inner.intersection(&bound_set).copied().collect();
+        if vars.is_empty() {
+            continue;
+        }
+        candidates.push((s, vars, inner.len()));
+    }
+    // single covering trigger, smallest first
+    candidates.sort_by_key(|&(_, _, size)| size);
+    for (s, vars, _) in &candidates {
+        if vars.len() == bound_set.len() {
+            return vec![*s];
+        }
+    }
+    // greedy cover
+    let mut chosen = Vec::new();
+    let mut covered: HashSet<TermId> = HashSet::new();
+    for (s, vars, _) in &candidates {
+        if !vars.is_subset(&covered) {
+            chosen.push(*s);
+            covered.extend(vars.iter().copied());
+            if covered.len() == bound_set.len() {
+                return chosen;
+            }
+        }
+    }
+    Vec::new() // cannot cover: give up on this axiom
+}
+
+type Subst = HashMap<TermId, TermId>;
+
+fn match_triggers(
+    arena: &TermArena,
+    triggers: &[TermId],
+    ground: &[TermId],
+    bound: &[(TermId, Sort)],
+) -> Vec<Subst> {
+    let mut partials: Vec<Subst> = vec![HashMap::new()];
+    for &trig in triggers {
+        let mut next: Vec<Subst> = Vec::new();
+        for partial in &partials {
+            for &g in ground {
+                if !is_ground(arena, g, bound) {
+                    continue;
+                }
+                let mut subst = partial.clone();
+                if match_pattern(arena, trig, g, &mut subst) {
+                    next.push(subst);
+                }
+            }
+        }
+        next.sort_by_key(|s| {
+            let mut v: Vec<(TermId, TermId)> = s.iter().map(|(&k, &x)| (k, x)).collect();
+            v.sort_unstable();
+            v
+        });
+        next.dedup_by_key(|s| {
+            let mut v: Vec<(TermId, TermId)> = s.iter().map(|(&k, &x)| (k, x)).collect();
+            v.sort_unstable();
+            v
+        });
+        partials = next;
+        if partials.is_empty() {
+            return Vec::new();
+        }
+    }
+    partials
+        .into_iter()
+        .filter(|s| bound.iter().all(|&(v, _)| s.contains_key(&v)))
+        .collect()
+}
+
+fn is_ground(arena: &TermArena, t: TermId, bound: &[(TermId, Sort)]) -> bool {
+    let mut subs = HashSet::new();
+    collect_subterms(arena, t, &mut subs);
+    bound.iter().all(|&(v, _)| !subs.contains(&v))
+        && !subs.iter().any(|&s| {
+            matches!(arena.term(s), Term::Var { version, .. } if *version == BOUND_VERSION)
+        })
+}
+
+/// Syntactic one-way matching: extends `subst` so that `pat[subst] == g`.
+fn match_pattern(arena: &TermArena, pat: TermId, g: TermId, subst: &mut Subst) -> bool {
+    // bound variable?
+    if let Term::Var { version, sort, .. } = arena.term(pat) {
+        if *version == BOUND_VERSION {
+            if arena.sort(g) != *sort {
+                return false;
+            }
+            return match subst.get(&pat) {
+                Some(&existing) => existing == g,
+                None => {
+                    subst.insert(pat, g);
+                    true
+                }
+            };
+        }
+    }
+    if pat == g {
+        return true;
+    }
+    match (arena.term(pat), arena.term(g)) {
+        (Term::App(f, pargs), Term::App(h, gargs)) if f == h && pargs.len() == gargs.len() => {
+            let (pargs, gargs) = (pargs.clone(), gargs.clone());
+            pargs
+                .into_iter()
+                .zip(gargs)
+                .all(|(p, q)| match_pattern(arena, p, q, subst))
+        }
+        (Term::Sel(a1, b1), Term::Sel(a2, b2)) => {
+            let (a1, b1, a2, b2) = (*a1, *b1, *a2, *b2);
+            match_pattern(arena, a1, a2, subst) && match_pattern(arena, b1, b2, subst)
+        }
+        (Term::Upd(a1, b1, c1), Term::Upd(a2, b2, c2)) => {
+            let (a1, b1, c1, a2, b2, c2) = (*a1, *b1, *c1, *a2, *b2, *c2);
+            match_pattern(arena, a1, a2, subst)
+                && match_pattern(arena, b1, b2, subst)
+                && match_pattern(arena, c1, c2, subst)
+        }
+        (Term::Add(a1, b1), Term::Add(a2, b2))
+        | (Term::Sub(a1, b1), Term::Sub(a2, b2))
+        | (Term::Mul(a1, b1), Term::Mul(a2, b2)) => {
+            let (a1, b1, a2, b2) = (*a1, *b1, *a2, *b2);
+            match_pattern(arena, a1, a2, subst) && match_pattern(arena, b1, b2, subst)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the axiom `forall s, c. strlen(append(s, c)) = strlen(s) + 1`.
+    fn strlen_axiom(arena: &mut TermArena) -> (TermId, pins_logic::Symbol, pins_logic::Symbol) {
+        let str_sort = Sort::Unint(arena.sym("Str"));
+        let ch_sort = Sort::Unint(arena.sym("Char"));
+        let strlen = arena.declare_fun("strlen", vec![str_sort], Sort::Int);
+        let append = arena.declare_fun("append", vec![str_sort, ch_sort], str_sort);
+        let s = arena.sym("s");
+        let c = arena.sym("c");
+        let bs = arena.mk_bound(s, str_sort);
+        let bc = arena.mk_bound(c, ch_sort);
+        let app = arena.mk_app(append, vec![bs, bc]);
+        let lhs = arena.mk_app(strlen, vec![app]);
+        let inner = arena.mk_app(strlen, vec![bs]);
+        let one = arena.mk_int(1);
+        let rhs = arena.mk_add(inner, one);
+        let body = arena.mk_eq(lhs, rhs);
+        let ax = arena.mk_forall(vec![(s, str_sort), (c, ch_sort)], body);
+        (ax, strlen, append)
+    }
+
+    #[test]
+    fn instantiates_matching_ground_terms() {
+        let mut arena = TermArena::new();
+        let (ax, strlen, append) = strlen_axiom(&mut arena);
+        let str_sort = Sort::Unint(arena.sym("Str"));
+        let ch_sort = Sort::Unint(arena.sym("Char"));
+        let w = arena.sym("w");
+        let d = arena.sym("d");
+        let vw = arena.mk_var(w, 0, str_sort);
+        let vd = arena.mk_var(d, 0, ch_sort);
+        let appended = arena.mk_app(append, vec![vw, vd]);
+        let len = arena.mk_app(strlen, vec![appended]);
+        let five = arena.mk_int(5);
+        let root = arena.mk_eq(len, five);
+        let out = instantiate(&mut arena, &[ax], &[root], InstConfig::default());
+        assert_eq!(out.instances.len(), 1);
+        // The instance should be strlen(append(w,d)) = strlen(w) + 1.
+        let shown = arena.display(out.instances[0]).to_string();
+        assert!(shown.contains("strlen"), "unexpected instance {shown}");
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn no_matches_no_instances() {
+        let mut arena = TermArena::new();
+        let (ax, _, _) = strlen_axiom(&mut arena);
+        let x = arena.sym("x");
+        let vx = arena.mk_var(x, 0, Sort::Int);
+        let one = arena.mk_int(1);
+        let root = arena.mk_le(vx, one);
+        let out = instantiate(&mut arena, &[ax], &[root], InstConfig::default());
+        assert!(out.instances.is_empty());
+    }
+
+    #[test]
+    fn chained_rounds_follow_new_terms() {
+        // ground term append(append(e, c1), c2): round 1 instantiates the
+        // outer application; the instance mentions strlen(append(e,c1)),
+        // which licenses the inner instance in round 2.
+        let mut arena = TermArena::new();
+        let (ax, strlen, append) = strlen_axiom(&mut arena);
+        let str_sort = Sort::Unint(arena.sym("Str"));
+        let ch_sort = Sort::Unint(arena.sym("Char"));
+        let e = arena.mk_var(arena.symbols().get("s").unwrap(), 0, str_sort);
+        let c1 = {
+            let c = arena.sym("c1");
+            arena.mk_var(c, 0, ch_sort)
+        };
+        let c2 = {
+            let c = arena.sym("c2");
+            arena.mk_var(c, 0, ch_sort)
+        };
+        let inner = arena.mk_app(append, vec![e, c1]);
+        let outer = arena.mk_app(append, vec![inner, c2]);
+        let len = arena.mk_app(strlen, vec![outer]);
+        let five = arena.mk_int(5);
+        let root = arena.mk_eq(len, five);
+        let out = instantiate(&mut arena, &[ax], &[root], InstConfig::default());
+        assert_eq!(out.instances.len(), 2, "expected chained instantiation");
+    }
+
+    #[test]
+    fn instance_cap_reported() {
+        let mut arena = TermArena::new();
+        let (ax, strlen, append) = strlen_axiom(&mut arena);
+        let str_sort = Sort::Unint(arena.sym("Str"));
+        let ch_sort = Sort::Unint(arena.sym("Char"));
+        let base = {
+            let s = arena.sym("base");
+            arena.mk_var(s, 0, str_sort)
+        };
+        let c = {
+            let c = arena.sym("c");
+            arena.mk_var(c, 0, ch_sort)
+        };
+        let mut t = base;
+        for _ in 0..10 {
+            t = arena.mk_app(append, vec![t, c]);
+        }
+        let len = arena.mk_app(strlen, vec![t]);
+        let zero = arena.mk_int(0);
+        let root = arena.mk_eq(len, zero);
+        let out = instantiate(
+            &mut arena,
+            &[ax],
+            &[root],
+            InstConfig { max_rounds: 10, max_instances: 3 },
+        );
+        assert!(out.truncated);
+        assert!(out.instances.len() <= 3);
+        let _ = strlen;
+    }
+}

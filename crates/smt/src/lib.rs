@@ -1,0 +1,68 @@
+//! An SMT solver for PINS: the stand-in for Z3.
+//!
+//! The paper's engine issues three kinds of queries, all supported here:
+//!
+//! 1. **feasibility** of a path condition during solution-guided symbolic
+//!    execution (Rule ASSUME of Figure 3);
+//! 2. **validity** of safety/termination constraints under a candidate
+//!    solution (the SMT-reduction inside `solve`);
+//! 3. **model extraction** to emit concrete test inputs for explored paths
+//!    (Section 2.5).
+//!
+//! Architecture: a lazy DPLL(T) loop over the CDCL solver from
+//! [`pins_sat`]. Theory reasoning combines congruence closure
+//! ([`Euf`]), a Dutertre–de Moura simplex with branch-and-bound for
+//! linear integer arithmetic ([`Lia`]), array read-over-write
+//! lemmas on demand, integer disequality splitting, and model-based theory
+//! combination. Quantified library axioms — the paper's mechanism for
+//! modular synthesis over external functions — are grounded by
+//! trigger-based instantiation ([`instantiate`]).
+//!
+//! `Unsat` answers are always sound (instantiation only helps refutation);
+//! `Sat` answers carry a [`Model`] whose `complete` flag records whether a
+//! budget was hit.
+//!
+//! # Example
+//!
+//! ```
+//! use pins_logic::{TermArena, Sort};
+//! use pins_smt::{check_formulas, SmtConfig, SmtResult};
+//!
+//! let mut arena = TermArena::new();
+//! let x = arena.sym("x");
+//! let vx = arena.mk_var(x, 0, Sort::Int);
+//! let two = arena.mk_int(2);
+//! let five = arena.mk_int(5);
+//! let lo = arena.mk_lt(two, vx);    // 2 < x
+//! let hi = arena.mk_lt(vx, five);   // x < 5
+//! match check_formulas(&mut arena, &[lo, hi], &[], SmtConfig::default()) {
+//!     SmtResult::Sat(model) => {
+//!         let v = model.ints[&vx];
+//!         assert!(v > 2 && v < 5);
+//!     }
+//!     _ => panic!("expected sat"),
+//! }
+//! ```
+
+mod ematch;
+mod euf;
+mod inst;
+mod linear;
+mod model;
+mod prep;
+mod rational;
+mod simplex;
+mod solver;
+
+pub use ematch::{ematch_round, EmatchConfig};
+pub use euf::Euf;
+pub use inst::{instantiate, InstConfig, InstOutcome};
+pub use linear::{linearize, LinExpr};
+pub use model::Model;
+pub use prep::{preprocess, Prepped};
+pub use rational::Rat;
+pub use simplex::Lia;
+pub use solver::{check_formulas, is_unsat, is_valid, Smt, SmtConfig, SmtResult, SmtStats};
+
+#[cfg(test)]
+mod tests;

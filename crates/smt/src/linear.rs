@@ -1,0 +1,172 @@
+//! Linearization of integer terms into linear expressions over *opaque*
+//! atoms (variables, array reads, uninterpreted applications, and non-linear
+//! multiplications), the interface between the term language and the
+//! simplex core.
+
+use std::collections::HashMap;
+
+use pins_logic::{Term, TermArena, TermId};
+
+/// `constant + sum coeffs[t] * t` over opaque integer terms `t`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinExpr {
+    /// Coefficients of opaque terms.
+    pub coeffs: HashMap<TermId, i64>,
+    /// The constant offset.
+    pub constant: i64,
+}
+
+impl LinExpr {
+    fn add_term(&mut self, t: TermId, c: i64) {
+        let e = self.coeffs.entry(t).or_insert(0);
+        *e += c;
+        if *e == 0 {
+            self.coeffs.remove(&t);
+        }
+    }
+
+    fn scale(&mut self, k: i64) {
+        self.constant *= k;
+        self.coeffs.retain(|_, c| {
+            *c *= k;
+            *c != 0
+        });
+    }
+
+    fn merge(&mut self, other: LinExpr, sign: i64) {
+        self.constant += sign * other.constant;
+        for (t, c) in other.coeffs {
+            self.add_term(t, sign * c);
+        }
+    }
+
+    /// Whether the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Subtracts `other` in place.
+    pub fn sub_assign(&mut self, other: &LinExpr) {
+        self.merge(other.clone(), -1);
+    }
+}
+
+/// Linearizes an `Int`-sorted term. Opaque leaves are variables, `sel`
+/// reads, uninterpreted applications and non-linear products.
+///
+/// # Panics
+///
+/// Panics on `Hole` terms (holes must be substituted before SMT solving)
+/// and on non-integer input.
+pub fn linearize(arena: &TermArena, t: TermId) -> LinExpr {
+    debug_assert!(arena.sort(t).is_int(), "linearize requires an Int term");
+    let mut out = LinExpr::default();
+    lin_rec(arena, t, 1, &mut out);
+    out
+}
+
+fn lin_rec(arena: &TermArena, t: TermId, sign: i64, out: &mut LinExpr) {
+    match arena.term(t) {
+        Term::IntConst(v) => out.constant += sign * v,
+        Term::Add(a, b) => {
+            lin_rec(arena, *a, sign, out);
+            lin_rec(arena, *b, sign, out);
+        }
+        Term::Sub(a, b) => {
+            lin_rec(arena, *a, sign, out);
+            lin_rec(arena, *b, -sign, out);
+        }
+        Term::Mul(a, b) => {
+            let (a, b) = (*a, *b);
+            match (arena.term(a), arena.term(b)) {
+                (Term::IntConst(k), _) => {
+                    let mut inner = LinExpr::default();
+                    lin_rec(arena, b, 1, &mut inner);
+                    inner.scale(sign * k);
+                    out.merge(inner, 1);
+                }
+                (_, Term::IntConst(k)) => {
+                    let mut inner = LinExpr::default();
+                    lin_rec(arena, a, 1, &mut inner);
+                    inner.scale(sign * k);
+                    out.merge(inner, 1);
+                }
+                _ => out.add_term(t, sign), // non-linear: opaque
+            }
+        }
+        // holes act as opaque constants when a partial solution leaves them
+        // unfilled during a feasibility probe
+        Term::Var { .. } | Term::Sel(..) | Term::App(..) | Term::Hole(..) => out.add_term(t, sign),
+        other => panic!("non-integer structure in linearize: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pins_logic::Sort;
+
+    #[test]
+    fn linear_combination() {
+        let mut a = TermArena::new();
+        let x = a.sym("x");
+        let y = a.sym("y");
+        let vx = a.mk_var(x, 0, Sort::Int);
+        let vy = a.mk_var(y, 0, Sort::Int);
+        let three = a.mk_int(3);
+        let t1 = a.mk_mul(three, vx);
+        let sum = a.mk_add(t1, vy);
+        let seven = a.mk_int(7);
+        let t = a.mk_sub(sum, seven);
+        let lin = linearize(&a, t);
+        assert_eq!(lin.constant, -7);
+        assert_eq!(lin.coeffs[&vx], 3);
+        assert_eq!(lin.coeffs[&vy], 1);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut a = TermArena::new();
+        let x = a.sym("x");
+        let vx = a.mk_var(x, 0, Sort::Int);
+        let two = a.mk_int(2);
+        let t1 = a.mk_mul(two, vx);
+        let sum = a.mk_add(t1, vx); // 3x... careful: 2x + x
+        let three_x = linearize(&a, sum);
+        assert_eq!(three_x.coeffs[&vx], 3);
+        // x - x folds in the arena already; 2x - 2x must cancel here
+        let t2 = a.mk_mul(two, vx);
+        let diff = a.mk_sub(t1, t2);
+        let lin = linearize(&a, diff);
+        assert!(lin.is_constant());
+        assert_eq!(lin.constant, 0);
+    }
+
+    #[test]
+    fn nonlinear_products_are_opaque() {
+        let mut a = TermArena::new();
+        let x = a.sym("x");
+        let y = a.sym("y");
+        let vx = a.mk_var(x, 0, Sort::Int);
+        let vy = a.mk_var(y, 0, Sort::Int);
+        let xy = a.mk_mul(vx, vy);
+        let lin = linearize(&a, xy);
+        assert_eq!(lin.coeffs.len(), 1);
+        assert_eq!(lin.coeffs[&xy], 1);
+    }
+
+    #[test]
+    fn sel_and_app_are_opaque() {
+        let mut a = TermArena::new();
+        let arr = a.sym("A");
+        let i = a.sym("i");
+        let va = a.mk_var(arr, 0, Sort::IntArray);
+        let vi = a.mk_var(i, 0, Sort::Int);
+        let sel = a.mk_sel(va, vi);
+        let one = a.mk_int(1);
+        let t = a.mk_add(sel, one);
+        let lin = linearize(&a, t);
+        assert_eq!(lin.constant, 1);
+        assert_eq!(lin.coeffs[&sel], 1);
+    }
+}

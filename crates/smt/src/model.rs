@@ -1,0 +1,90 @@
+//! Satisfying assignments extracted from the solver, used by PINS for
+//! concrete-test generation (Section 2.5 of the paper).
+
+use std::collections::HashMap;
+
+use pins_logic::{Term, TermArena, TermId};
+
+/// A first-order model over the terms that occurred in the checked formula.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    /// Whether the answer is exact. `false` when quantifier instantiation or
+    /// branch-and-bound budgets were hit: the assignment satisfies the
+    /// grounded approximation only.
+    pub complete: bool,
+    /// Values of integer-sorted terms (opaque LIA atoms and constants).
+    pub ints: HashMap<TermId, i64>,
+    /// Truth values of boolean atoms.
+    pub bools: HashMap<TermId, bool>,
+    /// Per array-class representative: known (index, element) pairs.
+    pub arrays: HashMap<TermId, Vec<(i64, i64)>>,
+    /// Uninterpreted-sort terms mapped to their class identifier.
+    pub unints: HashMap<TermId, u64>,
+}
+
+impl Model {
+    /// The integer value of `t`, structurally evaluated if needed.
+    /// Unknown opaque leaves default to 0 (the model only guarantees values
+    /// for terms that appeared in the solved formula).
+    pub fn eval_int(&self, arena: &TermArena, t: TermId) -> i64 {
+        if let Some(&v) = self.ints.get(&t) {
+            return v;
+        }
+        match arena.term(t) {
+            Term::IntConst(v) => *v,
+            Term::Add(a, b) => self.eval_int(arena, *a).wrapping_add(self.eval_int(arena, *b)),
+            Term::Sub(a, b) => self.eval_int(arena, *a).wrapping_sub(self.eval_int(arena, *b)),
+            Term::Mul(a, b) => self.eval_int(arena, *a).wrapping_mul(self.eval_int(arena, *b)),
+            Term::Sel(a, i) => {
+                let idx = self.eval_int(arena, *i);
+                self.array_lookup(arena, *a, idx)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Array element `a[idx]` according to the model (default 0).
+    pub fn array_lookup(&self, arena: &TermArena, a: TermId, idx: i64) -> i64 {
+        match arena.term(a) {
+            Term::Upd(base, i, v) => {
+                if self.eval_int(arena, *i) == idx {
+                    self.eval_int(arena, *v)
+                } else {
+                    self.array_lookup(arena, *base, idx)
+                }
+            }
+            _ => self
+                .arrays
+                .get(&a)
+                .and_then(|entries| {
+                    entries.iter().find(|&&(i, _)| i == idx).map(|&(_, v)| v)
+                })
+                .unwrap_or(0),
+        }
+    }
+
+    /// The truth value of a boolean term, structurally evaluated.
+    pub fn eval_bool(&self, arena: &TermArena, t: TermId) -> bool {
+        if let Some(&v) = self.bools.get(&t) {
+            return v;
+        }
+        match arena.term(t) {
+            Term::BoolConst(b) => *b,
+            Term::Not(a) => !self.eval_bool(arena, *a),
+            Term::And(kids) => kids.iter().all(|&k| self.eval_bool(arena, k)),
+            Term::Or(kids) => kids.iter().any(|&k| self.eval_bool(arena, k)),
+            Term::Le(a, b) => self.eval_int(arena, *a) <= self.eval_int(arena, *b),
+            Term::Lt(a, b) => self.eval_int(arena, *a) < self.eval_int(arena, *b),
+            Term::Eq(a, b) => {
+                if arena.sort(*a).is_int() {
+                    self.eval_int(arena, *a) == self.eval_int(arena, *b)
+                } else if arena.sort(*a).is_bool() {
+                    self.eval_bool(arena, *a) == self.eval_bool(arena, *b)
+                } else {
+                    self.unints.get(a) == self.unints.get(b)
+                }
+            }
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Exact rational arithmetic over `i128`, used by the simplex core.
+//!
+//! Coefficients in PINS constraints are tiny (±1, ±2, small constants), so an
+//! `i128` numerator/denominator pair with eager GCD normalisation has ample
+//! headroom. All operations use checked arithmetic and panic on overflow —
+//! which would indicate a bug, not a data-dependent condition.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128, // always > 0
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Constructs `num / den`, normalised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num, den);
+        let (num, den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            Rat { num: -num, den: -den }
+        } else {
+            Rat { num, den }
+        }
+    }
+
+    /// The integer `v` as a rational.
+    pub fn from_int(v: i64) -> Rat {
+        Rat { num: v as i128, den: 1 }
+    }
+
+    /// Numerator (after normalisation; sign lives here).
+    pub fn num(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(self) -> i128 {
+        self.den
+    }
+
+    /// Whether this is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Truncation toward negative infinity.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Truncation toward positive infinity.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn recip(self) -> Rat {
+        Rat::new(self.den, self.num)
+    }
+
+    /// Converts to `i64` when integral and in range.
+    pub fn to_i64(self) -> Option<i64> {
+        if self.den == 1 {
+            i64::try_from(self.num).ok()
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        let num = self
+            .num
+            .checked_mul(rhs.den)
+            .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+            .expect("rational overflow in add");
+        let den = self.den.checked_mul(rhs.den).expect("rational overflow in add");
+        Rat::new(num, den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        // cross-reduce first to keep magnitudes small
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect("rational overflow in mul");
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect("rational overflow in mul");
+        Rat::new(num, den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        let lhs = self.num.checked_mul(other.den).expect("rational overflow in cmp");
+        let rhs = other.num.checked_mul(self.den).expect("rational overflow in cmp");
+        lhs.cmp(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let half = Rat::new(1, 2);
+        let third = Rat::new(1, 3);
+        assert_eq!(half + third, Rat::new(5, 6));
+        assert_eq!(half - third, Rat::new(1, 6));
+        assert_eq!(half * third, Rat::new(1, 6));
+        assert_eq!(half / third, Rat::new(3, 2));
+        assert_eq!(-half, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::from_int(5).floor(), 5);
+        assert_eq!(Rat::from_int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::from_int(2) > Rat::new(3, 2));
+    }
+}

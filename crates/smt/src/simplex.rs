@@ -1,0 +1,537 @@
+//! A Dutertre–de Moura style simplex core for linear *integer* arithmetic.
+//!
+//! All atoms PINS generates compare integer-sorted terms, so strict
+//! inequalities are tightened to non-strict ones over the integers before
+//! they reach this module (`x < y` becomes `x + 1 <= y`); no
+//! delta-rationals are needed. Rational relaxation is solved with the
+//! classic bounds-aware simplex; integrality is restored by branch-and-bound
+//! with explanation propagation.
+
+use std::collections::HashMap;
+
+use crate::rational::Rat;
+
+/// A reason tag attached to an asserted bound. The SMT layer uses SAT
+/// literal codes; branch-and-bound uses private marker tags above
+/// [`MARKER_BASE`], which never leak out of [`Lia::check_int`].
+pub type Reason = u32;
+
+const MARKER_BASE: Reason = u32::MAX / 2;
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bound {
+    value: Rat,
+    reason: Reason,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    basic: usize,
+    /// `basic = sum coeffs[j] * x_j` over non-basic `j`.
+    coeffs: HashMap<usize, Rat>,
+}
+
+/// An incremental linear-integer-arithmetic solver.
+///
+/// Usage: create variables, assert bounds on linear expressions (a slack
+/// variable is introduced per distinct expression), then call
+/// [`Lia::check_int`]. Bound assertions and checks return conflict
+/// *explanations*: sets of reason tags whose bounds are jointly
+/// integer-infeasible.
+#[derive(Debug, Clone, Default)]
+pub struct Lia {
+    values: Vec<Rat>,
+    lower: Vec<Option<Bound>>,
+    upper: Vec<Option<Bound>>,
+    rows: Vec<Row>,
+    /// var -> row index if basic
+    row_of: Vec<Option<usize>>,
+    /// memo: normalised expression -> slack var
+    slack_of: HashMap<Vec<(usize, i64)>, usize>,
+    /// inverse of `slack_of`, used for GCD bound tightening
+    expr_of_slack: HashMap<usize, Vec<(usize, i64)>>,
+    next_marker: Reason,
+    /// Set when branch-and-bound hit its depth budget and answered "sat"
+    /// without restoring integrality; the SMT layer reports `Unknown`.
+    pub int_incomplete: bool,
+}
+
+impl Lia {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Lia { next_marker: MARKER_BASE, ..Default::default() }
+    }
+
+    /// Allocates a fresh integer variable.
+    pub fn new_var(&mut self) -> usize {
+        let v = self.values.len();
+        self.values.push(Rat::ZERO);
+        self.lower.push(None);
+        self.upper.push(None);
+        self.row_of.push(None);
+        v
+    }
+
+    /// Number of variables (including slacks).
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Current (rational) value of `v`.
+    pub fn value(&self, v: usize) -> Rat {
+        self.values[v]
+    }
+
+    /// Returns the slack variable standing for the linear expression, creating
+    /// its defining row on first use. `expr` maps variables to coefficients;
+    /// it must be non-empty and is normalised by sorting.
+    pub fn slack_for(&mut self, expr: &[(usize, i64)]) -> usize {
+        let mut key: Vec<(usize, i64)> = expr.to_vec();
+        key.sort_unstable();
+        if let Some(&s) = self.slack_of.get(&key) {
+            return s;
+        }
+        let s = self.new_var();
+        // express the row over non-basic variables only
+        let mut coeffs: HashMap<usize, Rat> = HashMap::new();
+        for &(v, c) in &key {
+            let c = Rat::from_int(c);
+            if let Some(r) = self.row_of[v] {
+                for (&u, &cu) in &self.rows[r].coeffs {
+                    let e = coeffs.entry(u).or_insert(Rat::ZERO);
+                    *e = *e + c * cu;
+                }
+            } else {
+                let e = coeffs.entry(v).or_insert(Rat::ZERO);
+                *e = *e + c;
+            }
+        }
+        coeffs.retain(|_, c| !c.is_zero());
+        // value of the slack = current value of the expression
+        let mut val = Rat::ZERO;
+        for (&u, &cu) in &coeffs {
+            val = val + cu * self.values[u];
+        }
+        self.values[s] = val;
+        let row_idx = self.rows.len();
+        self.rows.push(Row { basic: s, coeffs });
+        self.row_of[s] = Some(row_idx);
+        self.slack_of.insert(key.clone(), s);
+        self.expr_of_slack.insert(s, key);
+        s
+    }
+
+    /// GCD-based bound tightening: a slack `s = sum c_i * x_i` over integer
+    /// variables is always a multiple of `g = gcd(c_i)`, so its bounds can be
+    /// rounded inward to multiples of `g`. Detects e.g. `2x - 2y = 1`
+    /// directly, which plain branch-and-bound diverges on.
+    fn gcd_tighten(&mut self) -> Result<(), Vec<Reason>> {
+        let slacks: Vec<(usize, i128)> = self
+            .expr_of_slack
+            .iter()
+            .map(|(&s, expr)| {
+                let mut g: i128 = 0;
+                for &(_, c) in expr {
+                    g = gcd_i128(g, c as i128);
+                }
+                (s, g)
+            })
+            .collect();
+        for (s, g) in slacks {
+            if g <= 1 {
+                continue;
+            }
+            let gr = Rat::new(g, 1);
+            if let Some(lb) = self.lower[s] {
+                // round up to the next multiple of g
+                let q = (lb.value / gr).ceil();
+                let tight = gr * Rat::new(q, 1);
+                if tight > lb.value {
+                    self.assert_lower(s, tight, lb.reason)?;
+                }
+            }
+            if let Some(ub) = self.upper[s] {
+                let q = (ub.value / gr).floor();
+                let tight = gr * Rat::new(q, 1);
+                if tight < ub.value {
+                    self.assert_upper(s, tight, ub.reason)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Asserts `v >= c`. On immediate conflict with the existing upper bound,
+    /// returns the two reasons.
+    pub fn assert_lower(&mut self, v: usize, c: Rat, reason: Reason) -> Result<(), Vec<Reason>> {
+        if let Some(lb) = self.lower[v] {
+            if c <= lb.value {
+                return Ok(());
+            }
+        }
+        if let Some(ub) = self.upper[v] {
+            if c > ub.value {
+                return Err(vec![reason, ub.reason]);
+            }
+        }
+        self.lower[v] = Some(Bound { value: c, reason });
+        if self.row_of[v].is_none() && self.values[v] < c {
+            self.update_nonbasic(v, c);
+        }
+        Ok(())
+    }
+
+    /// Asserts `v <= c`.
+    pub fn assert_upper(&mut self, v: usize, c: Rat, reason: Reason) -> Result<(), Vec<Reason>> {
+        if let Some(ub) = self.upper[v] {
+            if c >= ub.value {
+                return Ok(());
+            }
+        }
+        if let Some(lb) = self.lower[v] {
+            if c < lb.value {
+                return Err(vec![reason, lb.reason]);
+            }
+        }
+        self.upper[v] = Some(Bound { value: c, reason });
+        if self.row_of[v].is_none() && self.values[v] > c {
+            self.update_nonbasic(v, c);
+        }
+        Ok(())
+    }
+
+    fn update_nonbasic(&mut self, v: usize, c: Rat) {
+        let delta = c - self.values[v];
+        self.values[v] = c;
+        for row in &self.rows {
+            if let Some(&coeff) = row.coeffs.get(&v) {
+                self.values[row.basic] = self.values[row.basic] + coeff * delta;
+            }
+        }
+    }
+
+    fn violation(&self) -> Option<(usize, bool)> {
+        // Bland's rule: smallest violating basic variable; `true` = below lower.
+        let mut best: Option<(usize, bool)> = None;
+        for row in &self.rows {
+            let b = row.basic;
+            let val = self.values[b];
+            let viol = if self.lower[b].is_some_and(|lb| val < lb.value) {
+                Some((b, true))
+            } else if self.upper[b].is_some_and(|ub| val > ub.value) {
+                Some((b, false))
+            } else {
+                None
+            };
+            if let Some(v) = viol {
+                if best.is_none_or(|(bv, _)| v.0 < bv) {
+                    best = Some(v);
+                }
+            }
+        }
+        best
+    }
+
+    /// Restores the rational feasibility invariant. On infeasibility, returns
+    /// an explanation (set of bound reasons).
+    pub fn check(&mut self) -> Result<(), Vec<Reason>> {
+        loop {
+            let Some((xi, below)) = self.violation() else {
+                return Ok(());
+            };
+            let r = self.row_of[xi].expect("violating var must be basic");
+            let target = if below {
+                self.lower[xi].unwrap().value
+            } else {
+                self.upper[xi].unwrap().value
+            };
+            // find pivot column (Bland: smallest suitable non-basic var)
+            let mut pivot: Option<usize> = None;
+            {
+                let row = &self.rows[r];
+                let mut cands: Vec<usize> = row.coeffs.keys().copied().collect();
+                cands.sort_unstable();
+                for j in cands {
+                    let a = row.coeffs[&j];
+                    let suitable = if below {
+                        (a > Rat::ZERO && self.upper[j].is_none_or(|ub| self.values[j] < ub.value))
+                            || (a < Rat::ZERO
+                                && self.lower[j].is_none_or(|lb| self.values[j] > lb.value))
+                    } else {
+                        (a < Rat::ZERO && self.upper[j].is_none_or(|ub| self.values[j] < ub.value))
+                            || (a > Rat::ZERO
+                                && self.lower[j].is_none_or(|lb| self.values[j] > lb.value))
+                    };
+                    if suitable {
+                        pivot = Some(j);
+                        break;
+                    }
+                }
+            }
+            match pivot {
+                Some(xj) => self.pivot_and_update(r, xi, xj, target),
+                None => {
+                    // infeasible: collect the explanation from the row
+                    let mut expl = Vec::new();
+                    if below {
+                        expl.push(self.lower[xi].unwrap().reason);
+                        for (&j, &a) in &self.rows[r].coeffs {
+                            if a > Rat::ZERO {
+                                expl.push(self.upper[j].expect("bound must exist").reason);
+                            } else {
+                                expl.push(self.lower[j].expect("bound must exist").reason);
+                            }
+                        }
+                    } else {
+                        expl.push(self.upper[xi].unwrap().reason);
+                        for (&j, &a) in &self.rows[r].coeffs {
+                            if a > Rat::ZERO {
+                                expl.push(self.lower[j].expect("bound must exist").reason);
+                            } else {
+                                expl.push(self.upper[j].expect("bound must exist").reason);
+                            }
+                        }
+                    }
+                    expl.sort_unstable();
+                    expl.dedup();
+                    return Err(expl);
+                }
+            }
+        }
+    }
+
+    /// Pivot basic `xi` (row `r`) with non-basic `xj`, setting `xi` to `target`.
+    fn pivot_and_update(&mut self, r: usize, xi: usize, xj: usize, target: Rat) {
+        let a_ij = self.rows[r].coeffs[&xj];
+        let theta = (target - self.values[xi]) / a_ij;
+        self.values[xi] = target;
+        let old_xj = self.values[xj];
+        self.values[xj] = old_xj + theta;
+        for row in &self.rows {
+            if row.basic != xi {
+                if let Some(&c) = row.coeffs.get(&xj) {
+                    self.values[row.basic] = self.values[row.basic] + c * theta;
+                }
+            }
+        }
+        // rewrite row r: xi = a_ij * xj + rest  =>  xj = (xi - rest) / a_ij
+        let mut new_coeffs: HashMap<usize, Rat> = HashMap::new();
+        let inv = a_ij.recip();
+        new_coeffs.insert(xi, inv);
+        let old = self.rows[r].coeffs.clone();
+        for (&k, &c) in &old {
+            if k != xj {
+                new_coeffs.insert(k, -(c / a_ij));
+            }
+        }
+        new_coeffs.retain(|_, c| !c.is_zero());
+        self.rows[r] = Row { basic: xj, coeffs: new_coeffs };
+        self.row_of[xi] = None;
+        self.row_of[xj] = Some(r);
+        // substitute xj in all other rows
+        let subst = self.rows[r].coeffs.clone();
+        for i in 0..self.rows.len() {
+            if i == r {
+                continue;
+            }
+            if let Some(c) = self.rows[i].coeffs.remove(&xj) {
+                for (&k, &ck) in &subst {
+                    let e = self.rows[i].coeffs.entry(k).or_insert(Rat::ZERO);
+                    *e = *e + c * ck;
+                }
+                self.rows[i].coeffs.retain(|_, v| !v.is_zero());
+            }
+        }
+    }
+
+    /// Checks satisfiability over the *integers* via branch-and-bound.
+    ///
+    /// On success the internal assignment is integral (unless the depth
+    /// budget ran out, flagged by `int_incomplete`). On failure returns an
+    /// explanation over the caller's reason tags.
+    pub fn check_int(&mut self, max_depth: u32) -> Result<(), Vec<Reason>> {
+        self.gcd_tighten()?;
+        self.check()?;
+        let frac = (0..self.values.len()).find(|&v| !self.values[v].is_integer());
+        let Some(x) = frac else {
+            return Ok(());
+        };
+        if max_depth == 0 {
+            self.int_incomplete = true;
+            return Ok(());
+        }
+        let val = self.values[x];
+        let marker = self.next_marker;
+        self.next_marker += 1;
+
+        let mut left = self.clone();
+        let left_result = left
+            .assert_upper(x, Rat::from_int(val.floor() as i64), marker)
+            .and_then(|()| left.check_int(max_depth - 1));
+        match left_result {
+            Ok(()) => {
+                *self = left;
+                return Ok(());
+            }
+            Err(e1) => {
+                if !e1.contains(&marker) {
+                    return Err(e1); // independent of the branch: lift directly
+                }
+                let mut right = self.clone();
+                let right_result = right
+                    .assert_lower(x, Rat::from_int(val.ceil() as i64), marker)
+                    .and_then(|()| right.check_int(max_depth - 1));
+                match right_result {
+                    Ok(()) => {
+                        *self = right;
+                        Ok(())
+                    }
+                    Err(e2) => {
+                        if !e2.contains(&marker) {
+                            return Err(e2);
+                        }
+                        let mut expl: Vec<Reason> = e1
+                            .into_iter()
+                            .chain(e2)
+                            .filter(|&t| t != marker)
+                            .collect();
+                        expl.sort_unstable();
+                        expl.dedup();
+                        Err(expl)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+
+    #[test]
+    fn feasible_box() {
+        let mut lia = Lia::new();
+        let x = lia.new_var();
+        let y = lia.new_var();
+        lia.assert_lower(x, r(1), 0).unwrap();
+        lia.assert_upper(x, r(5), 1).unwrap();
+        lia.assert_lower(y, r(2), 2).unwrap();
+        lia.assert_upper(y, r(3), 3).unwrap();
+        assert!(lia.check_int(20).is_ok());
+        assert!(lia.value(x) >= r(1) && lia.value(x) <= r(5));
+        assert!(lia.value(y) >= r(2) && lia.value(y) <= r(3));
+    }
+
+    #[test]
+    fn direct_bound_clash() {
+        let mut lia = Lia::new();
+        let x = lia.new_var();
+        lia.assert_lower(x, r(5), 7).unwrap();
+        let e = lia.assert_upper(x, r(4), 9).unwrap_err();
+        assert!(e.contains(&7) && e.contains(&9));
+    }
+
+    #[test]
+    fn sum_constraint_infeasible() {
+        // x + y >= 10, x <= 3, y <= 3
+        let mut lia = Lia::new();
+        let x = lia.new_var();
+        let y = lia.new_var();
+        let s = lia.slack_for(&[(x, 1), (y, 1)]);
+        lia.assert_lower(s, r(10), 0).unwrap();
+        lia.assert_upper(x, r(3), 1).unwrap();
+        lia.assert_upper(y, r(3), 2).unwrap();
+        let e = lia.check_int(20).unwrap_err();
+        assert_eq!(e, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sum_constraint_feasible_model() {
+        let mut lia = Lia::new();
+        let x = lia.new_var();
+        let y = lia.new_var();
+        let s = lia.slack_for(&[(x, 1), (y, 1)]);
+        lia.assert_lower(s, r(10), 0).unwrap();
+        lia.assert_upper(x, r(7), 1).unwrap();
+        lia.assert_upper(y, r(7), 2).unwrap();
+        assert!(lia.check_int(20).is_ok());
+        let (vx, vy) = (lia.value(x), lia.value(y));
+        assert!(vx + vy >= r(10));
+        assert!(vx <= r(7) && vy <= r(7));
+        assert!(vx.is_integer() && vy.is_integer());
+    }
+
+    #[test]
+    fn integrality_requires_branching() {
+        // 2x = 1 has a rational solution but no integer one.
+        let mut lia = Lia::new();
+        let x = lia.new_var();
+        let s = lia.slack_for(&[(x, 2)]);
+        lia.assert_lower(s, r(1), 0).unwrap();
+        lia.assert_upper(s, r(1), 1).unwrap();
+        let e = lia.check_int(20).unwrap_err();
+        assert!(!e.is_empty());
+        assert!(e.iter().all(|&t| t < MARKER_BASE), "markers must not leak: {e:?}");
+    }
+
+    #[test]
+    fn integral_branching_succeeds() {
+        // 2x + 3y = 7 with 0 <= x,y <= 5 has integer solutions (2,1).
+        let mut lia = Lia::new();
+        let x = lia.new_var();
+        let y = lia.new_var();
+        let s = lia.slack_for(&[(x, 2), (y, 3)]);
+        lia.assert_lower(s, r(7), 0).unwrap();
+        lia.assert_upper(s, r(7), 1).unwrap();
+        for (v, lo_r, hi_r) in [(x, 2, 3), (y, 4, 5)] {
+            lia.assert_lower(v, r(0), lo_r).unwrap();
+            lia.assert_upper(v, r(5), hi_r).unwrap();
+        }
+        assert!(lia.check_int(30).is_ok());
+        let (vx, vy) = (lia.value(x).to_i64().unwrap(), lia.value(y).to_i64().unwrap());
+        assert_eq!(2 * vx + 3 * vy, 7);
+    }
+
+    #[test]
+    fn slack_reuse() {
+        let mut lia = Lia::new();
+        let x = lia.new_var();
+        let y = lia.new_var();
+        let s1 = lia.slack_for(&[(x, 1), (y, -1)]);
+        let s2 = lia.slack_for(&[(y, -1), (x, 1)]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn equality_chain() {
+        // x = y, y = z, x >= 3, z <= 2 -> infeasible
+        let mut lia = Lia::new();
+        let x = lia.new_var();
+        let y = lia.new_var();
+        let z = lia.new_var();
+        let xy = lia.slack_for(&[(x, 1), (y, -1)]);
+        let yz = lia.slack_for(&[(y, 1), (z, -1)]);
+        lia.assert_lower(xy, r(0), 0).unwrap();
+        lia.assert_upper(xy, r(0), 1).unwrap();
+        lia.assert_lower(yz, r(0), 2).unwrap();
+        lia.assert_upper(yz, r(0), 3).unwrap();
+        lia.assert_lower(x, r(3), 4).unwrap();
+        lia.assert_upper(z, r(2), 5).unwrap();
+        assert!(lia.check_int(20).is_err());
+    }
+}

@@ -1,0 +1,706 @@
+//! The DPLL(T) main loop: Tseitin CNF over theory atoms, lazy theory
+//! checking of full SAT models, lemmas on demand (array read-over-write,
+//! integer disequality splits, model-based theory combination) and
+//! conflict-driven refinement.
+
+use std::collections::{HashMap, HashSet};
+
+use pins_logic::{Sort, Term, TermArena, TermId};
+use pins_sat::{Lit, SolveResult, Solver as SatSolver, Var};
+
+use crate::ematch::{ematch_round, EmatchConfig};
+use crate::euf::Euf;
+use crate::inst::{instantiate, InstConfig};
+use crate::linear::{linearize, LinExpr};
+use crate::model::Model;
+use crate::prep::{preprocess, Prepped};
+use crate::rational::Rat;
+use crate::simplex::Lia;
+
+/// Tags above this base index into the synthetic-reason table (explanations
+/// of EUF-propagated equalities); below it they are SAT literal codes.
+const SYNTH_BASE: u32 = 1 << 30;
+
+/// Solver configuration knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SmtConfig {
+    /// Quantifier-instantiation budget.
+    pub inst: InstConfig,
+    /// Outer SAT-round budget before answering `Unknown`.
+    pub max_theory_rounds: usize,
+    /// Branch-and-bound depth for integer feasibility.
+    pub bb_depth: u32,
+}
+
+impl Default for SmtConfig {
+    fn default() -> Self {
+        SmtConfig { inst: InstConfig::default(), max_theory_rounds: 5000, bb_depth: 40 }
+    }
+}
+
+/// The verdict of a `check` call.
+#[derive(Debug)]
+pub enum SmtResult {
+    /// Satisfiable, with a model. If [`Model::complete`] is false the answer
+    /// is "satisfiable modulo the grounded approximation" (quantifier or
+    /// branching budget was hit).
+    Sat(Model),
+    /// Proven unsatisfiable (trustworthy even with axioms: instantiation
+    /// only strengthens refutations).
+    Unsat,
+    /// Budget exhausted.
+    Unknown,
+}
+
+impl SmtResult {
+    /// Whether the result proves unsatisfiability.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+
+    /// Whether the result is (possibly approximately) satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+}
+
+/// Counters for the instrumentation PINS reports in Table 4.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmtStats {
+    /// SAT solver invocations.
+    pub sat_rounds: u64,
+    /// Theory conflicts fed back as blocking clauses.
+    pub theory_conflicts: u64,
+    /// Theory lemmas (array, diseq-split) added.
+    pub lemmas: u64,
+    /// Quantifier instances generated.
+    pub instances: u64,
+    /// Final SAT formula size (vars + literal occurrences).
+    pub formula_size: usize,
+}
+
+enum Outcome {
+    Ok(Box<Model>),
+    Conflict(Vec<u32>),
+    Progress(Vec<TermId>, Vec<TermId>),
+}
+
+/// A one-shot SMT solver instance: assert formulas, then call
+/// [`Smt::check`].
+pub struct Smt {
+    config: SmtConfig,
+    sat: SatSolver,
+    lit_of: HashMap<TermId, Lit>,
+    atom_var: HashMap<TermId, Var>,
+    var_atoms: Vec<(TermId, Var)>,
+    ground: Vec<TermId>,
+    axioms: Vec<TermId>,
+    exact: bool,
+    true_lit: Option<Lit>,
+    diseq_split: HashSet<TermId>,
+    array_done: HashSet<(TermId, TermId)>,
+    mbtc_done: HashSet<(TermId, TermId)>,
+    ematch_done: HashSet<(TermId, Vec<TermId>)>,
+    ematch_count: usize,
+    /// Statistics for the current instance.
+    pub stats: SmtStats,
+}
+
+impl Smt {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SmtConfig) -> Self {
+        Smt {
+            config,
+            sat: SatSolver::new(),
+            lit_of: HashMap::new(),
+            atom_var: HashMap::new(),
+            var_atoms: Vec::new(),
+            ground: Vec::new(),
+            axioms: Vec::new(),
+            exact: true,
+            true_lit: None,
+            diseq_split: HashSet::new(),
+            array_done: HashSet::new(),
+            mbtc_done: HashSet::new(),
+            ematch_done: HashSet::new(),
+            ematch_count: 0,
+            stats: SmtStats::default(),
+        }
+    }
+
+    /// Asserts a formula (conjunction semantics across calls). `Forall`
+    /// subformulas in positive positions are registered as axioms to be
+    /// instantiated; negated universals are skolemized.
+    pub fn assert_term(&mut self, arena: &mut TermArena, t: TermId) {
+        let mut prep = Prepped::default();
+        let exact = preprocess(arena, t, &mut prep);
+        if !exact && !prep.axioms.is_empty() {
+            // positive forall was lifted: sat answers are approximate
+            self.exact = false;
+        }
+        self.ground.extend(prep.ground);
+        self.axioms.extend(prep.axioms);
+    }
+
+    fn true_lit(&mut self) -> Lit {
+        if let Some(l) = self.true_lit {
+            return l;
+        }
+        let v = self.sat.new_var();
+        let l = Lit::pos(v);
+        self.sat.add_clause(&[l]);
+        self.true_lit = Some(l);
+        l
+    }
+
+    fn atom_lit(&mut self, t: TermId) -> Lit {
+        if let Some(&v) = self.atom_var.get(&t) {
+            return Lit::pos(v);
+        }
+        let v = self.sat.new_var();
+        self.atom_var.insert(t, v);
+        self.var_atoms.push((t, v));
+        Lit::pos(v)
+    }
+
+    /// Tseitin-encodes boolean structure, returning the defining literal.
+    fn encode(&mut self, arena: &mut TermArena, t: TermId) -> Lit {
+        if let Some(&l) = self.lit_of.get(&t) {
+            return l;
+        }
+        let lit = match arena.term(t).clone() {
+            Term::BoolConst(b) => {
+                let tl = self.true_lit();
+                if b {
+                    tl
+                } else {
+                    !tl
+                }
+            }
+            Term::Var { sort: Sort::Bool, .. } => self.atom_lit(t),
+            Term::Eq(a, b) if arena.sort(a).is_bool() => {
+                let la = self.encode(arena, a);
+                let lb = self.encode(arena, b);
+                let v = self.sat.new_var();
+                let lv = Lit::pos(v);
+                self.sat.add_clause(&[!lv, !la, lb]);
+                self.sat.add_clause(&[!lv, la, !lb]);
+                self.sat.add_clause(&[lv, la, lb]);
+                self.sat.add_clause(&[lv, !la, !lb]);
+                lv
+            }
+            Term::Eq(..) | Term::Le(..) | Term::Lt(..) => self.atom_lit(t),
+            Term::App(..) => {
+                debug_assert!(arena.sort(t).is_bool(), "non-atom App in boolean position");
+                self.atom_lit(t)
+            }
+            Term::Not(a) => {
+                let la = self.encode(arena, a);
+                !la
+            }
+            Term::And(kids) => {
+                let lits: Vec<Lit> = kids.iter().map(|&k| self.encode(arena, k)).collect();
+                let v = self.sat.new_var();
+                let lv = Lit::pos(v);
+                let mut back = vec![lv];
+                for &l in &lits {
+                    self.sat.add_clause(&[!lv, l]);
+                    back.push(!l);
+                }
+                self.sat.add_clause(&back);
+                lv
+            }
+            Term::Or(kids) => {
+                let lits: Vec<Lit> = kids.iter().map(|&k| self.encode(arena, k)).collect();
+                let v = self.sat.new_var();
+                let lv = Lit::pos(v);
+                let mut fwd = vec![!lv];
+                for &l in &lits {
+                    self.sat.add_clause(&[lv, !l]);
+                    fwd.push(l);
+                }
+                self.sat.add_clause(&fwd);
+                lv
+            }
+            Term::Forall(..) => {
+                // residual nested quantifier: weaken to a free variable
+                self.exact = false;
+                Lit::pos(self.sat.new_var())
+            }
+            other => panic!("cannot encode non-boolean term {other:?}"),
+        };
+        self.lit_of.insert(t, lit);
+        lit
+    }
+
+    fn assert_root(&mut self, arena: &mut TermArena, t: TermId) {
+        let l = self.encode(arena, t);
+        self.sat.add_clause(&[l]);
+    }
+
+    /// Runs the decision procedure.
+    pub fn check(&mut self, arena: &mut TermArena) -> SmtResult {
+        // ground the axioms against the asserted formulas
+        let roots = self.ground.clone();
+        let out = instantiate(arena, &self.axioms, &roots, self.config.inst);
+        if out.truncated {
+            self.exact = false;
+        }
+        self.stats.instances = out.instances.len() as u64;
+        let mut to_assert = roots;
+        for inst in out.instances {
+            let mut prep = Prepped::default();
+            preprocess(arena, inst, &mut prep);
+            to_assert.extend(prep.ground);
+            // nested axioms inside instances are not supported
+            if !prep.axioms.is_empty() {
+                self.exact = false;
+            }
+        }
+        for g in to_assert {
+            self.assert_root(arena, g);
+        }
+
+        for _round in 0..self.config.max_theory_rounds {
+            self.stats.sat_rounds += 1;
+            match self.sat.solve() {
+                SolveResult::Unsat => {
+                    self.stats.formula_size = self.sat.formula_size();
+                    return SmtResult::Unsat;
+                }
+                SolveResult::Sat => {
+                    let assignment: Vec<(TermId, bool, Lit)> = self
+                        .var_atoms
+                        .iter()
+                        .map(|&(t, v)| {
+                            let val = self.sat.value(v).unwrap_or(false);
+                            (t, val, Lit::new(v, val))
+                        })
+                        .collect();
+                    match self.theory_check(arena, &assignment) {
+                        Outcome::Ok(mut model) => {
+                            model.complete = model.complete && self.exact;
+                            self.stats.formula_size = self.sat.formula_size();
+                            return SmtResult::Sat(*model);
+                        }
+                        Outcome::Conflict(tags) => {
+                            self.stats.theory_conflicts += 1;
+                            let blocking: Vec<Lit> =
+                                tags.iter().map(|&t| !Lit::from_code(t)).collect();
+                            if !self.sat.add_clause(&blocking) {
+                                self.stats.formula_size = self.sat.formula_size();
+                                return SmtResult::Unsat;
+                            }
+                        }
+                        Outcome::Progress(lemmas, atoms) => {
+                            self.stats.lemmas += lemmas.len() as u64;
+                            for lem in lemmas {
+                                self.assert_root(arena, lem);
+                            }
+                            for a in atoms {
+                                let _ = self.atom_lit(a); // register; SAT decides it
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.formula_size = self.sat.formula_size();
+        SmtResult::Unknown
+    }
+
+    /// Validates one full SAT model against the theories.
+    fn theory_check(
+        &mut self,
+        arena: &mut TermArena,
+        assignment: &[(TermId, bool, Lit)],
+    ) -> Outcome {
+        let mut euf = Euf::new();
+        let mut lemmas: Vec<TermId> = Vec::new();
+        // lemmas are marked as emitted only when actually returned; a theory
+        // conflict in this round must not swallow them for future rounds
+        let mut pending_splits: Vec<TermId> = Vec::new();
+        let tt = arena.mk_true();
+
+        // ---- EUF pass -----------------------------------------------------
+        for &(atom, value, lit) in assignment {
+            let tag = lit.code();
+            match arena.term(atom).clone() {
+                Term::Eq(a, b) if !arena.sort(a).is_bool() => {
+                    if value {
+                        euf.assert_eq(arena, a, b, tag);
+                    } else {
+                        euf.assert_neq(arena, a, b, tag);
+                        if arena.sort(a).is_int() && !self.diseq_split.contains(&atom) {
+                            // integer disequality split: !(a=b) => a<b \/ b<a
+                            let lt1 = arena.mk_lt(a, b);
+                            let lt2 = arena.mk_lt(b, a);
+                            let lemma = arena.mk_or(vec![atom, lt1, lt2]);
+                            lemmas.push(lemma);
+                            pending_splits.push(atom);
+                        }
+                    }
+                }
+                Term::App(..) if arena.sort(atom).is_bool() => {
+                    if value {
+                        euf.assert_eq(arena, atom, tt, tag);
+                    } else {
+                        euf.assert_neq(arena, atom, tt, tag);
+                    }
+                }
+                Term::Le(a, b) | Term::Lt(a, b) => {
+                    // register operands so congruence sees their subterms
+                    euf.add_term(arena, a);
+                    euf.add_term(arena, b);
+                }
+                _ => {}
+            }
+        }
+        if let Err(tags) = euf.check() {
+            // the pending split lemmas are intentionally NOT marked done:
+            // they were not asserted and must be re-generated next time
+            return Outcome::Conflict(tags);
+        }
+        self.diseq_split.extend(pending_splits);
+
+        // ---- array lemmas on demand ----------------------------------------
+        let class_terms = euf.class_of_terms();
+        let mut sels: Vec<(TermId, TermId, TermId)> = Vec::new();
+        let mut upds: Vec<(TermId, TermId, TermId, TermId)> = Vec::new();
+        for &(t, _) in &class_terms {
+            match arena.term(t) {
+                Term::Sel(a, i) => sels.push((t, *a, *i)),
+                Term::Upd(b, j, v) => upds.push((t, *b, *j, *v)),
+                _ => {}
+            }
+        }
+        for &(s, a, i) in &sels {
+            let ra = euf.root_of(a);
+            for &(u, b, j, v) in &upds {
+                if euf.root_of(u) != ra {
+                    continue;
+                }
+                if !self.array_done.insert((s, u)) {
+                    continue;
+                }
+                let guard = arena.mk_eq(a, u);
+                let ij = arena.mk_eq(i, j);
+                let sv = arena.mk_eq(s, v);
+                let then_case = arena.mk_and(vec![ij, sv]);
+                let nij = arena.mk_not(ij);
+                let sel_b = arena.mk_sel(b, i);
+                let sb = arena.mk_eq(s, sel_b);
+                let else_case = arena.mk_and(vec![nij, sb]);
+                let body = arena.mk_or(vec![then_case, else_case]);
+                let lemma = arena.mk_implies(guard, body);
+                if lemma != arena.mk_true() {
+                    lemmas.push(lemma);
+                }
+            }
+        }
+        if !lemmas.is_empty() {
+            return Outcome::Progress(lemmas, vec![]);
+        }
+
+        // ---- congruence-aware axiom instantiation ---------------------------
+        if !self.axioms.is_empty() && self.ematch_count < self.config.inst.max_instances {
+            let axioms = self.axioms.clone();
+            let new_instances = ematch_round(
+                arena,
+                &mut euf,
+                &axioms,
+                &mut self.ematch_done,
+                self.ematch_count,
+                EmatchConfig {
+                    max_instances: self.config.inst.max_instances,
+                    max_branches: 64,
+                },
+            );
+            if !new_instances.is_empty() {
+                self.ematch_count += new_instances.len();
+                self.stats.instances += new_instances.len() as u64;
+                let mut ground = Vec::new();
+                for inst in new_instances {
+                    let mut prep = Prepped::default();
+                    preprocess(arena, inst, &mut prep);
+                    ground.extend(prep.ground);
+                }
+                if !ground.is_empty() {
+                    return Outcome::Progress(ground, vec![]);
+                }
+            }
+        }
+
+        // ---- LIA pass -------------------------------------------------------
+        let mut lia = Lia::new();
+        let mut lvar: HashMap<TermId, usize> = HashMap::new();
+        let mut synth: Vec<Vec<u32>> = Vec::new();
+        let expand = |tags: Vec<u32>, synth: &Vec<Vec<u32>>| -> Vec<u32> {
+            let mut out = Vec::new();
+            for t in tags {
+                if t >= SYNTH_BASE {
+                    out.extend(synth[(t - SYNTH_BASE) as usize].iter().copied());
+                } else {
+                    out.push(t);
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        };
+
+        let assert_le = |lia: &mut Lia,
+                             lvar: &mut HashMap<TermId, usize>,
+                             expr: &LinExpr,
+                             rhs: i64,
+                             reason: u32|
+         -> Result<(), Vec<u32>> {
+            // expr <= rhs  (expr's own constant is folded into the bound)
+            if expr.coeffs.is_empty() {
+                if expr.constant <= rhs {
+                    Ok(())
+                } else {
+                    Err(vec![reason])
+                }
+            } else {
+                let terms: Vec<(usize, i64)> = expr
+                    .coeffs
+                    .iter()
+                    .map(|(&t, &c)| {
+                        let v = *lvar.entry(t).or_insert_with(|| lia.new_var());
+                        (v, c)
+                    })
+                    .collect();
+                let s = lia.slack_for(&terms);
+                lia.assert_upper(s, Rat::from_int(rhs - expr.constant), reason)
+            }
+        };
+
+        for &(atom, value, lit) in assignment {
+            let tag = lit.code();
+            let result = match arena.term(atom).clone() {
+                Term::Le(a, b) => {
+                    let mut e = linearize(arena, a);
+                    e.sub_assign(&linearize(arena, b));
+                    if value {
+                        assert_le(&mut lia, &mut lvar, &e, 0, tag)
+                    } else {
+                        let mut ne = LinExpr::default();
+                        ne.sub_assign(&e);
+                        assert_le(&mut lia, &mut lvar, &ne, -1, tag)
+                    }
+                }
+                Term::Lt(a, b) => {
+                    let mut e = linearize(arena, a);
+                    e.sub_assign(&linearize(arena, b));
+                    if value {
+                        assert_le(&mut lia, &mut lvar, &e, -1, tag)
+                    } else {
+                        let mut ne = LinExpr::default();
+                        ne.sub_assign(&e);
+                        assert_le(&mut lia, &mut lvar, &ne, 0, tag)
+                    }
+                }
+                Term::Eq(a, b) if arena.sort(a).is_int() => {
+                    if value {
+                        let mut e = linearize(arena, a);
+                        e.sub_assign(&linearize(arena, b));
+                        assert_le(&mut lia, &mut lvar, &e, 0, tag).and_then(|()| {
+                            let mut ne = LinExpr::default();
+                            ne.sub_assign(&e);
+                            assert_le(&mut lia, &mut lvar, &ne, 0, tag)
+                        })
+                    } else {
+                        Ok(()) // handled by the split lemma + EUF
+                    }
+                }
+                _ => Ok(()),
+            };
+            if let Err(tags) = result {
+                return Outcome::Conflict(expand(tags, &synth));
+            }
+        }
+
+        // EUF -> LIA equality propagation: merge arithmetic views of
+        // congruent integer terms.
+        let mut by_root: HashMap<u32, Vec<TermId>> = HashMap::new();
+        for &(t, root) in &class_terms {
+            if arena.sort(t).is_int() {
+                by_root.entry(root).or_default().push(t);
+            }
+        }
+        for members in by_root.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let pivot = members[0];
+            let lp = linearize(arena, pivot);
+            for &m in &members[1..] {
+                let mut e = lp.clone();
+                e.sub_assign(&linearize(arena, m));
+                if e.coeffs.is_empty() && e.constant == 0 {
+                    continue;
+                }
+                let tags = euf.explain_terms(pivot, m);
+                let reason = SYNTH_BASE + synth.len() as u32;
+                synth.push(tags);
+                let r = assert_le(&mut lia, &mut lvar, &e, 0, reason).and_then(|()| {
+                    let mut ne = LinExpr::default();
+                    ne.sub_assign(&e);
+                    assert_le(&mut lia, &mut lvar, &ne, 0, reason)
+                });
+                if let Err(tags) = r {
+                    return Outcome::Conflict(expand(tags, &synth));
+                }
+            }
+        }
+
+        if let Err(tags) = lia.check_int(self.config.bb_depth) {
+            return Outcome::Conflict(expand(tags, &synth));
+        }
+        let int_exact = !lia.int_incomplete;
+
+        // ---- model-based theory combination ---------------------------------
+        // integer terms under uninterpreted/array operators whose LIA values
+        // coincide but whose EUF classes differ get a fresh equality atom.
+        let mut shared: Vec<TermId> = Vec::new();
+        {
+            let mut seen = HashSet::new();
+            for &(t, _) in &class_terms {
+                let kids: Vec<TermId> = match arena.term(t) {
+                    Term::App(_, args) => args.clone(),
+                    Term::Sel(a, i) => vec![*a, *i],
+                    Term::Upd(a, i, v) => vec![*a, *i, *v],
+                    _ => continue,
+                };
+                for k in kids {
+                    if arena.sort(k).is_int() && lvar.contains_key(&k) && seen.insert(k) {
+                        shared.push(k);
+                    }
+                }
+            }
+        }
+        let mut new_atoms = Vec::new();
+        for i in 0..shared.len() {
+            for j in (i + 1)..shared.len() {
+                let (s, t) = (shared[i], shared[j]);
+                if lia.value(lvar[&s]) != lia.value(lvar[&t]) {
+                    continue;
+                }
+                if euf.same_class(s, t) {
+                    continue;
+                }
+                let key = (s.min(t), s.max(t));
+                if !self.mbtc_done.insert(key) {
+                    continue;
+                }
+                let eq = arena.mk_eq(s, t);
+                if !self.atom_var.contains_key(&eq) {
+                    new_atoms.push(eq);
+                }
+            }
+        }
+        if !new_atoms.is_empty() {
+            return Outcome::Progress(vec![], new_atoms);
+        }
+
+        // ---- build the model -------------------------------------------------
+        let mut model = Model { complete: int_exact, ..Default::default() };
+        for (&t, &v) in &lvar {
+            if let Some(val) = lia.value(v).to_i64() {
+                model.ints.insert(t, val);
+            } else {
+                model.ints.insert(t, lia.value(v).floor() as i64);
+                model.complete = false;
+            }
+        }
+        for &(atom, value, _) in assignment {
+            model.bools.insert(atom, value);
+        }
+        // array contents: group sel values under each array-variable class
+        let mut arrays: HashMap<u32, Vec<(i64, i64)>> = HashMap::new();
+        for &(s, a, i) in &sels {
+            if let (Some(root), Some(&sv)) = (euf.root_of(a), lvar.get(&s)) {
+                let idx = eval_lin(arena, i, &lvar, &lia);
+                if let (Some(idx), Some(val)) = (idx, lia.value(sv).to_i64()) {
+                    arrays.entry(root).or_default().push((idx, val));
+                }
+            }
+        }
+        for &(t, root) in &class_terms {
+            if arena.sort(t).is_array() && matches!(arena.term(t), Term::Var { .. }) {
+                if let Some(entries) = arrays.get(&root) {
+                    let mut e = entries.clone();
+                    e.sort_unstable();
+                    e.dedup_by_key(|p| p.0);
+                    model.arrays.insert(t, e);
+                }
+            }
+        }
+        for &(t, root) in &class_terms {
+            if matches!(arena.sort(t), Sort::Unint(_)) {
+                model.unints.insert(t, root as u64);
+            }
+        }
+        Outcome::Ok(Box::new(model))
+    }
+}
+
+/// Evaluates an integer term's linear form under the LIA assignment.
+fn eval_lin(
+    arena: &TermArena,
+    t: TermId,
+    lvar: &HashMap<TermId, usize>,
+    lia: &Lia,
+) -> Option<i64> {
+    let e = linearize(arena, t);
+    let mut acc = Rat::from_int(e.constant);
+    for (&term, &c) in &e.coeffs {
+        let v = lvar.get(&term)?;
+        acc = acc + Rat::from_int(c) * lia.value(*v);
+    }
+    acc.to_i64()
+}
+
+/// Checks the conjunction of `assertions` (with `axioms` available for
+/// instantiation) for satisfiability.
+pub fn check_formulas(
+    arena: &mut TermArena,
+    assertions: &[TermId],
+    axioms: &[TermId],
+    config: SmtConfig,
+) -> SmtResult {
+    let mut smt = Smt::new(config);
+    for &a in axioms {
+        smt.assert_term(arena, a);
+    }
+    for &t in assertions {
+        smt.assert_term(arena, t);
+    }
+    smt.check(arena)
+}
+
+/// Whether the conjunction is provably unsatisfiable.
+pub fn is_unsat(
+    arena: &mut TermArena,
+    assertions: &[TermId],
+    axioms: &[TermId],
+    config: SmtConfig,
+) -> bool {
+    check_formulas(arena, assertions, axioms, config).is_unsat()
+}
+
+/// Whether `hyps |= goal` (modulo `axioms`), proven by refuting
+/// `hyps and not goal`.
+pub fn is_valid(
+    arena: &mut TermArena,
+    hyps: &[TermId],
+    goal: TermId,
+    axioms: &[TermId],
+    config: SmtConfig,
+) -> bool {
+    let neg = arena.mk_not(goal);
+    let mut assertions: Vec<TermId> = hyps.to_vec();
+    assertions.push(neg);
+    is_unsat(arena, &assertions, axioms, config)
+}

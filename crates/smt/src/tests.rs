@@ -1,0 +1,875 @@
+use pins_logic::{Sort, TermArena, TermId};
+use proptest::prelude::*;
+
+use crate::{check_formulas, is_valid, SmtConfig, SmtResult};
+
+fn cfg() -> SmtConfig {
+    SmtConfig::default()
+}
+
+fn int_var(a: &mut TermArena, name: &str) -> TermId {
+    let s = a.sym(name);
+    a.mk_var(s, 0, Sort::Int)
+}
+
+fn arr_var(a: &mut TermArena, name: &str) -> TermId {
+    let s = a.sym(name);
+    a.mk_var(s, 0, Sort::IntArray)
+}
+
+fn sat(arena: &mut TermArena, fs: &[TermId]) -> bool {
+    check_formulas(arena, fs, &[], cfg()).is_sat()
+}
+
+fn unsat(arena: &mut TermArena, fs: &[TermId]) -> bool {
+    check_formulas(arena, fs, &[], cfg()).is_unsat()
+}
+
+// ---------- pure boolean ----------
+
+#[test]
+fn boolean_tautology_negation_unsat() {
+    let mut a = TermArena::new();
+    let p = a.sym("p");
+    let vp = a.mk_var(p, 0, Sort::Bool);
+    let np = a.mk_not(vp);
+    let taut = a.mk_or(vec![vp, np]);
+    let neg = a.mk_not(taut);
+    assert!(unsat(&mut a, &[neg]));
+}
+
+#[test]
+fn boolean_equivalence_atoms() {
+    let mut a = TermArena::new();
+    let p = a.sym("p");
+    let q = a.sym("q");
+    let vp = a.mk_var(p, 0, Sort::Bool);
+    let vq = a.mk_var(q, 0, Sort::Bool);
+    let iff = a.mk_eq(vp, vq);
+    let nq = a.mk_not(vq);
+    // p <-> q, p, !q is unsat
+    assert!(unsat(&mut a, &[iff, vp, nq]));
+    // p <-> q, p, q is sat
+    assert!(sat(&mut a, &[iff, vp, vq]));
+}
+
+// ---------- arithmetic ----------
+
+#[test]
+fn simple_bounds_sat_with_model() {
+    let mut a = TermArena::new();
+    let x = int_var(&mut a, "x");
+    let two = a.mk_int(2);
+    let five = a.mk_int(5);
+    let lo = a.mk_lt(two, x);
+    let hi = a.mk_lt(x, five);
+    match check_formulas(&mut a, &[lo, hi], &[], cfg()) {
+        SmtResult::Sat(m) => {
+            let v = m.ints[&x];
+            assert!(v > 2 && v < 5);
+            assert!(m.complete);
+        }
+        other => panic!("expected sat, got {other:?}"),
+    }
+}
+
+#[test]
+fn contradictory_bounds_unsat() {
+    let mut a = TermArena::new();
+    let x = int_var(&mut a, "x");
+    let five = a.mk_int(5);
+    let three = a.mk_int(3);
+    let lo = a.mk_ge(x, five);
+    let hi = a.mk_le(x, three);
+    assert!(unsat(&mut a, &[lo, hi]));
+}
+
+#[test]
+fn integers_have_no_middle() {
+    // 2 < x and x < 4 forces x = 3; x != 3 makes it unsat (needs b&b/splits)
+    let mut a = TermArena::new();
+    let x = int_var(&mut a, "x");
+    let two = a.mk_int(2);
+    let four = a.mk_int(4);
+    let three = a.mk_int(3);
+    let lo = a.mk_lt(two, x);
+    let hi = a.mk_lt(x, four);
+    let ne = a.mk_neq(x, three);
+    assert!(unsat(&mut a, &[lo, hi, ne]));
+}
+
+#[test]
+fn linear_system_solved() {
+    // x + y = 10, x - y = 4  =>  x = 7, y = 3
+    let mut a = TermArena::new();
+    let x = int_var(&mut a, "x");
+    let y = int_var(&mut a, "y");
+    let sum = a.mk_add(x, y);
+    let diff = a.mk_sub(x, y);
+    let ten = a.mk_int(10);
+    let four = a.mk_int(4);
+    let e1 = a.mk_eq(sum, ten);
+    let e2 = a.mk_eq(diff, four);
+    match check_formulas(&mut a, &[e1, e2], &[], cfg()) {
+        SmtResult::Sat(m) => {
+            assert_eq!(m.ints[&x], 7);
+            assert_eq!(m.ints[&y], 3);
+        }
+        other => panic!("expected sat, got {other:?}"),
+    }
+}
+
+#[test]
+fn parity_conflict_via_branch_and_bound() {
+    // 2x = 2y + 1 has no integer solution
+    let mut a = TermArena::new();
+    let x = int_var(&mut a, "x");
+    let y = int_var(&mut a, "y");
+    let two = a.mk_int(2);
+    let lhs = a.mk_mul(two, x);
+    let ty = a.mk_mul(two, y);
+    let one = a.mk_int(1);
+    let rhs = a.mk_add(ty, one);
+    let eq = a.mk_eq(lhs, rhs);
+    assert!(unsat(&mut a, &[eq]));
+}
+
+#[test]
+fn implication_validity() {
+    // x > 5 |= x > 3
+    let mut a = TermArena::new();
+    let x = int_var(&mut a, "x");
+    let five = a.mk_int(5);
+    let three = a.mk_int(3);
+    let hyp = a.mk_gt(x, five);
+    let goal = a.mk_gt(x, three);
+    assert!(is_valid(&mut a, &[hyp], goal, &[], cfg()));
+    // and the converse is not valid
+    assert!(!is_valid(&mut a, &[goal], hyp, &[], cfg()));
+}
+
+// ---------- EUF ----------
+
+#[test]
+fn congruence_unsat() {
+    let mut a = TermArena::new();
+    let f = a.declare_fun("f", vec![Sort::Int], Sort::Int);
+    let x = int_var(&mut a, "x");
+    let y = int_var(&mut a, "y");
+    let fx = a.mk_app(f, vec![x]);
+    let fy = a.mk_app(f, vec![y]);
+    let exy = a.mk_eq(x, y);
+    let dfxy = a.mk_neq(fx, fy);
+    assert!(unsat(&mut a, &[exy, dfxy]));
+    // without x=y it is satisfiable
+    let mut a2 = TermArena::new();
+    let f = a2.declare_fun("f", vec![Sort::Int], Sort::Int);
+    let x = int_var(&mut a2, "x");
+    let y = int_var(&mut a2, "y");
+    let fx = a2.mk_app(f, vec![x]);
+    let fy = a2.mk_app(f, vec![y]);
+    let dfxy = a2.mk_neq(fx, fy);
+    assert!(sat(&mut a2, &[dfxy]));
+}
+
+#[test]
+fn arithmetic_implies_congruence() {
+    // x <= y, y <= x, f(x) != f(y): needs LIA->EUF combination
+    let mut a = TermArena::new();
+    let f = a.declare_fun("f", vec![Sort::Int], Sort::Int);
+    let x = int_var(&mut a, "x");
+    let y = int_var(&mut a, "y");
+    let le1 = a.mk_le(x, y);
+    let le2 = a.mk_le(y, x);
+    let fx = a.mk_app(f, vec![x]);
+    let fy = a.mk_app(f, vec![y]);
+    let ne = a.mk_neq(fx, fy);
+    assert!(unsat(&mut a, &[le1, le2, ne]));
+}
+
+#[test]
+fn congruence_with_offset_arguments() {
+    // i = j implies f(i+1) = f(j+1)
+    let mut a = TermArena::new();
+    let f = a.declare_fun("f", vec![Sort::Int], Sort::Int);
+    let i = int_var(&mut a, "i");
+    let j = int_var(&mut a, "j");
+    let one = a.mk_int(1);
+    let i1 = a.mk_add(i, one);
+    let j1 = a.mk_add(j, one);
+    let fi = a.mk_app(f, vec![i1]);
+    let fj = a.mk_app(f, vec![j1]);
+    let eij = a.mk_eq(i, j);
+    let ne = a.mk_neq(fi, fj);
+    assert!(unsat(&mut a, &[eij, ne]));
+}
+
+#[test]
+fn boolean_predicates_respect_congruence() {
+    let mut a = TermArena::new();
+    let p = a.declare_fun("p", vec![Sort::Int], Sort::Bool);
+    let x = int_var(&mut a, "x");
+    let y = int_var(&mut a, "y");
+    let px = a.mk_app(p, vec![x]);
+    let py = a.mk_app(p, vec![y]);
+    let exy = a.mk_eq(x, y);
+    let npy = a.mk_not(py);
+    assert!(unsat(&mut a, &[exy, px, npy]));
+}
+
+// ---------- arrays ----------
+
+#[test]
+fn read_over_write_same_index() {
+    let mut a = TermArena::new();
+    let arr = arr_var(&mut a, "A");
+    let i = int_var(&mut a, "i");
+    let v = int_var(&mut a, "v");
+    let upd = a.mk_upd(arr, i, v);
+    let read = a.mk_sel(upd, i); // folds to v in the arena
+    let ne = a.mk_neq(read, v);
+    assert!(unsat(&mut a, &[ne]));
+}
+
+#[test]
+fn read_over_write_distinct_symbolic_indices() {
+    // i != j  =>  sel(upd(A, i, v), j) = sel(A, j)
+    let mut a = TermArena::new();
+    let arr = arr_var(&mut a, "A");
+    let i = int_var(&mut a, "i");
+    let j = int_var(&mut a, "j");
+    let v = int_var(&mut a, "v");
+    let upd = a.mk_upd(arr, i, v);
+    let lhs = a.mk_sel(upd, j);
+    let rhs = a.mk_sel(arr, j);
+    let neij = a.mk_neq(i, j);
+    let ne = a.mk_neq(lhs, rhs);
+    assert!(unsat(&mut a, &[neij, ne]));
+}
+
+#[test]
+fn read_over_write_aliased_indices() {
+    // i = j  =>  sel(upd(A, i, v), j) = v
+    let mut a = TermArena::new();
+    let arr = arr_var(&mut a, "A");
+    let i = int_var(&mut a, "i");
+    let j = int_var(&mut a, "j");
+    let v = int_var(&mut a, "v");
+    let upd = a.mk_upd(arr, i, v);
+    let lhs = a.mk_sel(upd, j);
+    let eij = a.mk_eq(i, j);
+    let ne = a.mk_neq(lhs, v);
+    assert!(unsat(&mut a, &[eij, ne]));
+}
+
+#[test]
+fn array_assignment_chain() {
+    // A1 = upd(A0, 0, 7), x = sel(A1, 0), x != 7 is unsat
+    let mut a = TermArena::new();
+    let a0 = arr_var(&mut a, "A0");
+    let a1 = arr_var(&mut a, "A1");
+    let zero = a.mk_int(0);
+    let seven = a.mk_int(7);
+    let upd = a.mk_upd(a0, zero, seven);
+    let easgn = a.mk_eq(a1, upd);
+    let x = int_var(&mut a, "x");
+    let sel = a.mk_sel(a1, zero);
+    let ex = a.mk_eq(x, sel);
+    let ne = a.mk_neq(x, seven);
+    assert!(unsat(&mut a, &[easgn, ex, ne]));
+}
+
+#[test]
+fn array_two_writes_last_wins() {
+    // A2 = upd(upd(A0, i, 1), i, 2); sel(A2, i) != 2 unsat
+    let mut a = TermArena::new();
+    let a0 = arr_var(&mut a, "A0");
+    let i = int_var(&mut a, "i");
+    let one = a.mk_int(1);
+    let two = a.mk_int(2);
+    let u1 = a.mk_upd(a0, i, one);
+    let u2 = a.mk_upd(u1, i, two);
+    let s = a.mk_sel(u2, i);
+    let ne = a.mk_neq(s, two);
+    assert!(unsat(&mut a, &[ne]));
+}
+
+#[test]
+fn array_writes_preserve_other_cells() {
+    // A1 = upd(A0, i, v); j != i; sel(A1, j) != sel(A0, j) unsat
+    let mut a = TermArena::new();
+    let a0 = arr_var(&mut a, "A0");
+    let a1 = arr_var(&mut a, "A1");
+    let i = int_var(&mut a, "i");
+    let j = int_var(&mut a, "j");
+    let v = int_var(&mut a, "v");
+    let u = a.mk_upd(a0, i, v);
+    let easgn = a.mk_eq(a1, u);
+    let ne_ij = a.mk_neq(i, j);
+    let s1 = a.mk_sel(a1, j);
+    let s0 = a.mk_sel(a0, j);
+    let ne = a.mk_neq(s1, s0);
+    assert!(unsat(&mut a, &[easgn, ne_ij, ne]));
+}
+
+// ---------- quantified axioms ----------
+
+#[test]
+fn axiom_drives_unsat() {
+    // forall s. strlen(s) >= 0; strlen(w) = -1 is unsat
+    let mut a = TermArena::new();
+    let str_sort = Sort::Unint(a.sym("Str"));
+    let strlen = a.declare_fun("strlen", vec![str_sort], Sort::Int);
+    let s = a.sym("s");
+    let bs = a.mk_bound(s, str_sort);
+    let app = a.mk_app(strlen, vec![bs]);
+    let zero = a.mk_int(0);
+    let body = a.mk_ge(app, zero);
+    let ax = a.mk_forall(vec![(s, str_sort)], body);
+
+    let w = a.sym("w");
+    let vw = a.mk_var(w, 0, str_sort);
+    let lw = a.mk_app(strlen, vec![vw]);
+    let minus1 = a.mk_int(-1);
+    let bad = a.mk_eq(lw, minus1);
+    assert!(check_formulas(&mut a, &[bad], &[ax], cfg()).is_unsat());
+}
+
+#[test]
+fn strlen_append_axiom() {
+    // forall s, c. strlen(append(s,c)) = strlen(s) + 1
+    // strlen(w) = 3 and strlen(append(w, c)) != 4 is unsat
+    let mut a = TermArena::new();
+    let str_sort = Sort::Unint(a.sym("Str"));
+    let ch_sort = Sort::Unint(a.sym("Char"));
+    let strlen = a.declare_fun("strlen", vec![str_sort], Sort::Int);
+    let append = a.declare_fun("append", vec![str_sort, ch_sort], str_sort);
+    let s = a.sym("s");
+    let c = a.sym("c");
+    let bs = a.mk_bound(s, str_sort);
+    let bc = a.mk_bound(c, ch_sort);
+    let app = a.mk_app(append, vec![bs, bc]);
+    let l1 = a.mk_app(strlen, vec![app]);
+    let l0 = a.mk_app(strlen, vec![bs]);
+    let one = a.mk_int(1);
+    let l0p1 = a.mk_add(l0, one);
+    let body = a.mk_eq(l1, l0p1);
+    let ax = a.mk_forall(vec![(s, str_sort), (c, ch_sort)], body);
+
+    let w = a.sym("w");
+    let d = a.sym("d");
+    let vw = a.mk_var(w, 0, str_sort);
+    let vd = a.mk_var(d, 0, ch_sort);
+    let lw = a.mk_app(strlen, vec![vw]);
+    let three = a.mk_int(3);
+    let h1 = a.mk_eq(lw, three);
+    let appended = a.mk_app(append, vec![vw, vd]);
+    let lap = a.mk_app(strlen, vec![appended]);
+    let four = a.mk_int(4);
+    let h2 = a.mk_neq(lap, four);
+    assert!(check_formulas(&mut a, &[h1, h2], &[ax], cfg()).is_unsat());
+}
+
+#[test]
+fn trig_axiom_for_rotation() {
+    // forall t. cos(t)*cos(t) + sin(t)*sin(t) = 1, as used by Vector rotate
+    let mut a = TermArena::new();
+    let angle = Sort::Unint(a.sym("Angle"));
+    let cos = a.declare_fun("cos", vec![angle], Sort::Int); // abstract reals
+    let sin = a.declare_fun("sin", vec![angle], Sort::Int);
+    let t = a.sym("t");
+    let bt = a.mk_bound(t, angle);
+    let ct = a.mk_app(cos, vec![bt]);
+    let st = a.mk_app(sin, vec![bt]);
+    let c2 = a.mk_mul(ct, ct);
+    let s2 = a.mk_mul(st, st);
+    let sum = a.mk_add(c2, s2);
+    let one = a.mk_int(1);
+    let body = a.mk_eq(sum, one);
+    let ax = a.mk_forall(vec![(t, angle)], body);
+
+    // with theta concrete: cos(theta)^2 + sin(theta)^2 = 2 is unsat
+    let th = a.sym("theta");
+    let vth = a.mk_var(th, 0, angle);
+    let cth = a.mk_app(cos, vec![vth]);
+    let sth = a.mk_app(sin, vec![vth]);
+    let c2g = a.mk_mul(cth, cth);
+    let s2g = a.mk_mul(sth, sth);
+    let sumg = a.mk_add(c2g, s2g);
+    let two = a.mk_int(2);
+    let bad = a.mk_eq(sumg, two);
+    assert!(check_formulas(&mut a, &[bad], &[ax], cfg()).is_unsat());
+}
+
+// ---------- negated quantifier (spec-shaped goals) ----------
+
+#[test]
+fn identity_spec_validity() {
+    // A' = upd(A, 0, sel(A, 0)) |= forall k. sel(A', k) = sel(A, k)
+    let mut a = TermArena::new();
+    let arr = arr_var(&mut a, "A");
+    let arr2 = arr_var(&mut a, "Aprime");
+    let zero = a.mk_int(0);
+    let s0 = a.mk_sel(arr, zero);
+    let u = a.mk_upd(arr, zero, s0);
+    let hyp = a.mk_eq(arr2, u);
+    let k = a.sym("k");
+    let bk = a.mk_bound(k, Sort::Int);
+    let sk2 = a.mk_sel(arr2, bk);
+    let sk = a.mk_sel(arr, bk);
+    let body = a.mk_eq(sk2, sk);
+    let goal = a.mk_forall(vec![(k, Sort::Int)], body);
+    assert!(is_valid(&mut a, &[hyp], goal, &[], cfg()));
+}
+
+#[test]
+fn identity_spec_invalid_when_element_changed() {
+    // A' = upd(A, 0, sel(A,0) + 1) does NOT satisfy the identity spec
+    let mut a = TermArena::new();
+    let arr = arr_var(&mut a, "A");
+    let arr2 = arr_var(&mut a, "Aprime");
+    let zero = a.mk_int(0);
+    let s0 = a.mk_sel(arr, zero);
+    let one = a.mk_int(1);
+    let s0p = a.mk_add(s0, one);
+    let u = a.mk_upd(arr, zero, s0p);
+    let hyp = a.mk_eq(arr2, u);
+    let k = a.sym("k");
+    let bk = a.mk_bound(k, Sort::Int);
+    let sk2 = a.mk_sel(arr2, bk);
+    let sk = a.mk_sel(arr, bk);
+    let body = a.mk_eq(sk2, sk);
+    let goal = a.mk_forall(vec![(k, Sort::Int)], body);
+    assert!(!is_valid(&mut a, &[hyp], goal, &[], cfg()));
+}
+
+#[test]
+fn bounded_identity_spec_validity() {
+    // n <= 0 |= forall k. 0 <= k < n => sel(A', k) = sel(A, k)   (vacuous)
+    let mut a = TermArena::new();
+    let arr = arr_var(&mut a, "A");
+    let arr2 = arr_var(&mut a, "Aprime");
+    let n = int_var(&mut a, "n");
+    let zero = a.mk_int(0);
+    let hyp = a.mk_le(n, zero);
+    let k = a.sym("k");
+    let bk = a.mk_bound(k, Sort::Int);
+    let lo = a.mk_le(zero, bk);
+    let hi = a.mk_lt(bk, n);
+    let range = a.mk_and(vec![lo, hi]);
+    let sk2 = a.mk_sel(arr2, bk);
+    let sk = a.mk_sel(arr, bk);
+    let eq = a.mk_eq(sk2, sk);
+    let body = a.mk_implies(range, eq);
+    let goal = a.mk_forall(vec![(k, Sort::Int)], body);
+    assert!(is_valid(&mut a, &[hyp], goal, &[], cfg()));
+}
+
+// ---------- mixed / regression shapes from PINS paths ----------
+
+#[test]
+fn versioned_path_condition_shape() {
+    // A PINS-style path: n@0 >= 0, i@1 = 0, m@1 = 0, i@1 >= n@0 (loop skipped),
+    // goal n@0 = 0 is implied (n >= 0 and 0 >= n).
+    let mut a = TermArena::new();
+    let n = int_var(&mut a, "n");
+    let i_sym = a.sym("i");
+    let i1 = a.mk_var(i_sym, 1, Sort::Int);
+    let zero = a.mk_int(0);
+    let h1 = a.mk_ge(n, zero);
+    let h2 = a.mk_eq(i1, zero);
+    let h3 = a.mk_ge(i1, n);
+    let goal = a.mk_eq(n, zero);
+    assert!(is_valid(&mut a, &[h1, h2, h3], goal, &[], cfg()));
+}
+
+#[test]
+fn unsat_core_behaviour_over_many_irrelevant_facts() {
+    let mut a = TermArena::new();
+    let x = int_var(&mut a, "x");
+    let mut hyps = Vec::new();
+    // lots of satisfiable noise
+    for k in 0..20 {
+        let v = int_var(&mut a, &format!("noise{k}"));
+        let c = a.mk_int(k);
+        hyps.push(a.mk_ge(v, c));
+    }
+    let three = a.mk_int(3);
+    let four = a.mk_int(4);
+    hyps.push(a.mk_ge(x, four));
+    hyps.push(a.mk_le(x, three));
+    assert!(unsat(&mut a, &hyps));
+}
+
+#[test]
+fn nonlinear_products_as_euf() {
+    // x = y implies x*z = y*z (congruence over opaque products)
+    let mut a = TermArena::new();
+    let x = int_var(&mut a, "x");
+    let y = int_var(&mut a, "y");
+    let z = int_var(&mut a, "z");
+    let xz = a.mk_mul(x, z);
+    let yz = a.mk_mul(y, z);
+    let exy = a.mk_eq(x, y);
+    let ne = a.mk_neq(xz, yz);
+    assert!(unsat(&mut a, &[exy, ne]));
+}
+
+#[test]
+fn mul_div_inverse_axiom() {
+    // forall x. x != 0 => mul(x, div(1, x)) = 1  (the paper's example axiom)
+    let mut a = TermArena::new();
+    let mul = a.declare_fun("mul", vec![Sort::Int, Sort::Int], Sort::Int);
+    let div = a.declare_fun("div", vec![Sort::Int, Sort::Int], Sort::Int);
+    let x = a.sym("x");
+    let bx = a.mk_bound(x, Sort::Int);
+    let zero = a.mk_int(0);
+    let one = a.mk_int(1);
+    let nz = a.mk_neq(bx, zero);
+    let dx = a.mk_app(div, vec![one, bx]);
+    let prod = a.mk_app(mul, vec![bx, dx]);
+    let concl = a.mk_eq(prod, one);
+    let body = a.mk_implies(nz, concl);
+    let ax = a.mk_forall(vec![(x, Sort::Int)], body);
+
+    // ground: c != 0, mul(c, div(1,c)) = 5 is unsat
+    let c = int_var(&mut a, "c");
+    let h1 = a.mk_neq(c, zero);
+    let dc = a.mk_app(div, vec![one, c]);
+    let pc = a.mk_app(mul, vec![c, dc]);
+    let five = a.mk_int(5);
+    let h2 = a.mk_eq(pc, five);
+    assert!(check_formulas(&mut a, &[h1, h2], &[ax], cfg()).is_unsat());
+}
+
+// ---------- property tests ----------
+
+/// A tiny random formula language over 3 int vars with small constants,
+/// cross-checked against exhaustive evaluation on a small box.
+#[derive(Debug, Clone)]
+enum F {
+    Le(usize, i64),
+    Ge(usize, i64),
+    EqSum(usize, usize, i64), // x + y = c
+    Not(Box<F>),
+    And(Box<F>, Box<F>),
+    Or(Box<F>, Box<F>),
+}
+
+fn f_strategy() -> impl Strategy<Value = F> {
+    let leaf = prop_oneof![
+        (0..3usize, -4i64..=4).prop_map(|(v, c)| F::Le(v, c)),
+        (0..3usize, -4i64..=4).prop_map(|(v, c)| F::Ge(v, c)),
+        (0..3usize, 0..3usize, -4i64..=4).prop_map(|(a, b, c)| F::EqSum(a, b, c)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| F::Not(Box::new(f))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn f_to_term(arena: &mut TermArena, f: &F, vars: &[TermId]) -> TermId {
+    match f {
+        F::Le(v, c) => {
+            let cc = arena.mk_int(*c);
+            arena.mk_le(vars[*v], cc)
+        }
+        F::Ge(v, c) => {
+            let cc = arena.mk_int(*c);
+            arena.mk_ge(vars[*v], cc)
+        }
+        F::EqSum(a, b, c) => {
+            let sum = arena.mk_add(vars[*a], vars[*b]);
+            let cc = arena.mk_int(*c);
+            arena.mk_eq(sum, cc)
+        }
+        F::Not(inner) => {
+            let t = f_to_term(arena, inner, vars);
+            arena.mk_not(t)
+        }
+        F::And(a, b) => {
+            let (ta, tb) = (f_to_term(arena, a, vars), f_to_term(arena, b, vars));
+            arena.mk_and(vec![ta, tb])
+        }
+        F::Or(a, b) => {
+            let (ta, tb) = (f_to_term(arena, a, vars), f_to_term(arena, b, vars));
+            arena.mk_or(vec![ta, tb])
+        }
+    }
+}
+
+fn f_eval(f: &F, env: &[i64]) -> bool {
+    match f {
+        F::Le(v, c) => env[*v] <= *c,
+        F::Ge(v, c) => env[*v] >= *c,
+        F::EqSum(a, b, c) => env[*a] + env[*b] == *c,
+        F::Not(inner) => !f_eval(inner, env),
+        F::And(a, b) => f_eval(a, env) && f_eval(b, env),
+        F::Or(a, b) => f_eval(a, env) || f_eval(b, env),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn smt_agrees_with_bounded_enumeration(f in f_strategy()) {
+        let mut arena = TermArena::new();
+        let vars: Vec<TermId> = (0..3).map(|i| int_var(&mut arena, &format!("v{i}"))).collect();
+        // bound vars to the enumeration box so SAT/UNSAT agree with search
+        let mut hyps = Vec::new();
+        for &v in &vars {
+            let lo = arena.mk_int(-6);
+            let hi = arena.mk_int(6);
+            hyps.push(arena.mk_ge(v, lo));
+            hyps.push(arena.mk_le(v, hi));
+        }
+        let t = f_to_term(&mut arena, &f, &vars);
+        hyps.push(t);
+
+        let mut expected = false;
+        'outer: for a in -6i64..=6 {
+            for b in -6i64..=6 {
+                for c in -6i64..=6 {
+                    if f_eval(&f, &[a, b, c]) {
+                        expected = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let got = check_formulas(&mut arena, &hyps, &[], cfg());
+        match got {
+            SmtResult::Sat(m) => {
+                prop_assert!(expected, "solver said sat, enumeration said unsat");
+                let env: Vec<i64> = vars.iter().map(|v| m.ints.get(v).copied().unwrap_or(0)).collect();
+                prop_assert!(f_eval(&f, &env), "model does not satisfy the formula: {env:?}");
+            }
+            SmtResult::Unsat => prop_assert!(!expected, "solver said unsat, enumeration found {f:?}"),
+            SmtResult::Unknown => prop_assert!(false, "unexpected unknown"),
+        }
+    }
+}
+
+// ---------- congruence-aware e-matching (the theory-loop instantiator) ----------
+
+#[test]
+fn ematch_fires_through_equality_chains() {
+    // wI = dget(...) is EUF-equal to an appendc chain; the charat axiom must
+    // fire on charat(wI, i) even though wI is not syntactically appendc
+    let mut a = TermArena::new();
+    let str_sort = Sort::Unint(a.sym("Str"));
+    let appendc = a.declare_fun("appendc", vec![str_sort, Sort::Int], str_sort);
+    let charat = a.declare_fun("charat", vec![str_sort, Sort::Int], Sort::Int);
+    let strlen = a.declare_fun("strlen", vec![str_sort], Sort::Int);
+    // axiom: charat(appendc(s, c), strlen(s)) = c
+    let s = a.sym("s");
+    let c = a.sym("c");
+    let bs = a.mk_bound(s, str_sort);
+    let bc = a.mk_bound(c, Sort::Int);
+    let app = a.mk_app(appendc, vec![bs, bc]);
+    let lhs_len = a.mk_app(strlen, vec![bs]);
+    let lhs = a.mk_app(charat, vec![app, lhs_len]);
+    let body = a.mk_eq(lhs, bc);
+    let ax = a.mk_forall(vec![(s, str_sort), (c, Sort::Int)], body);
+
+    // ground: w = appendc(e, 7); v = w (a different name); strlen(e) = 0;
+    // charat(v, 0) != 7 must be UNSAT
+    let e_sym = a.sym("e");
+    let ve = a.mk_var(e_sym, 0, str_sort);
+    let seven = a.mk_int(7);
+    let chain = a.mk_app(appendc, vec![ve, seven]);
+    let w = a.sym("w");
+    let vw = a.mk_var(w, 0, str_sort);
+    let h1 = a.mk_eq(vw, chain);
+    let len_e = a.mk_app(strlen, vec![ve]);
+    let zero = a.mk_int(0);
+    let h2 = a.mk_eq(len_e, zero);
+    let read = a.mk_app(charat, vec![vw, zero]);
+    let h3 = a.mk_neq(read, seven);
+    assert!(check_formulas(&mut a, &[h1, h2, h3], &[ax], cfg()).is_unsat());
+}
+
+#[test]
+fn ematch_respects_guard_conditions() {
+    // forall x. x != 0 => f(x) = x; asserting f(5) = 9 is unsat, but
+    // f(0) = 9 is fine
+    let mut a = TermArena::new();
+    let f = a.declare_fun("f", vec![Sort::Int], Sort::Int);
+    let x = a.sym("x");
+    let bx = a.mk_bound(x, Sort::Int);
+    let zero = a.mk_int(0);
+    let nz = a.mk_neq(bx, zero);
+    let fx = a.mk_app(f, vec![bx]);
+    let eq = a.mk_eq(fx, bx);
+    let body = a.mk_implies(nz, eq);
+    let ax = a.mk_forall(vec![(x, Sort::Int)], body);
+
+    let five = a.mk_int(5);
+    let nine = a.mk_int(9);
+    let f5 = a.mk_app(f, vec![five]);
+    let bad = a.mk_eq(f5, nine);
+    assert!(check_formulas(&mut a, &[bad], &[ax], cfg()).is_unsat());
+
+    let f0 = a.mk_app(f, vec![zero]);
+    let ok = a.mk_eq(f0, nine);
+    assert!(check_formulas(&mut a, &[ok], &[ax], cfg()).is_sat());
+}
+
+#[test]
+fn object_adt_axioms_support_observational_reasoning() {
+    // the Serialize benchmark's axiom set, distilled: reading field 0 of
+    // addf(obj0(), v) yields v
+    let mut a = TermArena::new();
+    let obj = Sort::Unint(a.sym("Obj"));
+    let nf = a.declare_fun("nf", vec![obj], Sort::Int);
+    let fv = a.declare_fun("fv", vec![obj, Sort::Int], Sort::Int);
+    let obj0 = a.declare_fun("obj0", vec![], obj);
+    let addf = a.declare_fun("addf", vec![obj, Sort::Int], obj);
+
+    let o0 = a.mk_app(obj0, vec![]);
+    let nf_o0 = a.mk_app(nf, vec![o0]);
+    let zero = a.mk_int(0);
+    let ax1 = a.mk_eq(nf_o0, zero);
+
+    let o = a.sym("o");
+    let v = a.sym("v");
+    let bo = a.mk_bound(o, obj);
+    let bv = a.mk_bound(v, Sort::Int);
+    let added = a.mk_app(addf, vec![bo, bv]);
+    let nf_o = a.mk_app(nf, vec![bo]);
+    let fv_at_end = a.mk_app(fv, vec![added, nf_o]);
+    let body = a.mk_eq(fv_at_end, bv);
+    let ax3 = a.mk_forall(vec![(o, obj), (v, Sort::Int)], body);
+
+    // ground: q = addf(obj0(), 42); fv(q, 0) != 42 is unsat
+    let q = a.sym("q");
+    let vq = a.mk_var(q, 0, obj);
+    let forty2 = a.mk_int(42);
+    let built = a.mk_app(addf, vec![o0, forty2]);
+    let h1 = a.mk_eq(vq, built);
+    let read = a.mk_app(fv, vec![vq, zero]);
+    let h2 = a.mk_neq(read, forty2);
+    assert!(check_formulas(&mut a, &[h1, h2], &[ax1, ax3], cfg()).is_unsat());
+}
+
+// ---------- theory combination regressions ----------
+
+#[test]
+fn diseq_split_survives_unrelated_conflicts() {
+    // regression for the lost-split-lemma soundness bug: an EUF conflict in
+    // an early round must not permanently swallow the integer-disequality
+    // split of an unrelated atom
+    let mut a = TermArena::new();
+    let f = a.declare_fun("f", vec![Sort::Int], Sort::Int);
+    let x = int_var(&mut a, "x");
+    let y = int_var(&mut a, "y");
+    let z = int_var(&mut a, "z");
+    let fx = a.mk_app(f, vec![x]);
+    let fy = a.mk_app(f, vec![y]);
+    // x = y, f(x) != f(y) is a contradiction the SAT core must navigate,
+    // while z != 0 and 0 <= z <= 0 needs the split lemma for z
+    let exy = a.mk_eq(x, y);
+    let nfxy = a.mk_neq(fx, fy);
+    let zero = a.mk_int(0);
+    let nz = a.mk_neq(z, zero);
+    let lo = a.mk_le(zero, z);
+    let hi = a.mk_le(z, zero);
+    let contradiction = a.mk_or(vec![nfxy, nz]);
+    // (f(x)!=f(y) \/ z!=0) /\ x=y /\ 0<=z<=0 must be unsat
+    assert!(unsat(&mut a, &[exy, contradiction, lo, hi]));
+}
+
+#[test]
+fn arrays_and_arithmetic_share_index_reasoning() {
+    // A2 = upd(A, i+1, 5); j = i + 1; sel(A2, j) != 5 unsat — the index
+    // equality is arithmetic, the array lemma needs it through MBTC/EUF
+    let mut a = TermArena::new();
+    let arr = arr_var(&mut a, "A");
+    let i = int_var(&mut a, "i");
+    let j = int_var(&mut a, "j");
+    let one = a.mk_int(1);
+    let i1 = a.mk_add(i, one);
+    let five = a.mk_int(5);
+    let u = a.mk_upd(arr, i1, five);
+    let a2 = arr_var(&mut a, "A2");
+    let h1 = a.mk_eq(a2, u);
+    let h2 = a.mk_eq(j, i1);
+    let read = a.mk_sel(a2, j);
+    let h3 = a.mk_neq(read, five);
+    assert!(unsat(&mut a, &[h1, h2, h3]));
+}
+
+#[test]
+fn bool_extern_predicates_combine_with_arithmetic() {
+    // p(x) and !p(y) and x <= y and y <= x is unsat (congruence via LIA-implied x=y)
+    let mut a = TermArena::new();
+    let p = a.declare_fun("p", vec![Sort::Int], Sort::Bool);
+    let x = int_var(&mut a, "x");
+    let y = int_var(&mut a, "y");
+    let px = a.mk_app(p, vec![x]);
+    let py = a.mk_app(p, vec![y]);
+    let npy = a.mk_not(py);
+    let le1 = a.mk_le(x, y);
+    let le2 = a.mk_le(y, x);
+    assert!(unsat(&mut a, &[px, npy, le1, le2]));
+}
+
+#[test]
+fn large_upd_chain_positions_resolve() {
+    let mut a = TermArena::new();
+    let arr = arr_var(&mut a, "A");
+    let mut chain = arr;
+    for k in 0..10 {
+        let idx = a.mk_int(k);
+        let val = a.mk_int(100 + k);
+        chain = a.mk_upd(chain, idx, val);
+    }
+    // overwrite position 4
+    let four = a.mk_int(4);
+    let nine9 = a.mk_int(999);
+    chain = a.mk_upd(chain, four, nine9);
+    let read = a.mk_sel(chain, four);
+    let ne = a.mk_neq(read, nine9);
+    assert!(unsat(&mut a, &[ne]));
+    // and position 7 still holds 107
+    let seven = a.mk_int(7);
+    let read7 = a.mk_sel(chain, seven);
+    let v107 = a.mk_int(107);
+    let ne7 = a.mk_neq(read7, v107);
+    assert!(unsat(&mut a, &[ne7]));
+}
+
+#[test]
+fn skolemized_array_spec_counterexample_model() {
+    // an off-by-one "inverse" and the identity spec: sat with a witness index
+    let mut a = TermArena::new();
+    let arr = arr_var(&mut a, "A");
+    let arr2 = arr_var(&mut a, "B");
+    let n = int_var(&mut a, "n");
+    let one = a.mk_int(1);
+    let two = a.mk_int(2);
+    let hyp_n = a.mk_ge(n, two);
+    // B = upd(A, 1, A[1] + 1): differs from A at index 1
+    let s1 = a.mk_sel(arr, one);
+    let s1p = a.mk_add(s1, one);
+    let u = a.mk_upd(arr, one, s1p);
+    let hyp_b = a.mk_eq(arr2, u);
+    let k = a.sym("k");
+    let bk = a.mk_bound(k, Sort::Int);
+    let zero = a.mk_int(0);
+    let lo = a.mk_le(zero, bk);
+    let hi = a.mk_lt(bk, n);
+    let range = a.mk_and(vec![lo, hi]);
+    let sa = a.mk_sel(arr, bk);
+    let sb = a.mk_sel(arr2, bk);
+    let eq = a.mk_eq(sa, sb);
+    let body = a.mk_implies(range, eq);
+    let spec = a.mk_forall(vec![(k, Sort::Int)], body);
+    assert!(
+        !is_valid(&mut a, &[hyp_n, hyp_b], spec, &[], cfg()),
+        "the broken write must falsify the identity spec"
+    );
+}

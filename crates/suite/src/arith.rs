@@ -1,0 +1,346 @@
+//! The arithmetic benchmarks: Σi, vector shift/scale/rotate, permutation
+//! counting, and LU decomposition.
+
+use std::time::Duration;
+
+use pins_core::{AxiomDef, PinsConfig};
+use pins_ir::{ExternDecl, Type};
+
+use crate::defs::{no_axioms, RawDef, SpecSrc};
+
+pub(crate) fn sum_i() -> RawDef {
+    RawDef {
+        name: "Σi",
+        group: "arithmetic",
+        original: r#"
+proc sum_i(in n: int, out s: int) {
+  local i: int;
+  assume(n >= 0);
+  i := 0; s := 0;
+  while (i < n) {
+    i := i + 1;
+    s := s + i;
+  }
+}
+"#,
+        template: r#"
+proc sum_i_inv(in s: int, out nI: int) {
+  local sI: int;
+  nI := ?e1;
+  sI := ?e2;
+  while (?p1) {
+    nI := ?e3;
+    sI := ?e4;
+  }
+}
+"#,
+        delta_e: &["0", "s", "nI + 1", "nI - 1", "sI + nI", "sI - nI", "sI + nI + 1"],
+        delta_p: &["sI < s", "0 <= nI", "nI <= sI"],
+        spec: &[SpecSrc::IntEq("n", "nI")],
+        axioms: no_axioms,
+        rename: &[("i", "nI"), ("s", "sI")],
+        keep: &["s"],
+        has_axioms: false,
+        tune: |_c: &mut PinsConfig| {},
+    }
+}
+
+pub(crate) fn vector_shift() -> RawDef {
+    RawDef {
+        name: "Vector shift",
+        group: "arithmetic",
+        original: r#"
+proc vshift(inout X: int[], inout Y: int[], in n: int, in dx: int, in dy: int) {
+  local i: int;
+  assume(n >= 0);
+  i := 0;
+  while (i < n) {
+    X[i] := X[i] + dx;
+    Y[i] := Y[i] + dy;
+    i := i + 1;
+  }
+}
+"#,
+        template: r#"
+proc vshift_inv(in X: int[], in Y: int[], in n: int, in dx: int, in dy: int, out XI: int[], out YI: int[], out iI: int) {
+  iI := ?e1;
+  while (?p1) {
+    XI := ?e2;
+    YI := ?e3;
+    iI := ?e4;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "n",
+            "iI + 1",
+            "iI - 1",
+            "upd(XI, iI, X[iI] - dx)",
+            "upd(XI, iI, X[iI] + dx)",
+            "upd(YI, iI, Y[iI] - dy)",
+            "upd(YI, iI, Y[iI] + dy)",
+        ],
+        delta_p: &["iI < n", "0 <= iI"],
+        spec: &[
+            SpecSrc::ArrayEq("X", "XI", "n"),
+            SpecSrc::ArrayEq("Y", "YI", "n"),
+        ],
+        axioms: no_axioms,
+        rename: &[("i", "iI"), ("X", "XI"), ("Y", "YI")],
+        keep: &["n", "dx", "dy", "X", "Y"],
+        has_axioms: false,
+        tune: |_c: &mut PinsConfig| {},
+    }
+}
+
+fn scale_axioms(externs: &[ExternDecl]) -> Vec<AxiomDef> {
+    vec![AxiomDef::parse(
+        externs,
+        &[("a", Type::Int), ("b", Type::Int)],
+        "b = 0 || mul(mul(a, b), div(1, b)) = a",
+    )]
+}
+
+pub(crate) fn vector_scale() -> RawDef {
+    RawDef {
+        name: "Vector scale",
+        group: "arithmetic",
+        original: r#"
+extern mul(int, int): int;
+extern div(int, int): int;
+proc vscale(inout X: int[], in n: int, in f: int) {
+  local i: int;
+  assume(n >= 0);
+  assume(f != 0);
+  i := 0;
+  while (i < n) {
+    X[i] := mul(X[i], f);
+    i := i + 1;
+  }
+}
+"#,
+        template: r#"
+extern mul(int, int): int;
+extern div(int, int): int;
+proc vscale_inv(in X: int[], in n: int, in f: int, out XI: int[], out iI: int) {
+  iI := ?e1;
+  while (?p1) {
+    XI := ?e2;
+    iI := ?e3;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "n",
+            "iI + 1",
+            "iI - 1",
+            "upd(XI, iI, mul(X[iI], div(1, f)))",
+            "upd(XI, iI, mul(X[iI], f))",
+            "upd(XI, iI, X[iI])",
+        ],
+        delta_p: &["iI < n", "0 <= iI"],
+        spec: &[SpecSrc::ArrayEq("X", "XI", "n")],
+        axioms: scale_axioms,
+        rename: &[("i", "iI"), ("X", "XI")],
+        keep: &["n", "f", "X"],
+        has_axioms: true,
+        tune: |_c: &mut PinsConfig| {},
+    }
+}
+
+fn rotate_axioms(externs: &[ExternDecl]) -> Vec<AxiomDef> {
+    let angle = Type::Abstract("Angle".into());
+    vec![
+        AxiomDef::parse(
+            externs,
+            &[("x", Type::Int), ("y", Type::Int), ("t", angle.clone())],
+            "urotx(rotx(x, y, t), roty(x, y, t), t) = x",
+        ),
+        AxiomDef::parse(
+            externs,
+            &[("x", Type::Int), ("y", Type::Int), ("t", angle)],
+            "uroty(rotx(x, y, t), roty(x, y, t), t) = y",
+        ),
+    ]
+}
+
+pub(crate) fn vector_rotate() -> RawDef {
+    RawDef {
+        name: "Vector rotate",
+        group: "arithmetic",
+        original: r#"
+extern rotx(int, int, Angle): int;
+extern roty(int, int, Angle): int;
+extern urotx(int, int, Angle): int;
+extern uroty(int, int, Angle): int;
+proc vrotate(inout X: int[], inout Y: int[], in n: int, in t: Angle) {
+  local i: int;
+  assume(n >= 0);
+  i := 0;
+  while (i < n) {
+    X[i], Y[i] := rotx(X[i], Y[i], t), roty(X[i], Y[i], t);
+    i := i + 1;
+  }
+}
+"#,
+        template: r#"
+extern rotx(int, int, Angle): int;
+extern roty(int, int, Angle): int;
+extern urotx(int, int, Angle): int;
+extern uroty(int, int, Angle): int;
+proc vrotate_inv(in X: int[], in Y: int[], in n: int, in t: Angle, out XI: int[], out YI: int[], out iI: int) {
+  iI := ?e1;
+  while (?p1) {
+    XI := ?e2;
+    YI := ?e3;
+    iI := ?e4;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "n",
+            "iI + 1",
+            "iI - 1",
+            "upd(XI, iI, urotx(X[iI], Y[iI], t))",
+            "upd(XI, iI, rotx(X[iI], Y[iI], t))",
+            "upd(YI, iI, uroty(X[iI], Y[iI], t))",
+            "upd(YI, iI, roty(X[iI], Y[iI], t))",
+        ],
+        delta_p: &["iI < n", "0 <= iI"],
+        spec: &[
+            SpecSrc::ArrayEq("X", "XI", "n"),
+            SpecSrc::ArrayEq("Y", "YI", "n"),
+        ],
+        axioms: rotate_axioms,
+        rename: &[("i", "iI"), ("X", "XI"), ("Y", "YI")],
+        keep: &["n", "t", "X", "Y"],
+        has_axioms: true,
+        tune: |_c: &mut PinsConfig| {},
+    }
+}
+
+pub(crate) fn permute_count() -> RawDef {
+    RawDef {
+        name: "Permute count",
+        group: "arithmetic",
+        original: r#"
+proc permcount(in p: int[], in n: int, out c: int[]) {
+  local i: int, j: int, cnt: int;
+  assume(n >= 0);
+  i := 0;
+  while (i < n) {
+    cnt := 0; j := 0;
+    while (j < i) {
+      if (p[j] < p[i]) {
+        cnt := cnt + 1;
+      }
+      j := j + 1;
+    }
+    c[i] := cnt;
+    i := i + 1;
+  }
+}
+"#,
+        template: r#"
+proc permcount_inv(in c: int[], in n: int, out pI: int[], out iI: int) {
+  local jI: int;
+  iI := ?e1;
+  while (iI < n) {
+    pI := ?e2;
+    jI := ?e3;
+    while (jI < iI) {
+      if (?p1) {
+        pI := ?e4;
+      }
+      jI := ?e5;
+    }
+    iI := ?e6;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "1",
+            "jI + 1",
+            "iI + 1",
+            "c[iI]",
+            "c[jI]",
+            "upd(pI, iI, c[iI])",
+            "upd(pI, jI, pI[jI] + 1)",
+            "upd(pI, jI, pI[jI] - 1)",
+            "upd(pI, iI, c[jI])",
+        ],
+        delta_p: &["pI[jI] >= pI[iI]", "pI[jI] < pI[iI]", "pI[jI] >= c[iI]"],
+        spec: &[SpecSrc::ArrayEq("p", "pI", "n")],
+        axioms: no_axioms,
+        rename: &[("i", "iI"), ("j", "jI"), ("p", "pI")],
+        keep: &["c", "n"],
+        has_axioms: false,
+        tune: |c: &mut PinsConfig| {
+            c.max_iterations = 40;
+            c.explore.max_unroll = 3;
+            c.explore.max_steps = 30_000;
+            c.time_budget = Some(Duration::from_secs(1800));
+        },
+    }
+}
+
+fn lu_axioms(externs: &[ExternDecl]) -> Vec<AxiomDef> {
+    vec![AxiomDef::parse(
+        externs,
+        &[("x", Type::Int), ("y", Type::Int)],
+        "y = 0 || mul(div(x, y), y) = x",
+    )]
+}
+
+pub(crate) fn lu_decomp() -> RawDef {
+    RawDef {
+        name: "LU decomp",
+        group: "arithmetic",
+        original: r#"
+extern mul(int, int): int;
+extern div(int, int): int;
+proc lu2(inout a: int, inout b: int, inout c: int, inout d: int) {
+  assume(a != 0);
+  c := div(c, a);
+  d := d - mul(c, b);
+}
+"#,
+        template: r#"
+extern mul(int, int): int;
+extern div(int, int): int;
+proc lu2_inv(in a: int, in b: int, in c: int, in d: int, out aI: int, out bI: int, out cI: int, out dI: int) {
+  aI := ?e1;
+  bI := ?e2;
+  cI := ?e3;
+  dI := ?e4;
+}
+"#,
+        delta_e: &[
+            "a",
+            "b",
+            "c",
+            "d",
+            "mul(c, a)",
+            "mul(c, b)",
+            "d + mul(c, b)",
+            "d - mul(c, b)",
+            "div(c, a)",
+        ],
+        delta_p: &[],
+        spec: &[
+            SpecSrc::IntEq("a", "aI"),
+            SpecSrc::IntEq("b", "bI"),
+            SpecSrc::IntEq("c", "cI"),
+            SpecSrc::IntEq("d", "dI"),
+        ],
+        axioms: lu_axioms,
+        rename: &[("a", "aI"), ("b", "bI"), ("c", "cI"), ("d", "dI")],
+        keep: &["a", "b", "c", "d"],
+        has_axioms: true,
+        tune: |_c: &mut PinsConfig| {},
+    }
+}

@@ -1,0 +1,335 @@
+//! The compressor benchmarks: in-place run-length, run-length, LZ77, and
+//! the LZW-style dictionary coder.
+
+use std::time::Duration;
+
+use pins_core::{AxiomDef, PinsConfig};
+use pins_ir::{ExternDecl, Type};
+
+use crate::defs::{no_axioms, RawDef, SpecSrc};
+
+pub(crate) fn in_place_rl() -> RawDef {
+    RawDef {
+        name: "In-place RL",
+        group: "compressor",
+        original: r#"
+proc runlength(inout A: int[], in n: int, out N: int[], out m: int) {
+  local i: int, r: int;
+  assume(n >= 0);
+  i := 0; m := 0;
+  while (i < n) {
+    r := 1;
+    while (i + 1 < n && A[i] = A[i + 1]) {
+      r, i := r + 1, i + 1;
+    }
+    A[m] := A[i];
+    N[m] := r;
+    m, i := m + 1, i + 1;
+  }
+}
+"#,
+        template: r#"
+proc rl_inv(in A: int[], in N: int[], in m: int, out AI: int[], out iI: int) {
+  local mI: int, rI: int;
+  iI, mI := ?e1, ?e2;
+  while (?p1) {
+    rI := ?e3;
+    while (?p2) {
+      rI, iI, AI := ?e4, ?e5, ?e6;
+    }
+    mI := ?e7;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "1",
+            "mI + 1",
+            "mI - 1",
+            "rI + 1",
+            "rI - 1",
+            "iI + 1",
+            "iI - 1",
+            "N[mI]",
+            "upd(AI, mI, A[iI])",
+            "upd(AI, iI, A[mI])",
+        ],
+        delta_p: &["AI[iI] = AI[iI + 1]", "mI < m", "rI > 0"],
+        spec: &[
+            SpecSrc::IntEq("n", "iI"),
+            SpecSrc::ArrayEq("A", "AI", "n"),
+        ],
+        axioms: no_axioms,
+        rename: &[("i", "iI"), ("m", "mI"), ("r", "rI"), ("A", "AI")],
+        keep: &["N", "m", "A"],
+        has_axioms: false,
+        tune: |c: &mut PinsConfig| {
+            c.max_iterations = 48;
+            c.explore.max_unroll = 3;
+            c.explore.max_steps = 30_000;
+            c.time_budget = Some(Duration::from_secs(1800));
+        },
+    }
+}
+
+pub(crate) fn run_length() -> RawDef {
+    RawDef {
+        name: "Run length",
+        group: "compressor",
+        original: r#"
+proc runlength2(in A: int[], in n: int, out B: int[], out N: int[], out m: int) {
+  local i: int, r: int;
+  assume(n >= 0);
+  i := 0; m := 0;
+  while (i < n) {
+    r := 1;
+    while (i + 1 < n && A[i] = A[i + 1]) {
+      r, i := r + 1, i + 1;
+    }
+    B[m] := A[i];
+    N[m] := r;
+    m, i := m + 1, i + 1;
+  }
+}
+"#,
+        template: r#"
+proc rl2_inv(in B: int[], in N: int[], in m: int, out AI: int[], out iI: int) {
+  local mI: int, rI: int;
+  iI, mI := ?e1, ?e2;
+  while (?p1) {
+    rI := ?e3;
+    while (?p2) {
+      rI, iI, AI := ?e4, ?e5, ?e6;
+    }
+    mI := ?e7;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "1",
+            "mI + 1",
+            "mI - 1",
+            "rI + 1",
+            "rI - 1",
+            "iI + 1",
+            "iI - 1",
+            "N[mI]",
+            "upd(AI, iI, B[mI])",
+            "upd(AI, mI, B[iI])",
+        ],
+        delta_p: &["mI < m", "rI > 0", "iI < m"],
+        spec: &[
+            SpecSrc::IntEq("n", "iI"),
+            SpecSrc::ArrayEq("A", "AI", "n"),
+        ],
+        axioms: no_axioms,
+        rename: &[("i", "iI"), ("m", "mI"), ("r", "rI"), ("A", "AI"), ("B", "AI")],
+        keep: &["N", "m", "B"],
+        has_axioms: false,
+        tune: |c: &mut PinsConfig| {
+            c.max_iterations = 48;
+            c.explore.max_unroll = 3;
+            c.explore.max_steps = 30_000;
+            c.time_budget = Some(Duration::from_secs(1800));
+        },
+    }
+}
+
+pub(crate) fn lz77() -> RawDef {
+    RawDef {
+        name: "LZ77",
+        group: "compressor",
+        original: r#"
+proc lz77(in A: int[], in n: int, out P: int[], out L: int[], out C: int[], out k: int) {
+  local i: int, j: int, r: int, len: int, off: int;
+  assume(n >= 0);
+  i := 0; k := 0;
+  while (i < n) {
+    off := 0; len := 0; j := 0;
+    while (j < i) {
+      r := 0;
+      while (i + r < n - 1 && A[j + r] = A[i + r]) {
+        r := r + 1;
+      }
+      if (len < r) {
+        len := r; off := i - j;
+      }
+      j := j + 1;
+    }
+    P[k] := off;
+    L[k] := len;
+    i := i + len;
+    C[k] := A[i];
+    i, k := i + 1, k + 1;
+  }
+}
+"#,
+        template: r#"
+proc lz77_inv(in P: int[], in L: int[], in C: int[], in k: int, out AI: int[], out iI: int) {
+  local kI: int, cI: int;
+  iI, kI := ?e1, ?e2;
+  while (?p1) {
+    cI := ?e3;
+    while (?p2) {
+      AI, iI, cI := ?e4, ?e5, ?e6;
+    }
+    AI := ?e7;
+    iI, kI := ?e8, ?e9;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "1",
+            "kI + 1",
+            "iI + 1",
+            "iI - 1",
+            "cI - 1",
+            "cI + 1",
+            "L[kI]",
+            "P[kI]",
+            "upd(AI, iI, AI[iI - P[kI]])",
+            "upd(AI, iI, C[kI])",
+            "upd(AI, iI, AI[iI + P[kI]])",
+            "upd(AI, kI, C[kI])",
+        ],
+        delta_p: &["kI < k", "cI > 0"],
+        spec: &[
+            SpecSrc::IntEq("n", "iI"),
+            SpecSrc::ArrayEq("A", "AI", "n"),
+        ],
+        axioms: no_axioms,
+        rename: &[("i", "iI"), ("k", "kI"), ("r", "cI"), ("A", "AI")],
+        keep: &["P", "L", "C", "k"],
+        has_axioms: false,
+        tune: |c: &mut PinsConfig| {
+            c.max_iterations = 48;
+            c.explore.max_unroll = 3;
+            c.explore.max_steps = 30_000;
+            c.time_budget = Some(Duration::from_secs(3600));
+        },
+    }
+}
+
+fn lzw_axioms(externs: &[ExternDecl]) -> Vec<AxiomDef> {
+    let str_t = Type::Abstract("Str".into());
+    let dict_t = Type::Abstract("Dict".into());
+    vec![
+        AxiomDef::parse(externs, &[], "strlen(empty()) = 0"),
+        AxiomDef::parse(
+            externs,
+            &[("s", str_t.clone()), ("c", Type::Int)],
+            "strlen(appendc(s, c)) = strlen(s) + 1",
+        ),
+        AxiomDef::parse(
+            externs,
+            &[("s", str_t.clone()), ("c", Type::Int)],
+            "charat(appendc(s, c), strlen(s)) = c",
+        ),
+        AxiomDef::parse(
+            externs,
+            &[("s", str_t.clone()), ("c", Type::Int), ("i", Type::Int)],
+            "!(0 <= i && i < strlen(s)) || charat(appendc(s, c), i) = charat(s, i)",
+        ),
+        AxiomDef::parse(
+            externs,
+            &[("d", dict_t), ("s", str_t.clone())],
+            "dget(d, dcode(d, s)) = s",
+        ),
+        AxiomDef::parse(externs, &[("s", str_t)], "strlen(s) >= 0"),
+    ]
+}
+
+pub(crate) fn lzw() -> RawDef {
+    RawDef {
+        name: "LZW",
+        group: "compressor",
+        original: r#"
+extern empty(): Str;
+extern appendc(Str, int): Str;
+extern strlen(Str): int;
+extern charat(Str, int): int;
+extern dinit(): Dict;
+extern dhas(Dict, Str): bool;
+extern dcode(Dict, Str): int;
+extern dadd(Dict, Str): Dict;
+extern dget(Dict, int): Str;
+proc lzw(in A: int[], in n: int, out B: int[], out C: int[], out k: int) {
+  local d: Dict, w: Str, i: int;
+  assume(n >= 1);
+  d := dinit(); i := 0; k := 0;
+  while (i < n) {
+    w := empty();
+    while (i < n - 1 && dhas(d, appendc(w, A[i]))) {
+      w := appendc(w, A[i]);
+      i := i + 1;
+    }
+    B[k] := dcode(d, w);
+    C[k] := A[i];
+    d := dadd(d, appendc(w, A[i]));
+    i, k := i + 1, k + 1;
+  }
+}
+"#,
+        template: r#"
+extern empty(): Str;
+extern appendc(Str, int): Str;
+extern strlen(Str): int;
+extern charat(Str, int): int;
+extern dinit(): Dict;
+extern dhas(Dict, Str): bool;
+extern dcode(Dict, Str): int;
+extern dadd(Dict, Str): Dict;
+extern dget(Dict, int): Str;
+proc lzw_inv(in B: int[], in C: int[], in k: int, out AI: int[], out iI: int) {
+  local dI: Dict, wI: Str, kI: int, tI: int;
+  dI := dinit();
+  iI, kI := ?e1, ?e2;
+  while (?p1) {
+    wI := ?e3;
+    tI := ?e4;
+    while (?p2) {
+      AI, iI, tI := ?e5, ?e6, ?e7;
+    }
+    AI := ?e8;
+    dI := ?e9;
+    iI, kI := ?e10, ?e11;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "1",
+            "kI + 1",
+            "iI + 1",
+            "tI + 1",
+            "tI - 1",
+            "dget(dI, B[kI])",
+            "dget(dI, C[kI])",
+            "empty()",
+            "appendc(wI, C[kI])",
+            "dadd(dI, appendc(wI, C[kI]))",
+            "dadd(dI, wI)",
+            "dI",
+            "upd(AI, iI, charat(wI, tI))",
+            "upd(AI, iI, C[kI])",
+            "upd(AI, tI, charat(wI, iI))",
+        ],
+        delta_p: &["kI < k", "tI < strlen(wI)", "iI < k"],
+        spec: &[
+            SpecSrc::IntEq("n", "iI"),
+            SpecSrc::ArrayEq("A", "AI", "n"),
+        ],
+        axioms: lzw_axioms,
+        rename: &[("i", "iI"), ("k", "kI"), ("w", "wI"), ("d", "dI"), ("A", "AI")],
+        keep: &["B", "C", "k"],
+        has_axioms: true,
+        tune: |c: &mut PinsConfig| {
+            c.max_iterations = 48;
+            c.explore.max_unroll = 3;
+            c.explore.max_steps = 30_000;
+            c.time_budget = Some(Duration::from_secs(3600));
+        },
+    }
+}

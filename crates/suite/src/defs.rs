@@ -1,0 +1,65 @@
+//! Raw benchmark definitions and the dispatcher.
+
+use pins_core::{AxiomDef, PinsConfig};
+use pins_ir::ExternDecl;
+
+use crate::BenchmarkId;
+
+/// Specification items by variable name (resolved against the composed
+/// program when a session is built).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SpecSrc {
+    /// `input@0 = output@final`.
+    IntEq(&'static str, &'static str),
+    /// `forall k in [0, len@0): input@0[k] = output@final[k]`.
+    ArrayEq(&'static str, &'static str, &'static str),
+    /// Equality at an uninterpreted sort.
+    #[allow(dead_code)]
+    AbsEq(&'static str, &'static str),
+    /// Both sides read at the final version map.
+    IntEqFinal(&'static str, &'static str),
+    /// Array equality with the bound read at the final map.
+    ArrayEqFinalLen(&'static str, &'static str, &'static str),
+    /// Observational ADT equality through `len_fun`/`obs_fun` externs.
+    ObsEq(&'static str, &'static str, &'static str, &'static str),
+}
+
+/// A static benchmark definition.
+#[derive(Debug, Clone)]
+pub(crate) struct RawDef {
+    pub name: &'static str,
+    pub group: &'static str,
+    pub original: &'static str,
+    pub template: &'static str,
+    pub delta_e: &'static [&'static str],
+    pub delta_p: &'static [&'static str],
+    pub spec: &'static [SpecSrc],
+    pub axioms: fn(&[ExternDecl]) -> Vec<AxiomDef>,
+    pub rename: &'static [(&'static str, &'static str)],
+    pub keep: &'static [&'static str],
+    pub has_axioms: bool,
+    pub tune: fn(&mut PinsConfig),
+}
+
+pub(crate) fn no_axioms(_externs: &[ExternDecl]) -> Vec<AxiomDef> {
+    Vec::new()
+}
+
+pub(crate) fn raw(id: BenchmarkId) -> RawDef {
+    match id {
+        BenchmarkId::InPlaceRl => crate::compressors::in_place_rl(),
+        BenchmarkId::RunLength => crate::compressors::run_length(),
+        BenchmarkId::Lz77 => crate::compressors::lz77(),
+        BenchmarkId::Lzw => crate::compressors::lzw(),
+        BenchmarkId::Base64 => crate::encoders::base64(),
+        BenchmarkId::UuEncode => crate::encoders::uuencode(),
+        BenchmarkId::PktWrapper => crate::encoders::pkt_wrapper(),
+        BenchmarkId::Serialize => crate::encoders::serialize(),
+        BenchmarkId::SumI => crate::arith::sum_i(),
+        BenchmarkId::VectorShift => crate::arith::vector_shift(),
+        BenchmarkId::VectorScale => crate::arith::vector_scale(),
+        BenchmarkId::VectorRotate => crate::arith::vector_rotate(),
+        BenchmarkId::PermuteCount => crate::arith::permute_count(),
+        BenchmarkId::LuDecomp => crate::arith::lu_decomp(),
+    }
+}

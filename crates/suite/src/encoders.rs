@@ -1,0 +1,301 @@
+//! The format-conversion benchmarks: Base64, UUEncode, packet wrapper, and
+//! the object serializer.
+
+use std::time::Duration;
+
+use pins_core::{AxiomDef, PinsConfig};
+use pins_ir::{ExternDecl, Type};
+
+use crate::defs::{no_axioms, RawDef, SpecSrc};
+
+fn radix_axioms(externs: &[ExternDecl]) -> Vec<AxiomDef> {
+    vec![AxiomDef::parse(
+        externs,
+        &[("x", Type::Int)],
+        "combine(hi(x), lo(x)) = x",
+    )]
+}
+
+pub(crate) fn base64() -> RawDef {
+    RawDef {
+        name: "Base64",
+        group: "encoder",
+        original: r#"
+extern hi(int): int;
+extern lo(int): int;
+extern combine(int, int): int;
+proc base64(in A: int[], in n: int, out B: int[], out j: int) {
+  local i: int;
+  assume(n >= 0);
+  i := 0; j := 0;
+  while (i < n) {
+    B[j] := hi(A[i]);
+    B[j + 1] := lo(A[i]);
+    i, j := i + 1, j + 2;
+  }
+}
+"#,
+        template: r#"
+extern hi(int): int;
+extern lo(int): int;
+extern combine(int, int): int;
+proc base64_inv(in B: int[], in j: int, out AI: int[], out iI: int) {
+  local jI: int;
+  iI, jI := ?e1, ?e2;
+  while (?p1) {
+    AI := ?e3;
+    iI, jI := ?e4, ?e5;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "1",
+            "iI + 1",
+            "iI - 1",
+            "jI + 1",
+            "jI + 2",
+            "jI - 2",
+            "j",
+            "upd(AI, iI, combine(B[jI], B[jI + 1]))",
+            "upd(AI, iI, combine(B[jI + 1], B[jI]))",
+            "upd(AI, jI, combine(B[jI], B[jI + 1]))",
+            "upd(AI, iI, B[jI])",
+        ],
+        delta_p: &["jI < j", "iI < j", "0 <= jI"],
+        spec: &[
+            SpecSrc::IntEq("n", "iI"),
+            SpecSrc::ArrayEq("A", "AI", "n"),
+        ],
+        axioms: radix_axioms,
+        rename: &[("i", "iI"), ("j", "jI"), ("A", "AI")],
+        keep: &["B", "j"],
+        has_axioms: true,
+        tune: |c: &mut PinsConfig| {
+            c.max_iterations = 48;
+            c.explore.max_unroll = 4;
+            c.explore.max_steps = 30_000;
+            c.time_budget = Some(Duration::from_secs(1800));
+        },
+    }
+}
+
+pub(crate) fn uuencode() -> RawDef {
+    RawDef {
+        name: "UUEncode",
+        group: "encoder",
+        original: r#"
+extern hi(int): int;
+extern lo(int): int;
+extern combine(int, int): int;
+proc uuencode(in A: int[], in n: int, out B: int[], out j: int) {
+  local i: int;
+  assume(n >= 0);
+  B[0] := n;
+  i := 0; j := 1;
+  while (i < n) {
+    B[j] := hi(A[i]);
+    B[j + 1] := lo(A[i]);
+    i, j := i + 1, j + 2;
+  }
+  B[j] := 96;
+  j := j + 1;
+}
+"#,
+        template: r#"
+extern hi(int): int;
+extern lo(int): int;
+extern combine(int, int): int;
+proc uuencode_inv(in B: int[], out AI: int[], out iI: int) {
+  local nI: int, jI: int;
+  nI := ?e1;
+  iI, jI := ?e2, ?e3;
+  while (?p1) {
+    AI := ?e4;
+    iI, jI := ?e5, ?e6;
+  }
+}
+"#,
+        delta_e: &[
+            "B[0]",
+            "0",
+            "1",
+            "2",
+            "iI + 1",
+            "jI + 2",
+            "jI + 1",
+            "nI",
+            "upd(AI, iI, combine(B[jI], B[jI + 1]))",
+            "upd(AI, iI, combine(B[jI + 1], B[jI]))",
+            "upd(AI, jI, B[iI])",
+        ],
+        delta_p: &["iI < nI", "jI < nI", "iI < jI"],
+        spec: &[
+            SpecSrc::IntEq("n", "iI"),
+            SpecSrc::ArrayEq("A", "AI", "n"),
+        ],
+        axioms: radix_axioms,
+        rename: &[("i", "iI"), ("j", "jI"), ("n", "nI"), ("A", "AI")],
+        keep: &["B"],
+        has_axioms: true,
+        tune: |c: &mut PinsConfig| {
+            c.max_iterations = 48;
+            c.explore.max_unroll = 4;
+            c.explore.max_steps = 30_000;
+            c.time_budget = Some(Duration::from_secs(1800));
+        },
+    }
+}
+
+pub(crate) fn pkt_wrapper() -> RawDef {
+    RawDef {
+        name: "Pkt wrapper",
+        group: "encoder",
+        original: r#"
+proc pktwrap(in L: int[], in D: int[], in f: int, out P: int[], out k: int, out d: int) {
+  local t: int, s: int;
+  assume(f >= 0);
+  t := 0; k := 0; d := 0;
+  while (t < f) {
+    P[k] := L[t];
+    k := k + 1;
+    s := 0;
+    while (s < L[t]) {
+      P[k] := D[d];
+      k, d, s := k + 1, d + 1, s + 1;
+    }
+    t := t + 1;
+  }
+}
+"#,
+        template: r#"
+proc pktwrap_inv(in P: int[], in k: int, in f: int, out LI: int[], out DI: int[], out tI: int, out dI: int) {
+  local kI: int, sI: int;
+  tI, kI, dI := ?e1, ?e2, ?e3;
+  while (?p1) {
+    LI := ?e4;
+    kI := ?e5;
+    sI := ?e6;
+    while (?p2) {
+      DI := ?e7;
+      kI, dI, sI := ?e8, ?e9, ?e10;
+    }
+    tI := ?e11;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "1",
+            "tI + 1",
+            "kI + 1",
+            "sI + 1",
+            "dI + 1",
+            "P[kI]",
+            "LI[tI]",
+            "upd(LI, tI, P[kI])",
+            "upd(DI, dI, P[kI])",
+            "upd(LI, kI, P[tI])",
+            "upd(DI, sI, P[kI])",
+        ],
+        delta_p: &["tI < f", "sI < LI[tI]", "kI < k", "sI < P[kI]"],
+        spec: &[
+            SpecSrc::IntEq("f", "tI"),
+            SpecSrc::ArrayEq("L", "LI", "f"),
+            SpecSrc::IntEqFinal("d", "dI"),
+            SpecSrc::ArrayEqFinalLen("D", "DI", "d"),
+        ],
+        axioms: no_axioms,
+        rename: &[("t", "tI"), ("k", "kI"), ("s", "sI"), ("d", "dI"), ("L", "LI"), ("D", "DI")],
+        keep: &["P", "k", "f"],
+        has_axioms: false,
+        tune: |c: &mut PinsConfig| {
+            c.max_iterations = 48;
+            c.explore.max_unroll = 4;
+            c.explore.max_steps = 30_000;
+            c.time_budget = Some(Duration::from_secs(1800));
+        },
+    }
+}
+
+fn serialize_axioms(externs: &[ExternDecl]) -> Vec<AxiomDef> {
+    let obj = Type::Abstract("Obj".into());
+    vec![
+        AxiomDef::parse(externs, &[], "nf(obj0()) = 0"),
+        AxiomDef::parse(
+            externs,
+            &[("o", obj.clone()), ("v", Type::Int)],
+            "nf(addf(o, v)) = nf(o) + 1",
+        ),
+        AxiomDef::parse(
+            externs,
+            &[("o", obj.clone()), ("v", Type::Int)],
+            "fv(addf(o, v), nf(o)) = v",
+        ),
+        AxiomDef::parse(
+            externs,
+            &[("o", obj.clone()), ("v", Type::Int), ("i", Type::Int)],
+            "!(0 <= i && i < nf(o)) || fv(addf(o, v), i) = fv(o, i)",
+        ),
+        AxiomDef::parse(externs, &[("o", obj)], "nf(o) >= 0"),
+    ]
+}
+
+pub(crate) fn serialize() -> RawDef {
+    RawDef {
+        name: "Serialize",
+        group: "encoder",
+        original: r#"
+extern nf(Obj): int;
+extern fv(Obj, int): int;
+extern obj0(): Obj;
+extern addf(Obj, int): Obj;
+proc serialize(in o: Obj, out S: int[], out m: int) {
+  local i: int, n: int;
+  n := nf(o);
+  i := 0; m := 0;
+  while (i < n) {
+    S[m] := fv(o, i);
+    i, m := i + 1, m + 1;
+  }
+}
+"#,
+        template: r#"
+extern nf(Obj): int;
+extern fv(Obj, int): int;
+extern obj0(): Obj;
+extern addf(Obj, int): Obj;
+proc serialize_inv(in S: int[], in m: int, out oI: Obj) {
+  local kI: int;
+  oI := ?e1;
+  kI := ?e2;
+  while (?p1) {
+    oI := ?e3;
+    kI := ?e4;
+  }
+}
+"#,
+        delta_e: &[
+            "0",
+            "1",
+            "kI + 1",
+            "kI - 1",
+            "m",
+            "obj0()",
+            "addf(oI, S[kI])",
+            "oI",
+        ],
+        delta_p: &["kI < m", "0 <= kI"],
+        spec: &[SpecSrc::ObsEq("o", "oI", "nf", "fv")],
+        axioms: serialize_axioms,
+        rename: &[("i", "kI"), ("m", "kI"), ("o", "oI")],
+        keep: &["S", "m"],
+        has_axioms: true,
+        tune: |c: &mut PinsConfig| {
+            c.max_iterations = 40;
+            c.explore.max_unroll = 4;
+            c.explore.max_steps = 30_000;
+            c.time_budget = Some(Duration::from_secs(1800));
+        },
+    }
+}

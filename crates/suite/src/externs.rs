@@ -1,0 +1,155 @@
+//! Executable host semantics for the benchmarks' extern functions — the
+//! concrete counterpart of the axioms used during synthesis.
+
+use pins_ir::{ExternEnv, InterpError, Value};
+
+use crate::BenchmarkId;
+
+fn int_arg(args: &[Value], i: usize) -> Result<i64, InterpError> {
+    args.get(i)
+        .ok_or_else(|| InterpError::TypeError("missing argument".into()))?
+        .as_int()
+}
+
+fn seq_arg(args: &[Value], i: usize) -> Result<Vec<Value>, InterpError> {
+    match args.get(i) {
+        Some(Value::Seq(items)) => Ok(items.clone()),
+        other => Err(InterpError::TypeError(format!("expected seq, got {other:?}"))),
+    }
+}
+
+fn register_radix(env: &mut ExternEnv) {
+    env.register("hi", |args| Ok(Value::Int(int_arg(args, 0)?.div_euclid(16))));
+    env.register("lo", |args| Ok(Value::Int(int_arg(args, 0)?.rem_euclid(16))));
+    env.register("combine", |args| {
+        Ok(Value::Int(16 * int_arg(args, 0)? + int_arg(args, 1)?))
+    });
+}
+
+fn register_muldiv(env: &mut ExternEnv) {
+    env.register("mul", |args| {
+        Ok(Value::Int(int_arg(args, 0)?.wrapping_mul(int_arg(args, 1)?)))
+    });
+    env.register("div", |args| {
+        let (x, y) = (int_arg(args, 0)?, int_arg(args, 1)?);
+        if y == 0 {
+            return Err(InterpError::TypeError("division by zero".into()));
+        }
+        Ok(Value::Int(x / y))
+    });
+}
+
+/// Quarter-turn trigonometry: angles are 0..=3, cos/sin are exact integers.
+fn cos_sin(t: i64) -> (i64, i64) {
+    match t.rem_euclid(4) {
+        0 => (1, 0),
+        1 => (0, 1),
+        2 => (-1, 0),
+        _ => (0, -1),
+    }
+}
+
+fn register_rotation(env: &mut ExternEnv) {
+    env.register("rotx", |args| {
+        let (x, y, t) = (int_arg(args, 0)?, int_arg(args, 1)?, int_arg(args, 2)?);
+        let (c, s) = cos_sin(t);
+        Ok(Value::Int(x * c - y * s))
+    });
+    env.register("roty", |args| {
+        let (x, y, t) = (int_arg(args, 0)?, int_arg(args, 1)?, int_arg(args, 2)?);
+        let (c, s) = cos_sin(t);
+        Ok(Value::Int(x * s + y * c))
+    });
+    env.register("urotx", |args| {
+        let (x, y, t) = (int_arg(args, 0)?, int_arg(args, 1)?, int_arg(args, 2)?);
+        let (c, s) = cos_sin(t);
+        Ok(Value::Int(x * c + y * s))
+    });
+    env.register("uroty", |args| {
+        let (x, y, t) = (int_arg(args, 0)?, int_arg(args, 1)?, int_arg(args, 2)?);
+        let (c, s) = cos_sin(t);
+        Ok(Value::Int(y * c - x * s))
+    });
+}
+
+/// Strings are `Value::Seq` of ints; dictionaries are sequences of strings
+/// where a string's code is its index (entry 0 is the empty string).
+fn register_lzw(env: &mut ExternEnv) {
+    env.register("empty", |_| Ok(Value::Seq(Vec::new())));
+    env.register("appendc", |args| {
+        let mut s = seq_arg(args, 0)?;
+        s.push(Value::Int(int_arg(args, 1)?));
+        Ok(Value::Seq(s))
+    });
+    env.register("strlen", |args| Ok(Value::Int(seq_arg(args, 0)?.len() as i64)));
+    env.register("charat", |args| {
+        let s = seq_arg(args, 0)?;
+        let i = int_arg(args, 1)?;
+        s.get(i as usize)
+            .cloned()
+            .ok_or_else(|| InterpError::TypeError(format!("charat out of range: {i}")))
+    });
+    env.register("dinit", |_| Ok(Value::Seq(vec![Value::Seq(Vec::new())])));
+    env.register("dhas", |args| {
+        let d = seq_arg(args, 0)?;
+        let s = args[1].clone();
+        Ok(Value::Bool(d.contains(&s)))
+    });
+    env.register("dcode", |args| {
+        let d = seq_arg(args, 0)?;
+        let s = args[1].clone();
+        d.iter()
+            .position(|e| *e == s)
+            .map(|i| Value::Int(i as i64))
+            .ok_or_else(|| InterpError::TypeError("dcode of unknown string".into()))
+    });
+    env.register("dadd", |args| {
+        let mut d = seq_arg(args, 0)?;
+        d.push(args[1].clone());
+        Ok(Value::Seq(d))
+    });
+    env.register("dget", |args| {
+        let d = seq_arg(args, 0)?;
+        let i = int_arg(args, 1)?;
+        d.get(i as usize)
+            .cloned()
+            .ok_or_else(|| InterpError::TypeError(format!("dget out of range: {i}")))
+    });
+}
+
+/// Objects are `Value::Seq` of field values.
+fn register_obj(env: &mut ExternEnv) {
+    env.register("obj0", |_| Ok(Value::Seq(Vec::new())));
+    env.register("addf", |args| {
+        let mut o = seq_arg(args, 0)?;
+        o.push(Value::Int(int_arg(args, 1)?));
+        Ok(Value::Seq(o))
+    });
+    env.register("nf", |args| Ok(Value::Int(seq_arg(args, 0)?.len() as i64)));
+    env.register("fv", |args| {
+        let o = seq_arg(args, 0)?;
+        let i = int_arg(args, 1)?;
+        o.get(i as usize)
+            .cloned()
+            .ok_or_else(|| InterpError::TypeError(format!("fv out of range: {i}")))
+    });
+}
+
+/// Builds the extern environment for a benchmark.
+pub(crate) fn env_for(id: BenchmarkId) -> ExternEnv {
+    let mut env = ExternEnv::new();
+    match id {
+        BenchmarkId::Lzw => register_lzw(&mut env),
+        BenchmarkId::Base64 | BenchmarkId::UuEncode => register_radix(&mut env),
+        BenchmarkId::Serialize => register_obj(&mut env),
+        BenchmarkId::VectorScale | BenchmarkId::LuDecomp => register_muldiv(&mut env),
+        BenchmarkId::VectorRotate => register_rotation(&mut env),
+        _ => {}
+    }
+    env
+}
+
+/// Calls a host extern directly (used by concrete spec checking).
+pub(crate) fn host_call(env: &ExternEnv, f: &str, args: &[Value]) -> Option<Value> {
+    env.try_call(f, args).ok()
+}

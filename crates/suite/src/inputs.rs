@@ -1,0 +1,108 @@
+//! Random workload generation for the benchmarks' original programs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pins_ir::{Store, Value};
+
+use crate::{benchmark, BenchmarkId};
+
+fn set(store: &mut Store, program: &pins_ir::Program, name: &str, value: Value) {
+    let v = program
+        .var_by_name(name)
+        .unwrap_or_else(|| panic!("input generator names unknown variable {name}"));
+    store.insert(v, value);
+}
+
+/// Generates a concrete input store for benchmark `id` of roughly the given
+/// size, deterministically from `seed`.
+pub(crate) fn gen(id: BenchmarkId, seed: u64, size: usize) -> Store {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let program = benchmark(id).session().original;
+    let mut store = Store::new();
+    let n = size as i64;
+    match id {
+        BenchmarkId::InPlaceRl | BenchmarkId::RunLength => {
+            // small alphabet so runs form
+            let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            set(&mut store, &program, "A", Value::arr_from(&data));
+            set(&mut store, &program, "n", Value::Int(n));
+        }
+        BenchmarkId::Lz77 => {
+            let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+            set(&mut store, &program, "A", Value::arr_from(&data));
+            set(&mut store, &program, "n", Value::Int(n));
+        }
+        BenchmarkId::Lzw => {
+            let n = n.max(1);
+            let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+            set(&mut store, &program, "A", Value::arr_from(&data));
+            set(&mut store, &program, "n", Value::Int(n));
+        }
+        BenchmarkId::Base64 | BenchmarkId::UuEncode => {
+            let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0..256)).collect();
+            set(&mut store, &program, "A", Value::arr_from(&data));
+            set(&mut store, &program, "n", Value::Int(n));
+        }
+        BenchmarkId::PktWrapper => {
+            let f = (size as i64).min(4);
+            let lens: Vec<i64> = (0..f).map(|_| rng.gen_range(0..3)).collect();
+            let total: i64 = lens.iter().sum();
+            let data: Vec<i64> = (0..total).map(|_| rng.gen_range(0..100)).collect();
+            set(&mut store, &program, "L", Value::arr_from(&lens));
+            set(&mut store, &program, "D", Value::arr_from(&data));
+            set(&mut store, &program, "f", Value::Int(f));
+        }
+        BenchmarkId::Serialize => {
+            let fields: Vec<Value> = (0..n).map(|_| Value::Int(rng.gen_range(0..100))).collect();
+            set(&mut store, &program, "o", Value::Seq(fields));
+        }
+        BenchmarkId::SumI => {
+            set(&mut store, &program, "n", Value::Int(n));
+        }
+        BenchmarkId::VectorShift => {
+            let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+            let ys: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+            set(&mut store, &program, "X", Value::arr_from(&xs));
+            set(&mut store, &program, "Y", Value::arr_from(&ys));
+            set(&mut store, &program, "n", Value::Int(n));
+            set(&mut store, &program, "dx", Value::Int(rng.gen_range(-10..10)));
+            set(&mut store, &program, "dy", Value::Int(rng.gen_range(-10..10)));
+        }
+        BenchmarkId::VectorScale => {
+            let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+            set(&mut store, &program, "X", Value::arr_from(&xs));
+            set(&mut store, &program, "n", Value::Int(n));
+            // the concrete mul/div host works over integers, so only the
+            // exactly-invertible factors are generated
+            let f = if rng.gen_bool(0.5) { 1 } else { -1 };
+            set(&mut store, &program, "f", Value::Int(f));
+        }
+        BenchmarkId::VectorRotate => {
+            let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+            let ys: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+            set(&mut store, &program, "X", Value::arr_from(&xs));
+            set(&mut store, &program, "Y", Value::arr_from(&ys));
+            set(&mut store, &program, "n", Value::Int(n));
+            set(&mut store, &program, "t", Value::Int(rng.gen_range(0..4)));
+        }
+        BenchmarkId::PermuteCount => {
+            let mut perm: Vec<i64> = (0..n).collect();
+            for i in (1..perm.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            set(&mut store, &program, "p", Value::arr_from(&perm));
+            set(&mut store, &program, "n", Value::Int(n));
+        }
+        BenchmarkId::LuDecomp => {
+            let a = *[1, 2, -1, 3].iter().filter(|&&v| v != 0).nth(rng.gen_range(0..4) % 4).unwrap();
+            let l = rng.gen_range(-5..5);
+            set(&mut store, &program, "a", Value::Int(a));
+            set(&mut store, &program, "b", Value::Int(rng.gen_range(-10..10)));
+            set(&mut store, &program, "c", Value::Int(l * a));
+            set(&mut store, &program, "d", Value::Int(rng.gen_range(-10..10)));
+        }
+    }
+    store
+}

@@ -1,0 +1,336 @@
+//! The 14 inversion benchmarks of the paper's evaluation (Section 4):
+//! compressors (in-place run-length, run-length, LZ77, LZW-style dictionary
+//! coding), format encoders (Base64, UUEncode, packet wrapper, serializer)
+//! and arithmetic programs (Σi, vector shift/scale/rotate, permutation
+//! counting, LU decomposition).
+//!
+//! Each [`Benchmark`] carries the original program, the inverse template,
+//! the curated candidate sets Δe/Δp, the identity specification, the library
+//! axioms, the mining rename map (for Table 1's accounting), executable
+//! extern semantics for concrete validation, and a workload generator.
+//!
+//! # Example
+//!
+//! ```
+//! use pins_suite::{benchmark, BenchmarkId};
+//!
+//! let b = benchmark(BenchmarkId::SumI);
+//! let session = b.session();
+//! assert!(session.composed.num_eholes > 0);
+//! ```
+
+mod arith;
+mod compressors;
+mod defs;
+mod encoders;
+mod externs;
+mod inputs;
+
+use pins_core::{PinsConfig, Session, Spec, SpecItem};
+use pins_ir::{
+    parse_expr_in, parse_pred_in, run, ExternEnv, InterpError, Program, Stmt, Store, Value,
+};
+use pins_mining::{mine, MinedSets};
+
+pub(crate) use defs::{RawDef, SpecSrc};
+
+/// Identifies one of the 14 benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BenchmarkId {
+    /// In-place run-length encoding (Figures 1 and 2 of the paper).
+    InPlaceRl,
+    /// Run-length encoding into separate output arrays.
+    RunLength,
+    /// LZ77 sliding-window compression.
+    Lz77,
+    /// Dictionary compression with a string ADT (LZ78-style; see DESIGN.md).
+    Lzw,
+    /// Binary-to-printable encoding (radix split).
+    Base64,
+    /// UUEncode: radix split plus header and footer.
+    UuEncode,
+    /// Packet wrapper: length-prefixed field flattening.
+    PktWrapper,
+    /// Object serializer over an abstract object ADT.
+    Serialize,
+    /// Σi: iterative triangular sum.
+    SumI,
+    /// Vector translation on the plane.
+    VectorShift,
+    /// Vector scaling (mul/div ADT with axioms).
+    VectorScale,
+    /// Vector rotation (abstract rotation with trig-derived axioms).
+    VectorRotate,
+    /// Dijkstra's permutation-counting program (EWD671).
+    PermuteCount,
+    /// LU decomposition (Doolittle, 2x2 scalar form) and its re-multiplication.
+    LuDecomp,
+}
+
+/// All benchmarks in the paper's presentation order.
+pub const ALL: [BenchmarkId; 14] = [
+    BenchmarkId::InPlaceRl,
+    BenchmarkId::RunLength,
+    BenchmarkId::Lz77,
+    BenchmarkId::Lzw,
+    BenchmarkId::Base64,
+    BenchmarkId::UuEncode,
+    BenchmarkId::PktWrapper,
+    BenchmarkId::Serialize,
+    BenchmarkId::SumI,
+    BenchmarkId::VectorShift,
+    BenchmarkId::VectorScale,
+    BenchmarkId::VectorRotate,
+    BenchmarkId::PermuteCount,
+    BenchmarkId::LuDecomp,
+];
+
+/// A fully-specified inversion benchmark.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Which benchmark this is.
+    pub id: BenchmarkId,
+    raw: RawDef,
+}
+
+/// Returns the benchmark definition for `id`.
+pub fn benchmark(id: BenchmarkId) -> Benchmark {
+    Benchmark { id, raw: defs::raw(id) }
+}
+
+impl Benchmark {
+    /// Display name (matches the paper's Table 1 rows).
+    pub fn name(&self) -> &'static str {
+        self.raw.name
+    }
+
+    /// Benchmark group: `"compressor"`, `"encoder"`, or `"arithmetic"`.
+    pub fn group(&self) -> &'static str {
+        self.raw.group
+    }
+
+    /// Whether the benchmark relies on library axioms.
+    pub fn uses_axioms(&self) -> bool {
+        self.raw.has_axioms
+    }
+
+    /// Builds the synthesis session: composed program, curated candidates,
+    /// spec, and axioms.
+    pub fn session(&self) -> Session {
+        let mut session = Session::from_sources(self.raw.original, self.raw.template);
+        let composed = session.composed.clone();
+        session.expr_candidates = self
+            .raw
+            .delta_e
+            .iter()
+            .map(|src| {
+                parse_expr_in(&composed, src)
+                    .unwrap_or_else(|e| panic!("{}: bad Δe entry {src:?}: {e}", self.raw.name))
+            })
+            .collect();
+        session.pred_candidates = self
+            .raw
+            .delta_p
+            .iter()
+            .map(|src| {
+                parse_pred_in(&composed, src)
+                    .unwrap_or_else(|e| panic!("{}: bad Δp entry {src:?}: {e}", self.raw.name))
+            })
+            .collect();
+        session.spec = build_spec(&composed, self.raw.spec);
+        let externs = session.composed.externs.clone();
+        session.axioms = (self.raw.axioms)(&externs);
+        session
+    }
+
+    /// Convenience: builds the session by value.
+    pub fn into_session(self) -> Session {
+        self.session()
+    }
+
+    /// Host implementations for the benchmark's extern functions.
+    pub fn extern_env(&self) -> ExternEnv {
+        externs::env_for(self.id)
+    }
+
+    /// Generates a random concrete input store for the original program.
+    pub fn gen_input(&self, seed: u64, size: usize) -> Store {
+        inputs::gen(self.id, seed, size)
+    }
+
+    /// A PINS configuration tuned for this benchmark (budgets scale with
+    /// the benchmark's difficulty, mirroring the paper's wide time range).
+    pub fn recommended_config(&self) -> PinsConfig {
+        let mut config = PinsConfig::default();
+        (self.raw.tune)(&mut config);
+        config
+    }
+
+    /// Runs template mining (§3) and returns the mined sets together with
+    /// the modification count of the curated candidates (Table 1 columns).
+    pub fn mined(&self) -> (MinedSets, usize) {
+        let session = self.session();
+        let mined = mine(
+            &session.original,
+            &session.composed,
+            self.raw.rename,
+            self.raw.keep,
+        );
+        let mods = mined.modifications(&session.expr_candidates, &session.pred_candidates);
+        (mined, mods)
+    }
+
+    /// Lines of code of the original program and of the inverse template,
+    /// using the paper's convention (guards count one line; a parallel
+    /// assignment to k variables counts k lines).
+    pub fn loc(&self) -> (usize, usize) {
+        let session = self.session();
+        (
+            loc_of_stmts(&session.original.body),
+            loc_of_stmts(&session.template.body),
+        )
+    }
+
+    /// Checks a synthesized inverse by a concrete round trip: run the
+    /// original on a generated input, feed its results to the inverse, and
+    /// compare against the specification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors (e.g. a diverging wrong inverse runs
+    /// out of fuel).
+    pub fn round_trip(
+        &self,
+        inverse: &Program,
+        seed: u64,
+        size: usize,
+    ) -> Result<bool, InterpError> {
+        let session = self.session();
+        let env = self.extern_env();
+        let inputs = self.gen_input(seed, size);
+        let mid = run(&session.original, &inputs, &env, 1_000_000)?;
+        // build the inverse's inputs from the original's final store
+        let mut inv_inputs = Store::new();
+        for &(v, mode) in &inverse.params {
+            if matches!(mode, pins_ir::Mode::In | pins_ir::Mode::InOut) {
+                let name = &inverse.var(v).name;
+                if let Some(ov) = session.original.var_by_name(name) {
+                    if let Some(val) = mid.get(&ov) {
+                        inv_inputs.insert(v, val.clone());
+                    }
+                }
+            }
+        }
+        let out = run(inverse, &inv_inputs, &env, 1_000_000)?;
+        Ok(check_spec_concrete(
+            &session, self.raw.spec, &inputs, &mid, inverse, &out, &env,
+        ))
+    }
+}
+
+fn build_spec(composed: &Program, items: &[SpecSrc]) -> Spec {
+    let var = |name: &str| {
+        composed
+            .var_by_name(name)
+            .unwrap_or_else(|| panic!("spec names unknown variable {name}"))
+    };
+    Spec {
+        items: items
+            .iter()
+            .map(|s| match s {
+                SpecSrc::IntEq(i, o) => SpecItem::IntEq { input: var(i), output: var(o) },
+                SpecSrc::ArrayEq(i, o, n) => {
+                    SpecItem::ArrayEq { input: var(i), output: var(o), len: var(n) }
+                }
+                SpecSrc::AbsEq(i, o) => SpecItem::AbsEq { input: var(i), output: var(o) },
+                SpecSrc::IntEqFinal(l, r) => SpecItem::IntEqFinal { left: var(l), right: var(r) },
+                SpecSrc::ArrayEqFinalLen(i, o, n) => {
+                    SpecItem::ArrayEqFinalLen { input: var(i), output: var(o), len: var(n) }
+                }
+                SpecSrc::ObsEq(i, o, lf, of) => SpecItem::ObsEq {
+                    input: var(i),
+                    output: var(o),
+                    len_fun: (*lf).to_owned(),
+                    obs_fun: (*of).to_owned(),
+                },
+            })
+            .collect(),
+    }
+}
+
+fn loc_of_stmts(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Assign(pairs) => pairs.len(),
+            Stmt::Assume(_) | Stmt::Exit | Stmt::Skip => 1,
+            Stmt::If(_, t, e) => 1 + loc_of_stmts(t) + loc_of_stmts(e),
+            Stmt::While(_, _, b) => 1 + loc_of_stmts(b),
+        })
+        .sum()
+}
+
+/// Concretely evaluates the specification after a round trip.
+fn check_spec_concrete(
+    session: &Session,
+    items: &[SpecSrc],
+    orig_inputs: &Store,
+    mid: &Store,
+    inverse: &Program,
+    out: &Store,
+    env: &ExternEnv,
+) -> bool {
+    let orig = &session.original;
+    let oval = |name: &str, store: &Store| -> Option<Value> {
+        orig.var_by_name(name).and_then(|v| store.get(&v).cloned())
+    };
+    let ival = |name: &str| -> Option<Value> {
+        inverse.var_by_name(name).and_then(|v| out.get(&v).cloned())
+    };
+    for item in items {
+        let ok = match item {
+            SpecSrc::IntEq(i, o) | SpecSrc::AbsEq(i, o) => oval(i, orig_inputs) == ival(o),
+            SpecSrc::ArrayEq(i, o, n) => {
+                let n = oval(n, orig_inputs)
+                    .and_then(|v| v.as_int().ok())
+                    .unwrap_or(0);
+                match (oval(i, orig_inputs), ival(o)) {
+                    (Some(a), Some(b)) => a.arr_prefix(n) == b.arr_prefix(n),
+                    _ => false,
+                }
+            }
+            SpecSrc::IntEqFinal(l, r) => oval(l, mid) == ival(r),
+            SpecSrc::ArrayEqFinalLen(i, o, n) => {
+                let n = oval(n, mid).and_then(|v| v.as_int().ok()).unwrap_or(0);
+                match (oval(i, orig_inputs), ival(o)) {
+                    (Some(a), Some(b)) => a.arr_prefix(n) == b.arr_prefix(n),
+                    _ => false,
+                }
+            }
+            SpecSrc::ObsEq(i, o, len_fun, obs_fun) => match (oval(i, orig_inputs), ival(o)) {
+                (Some(a), Some(b)) => {
+                    match (
+                        externs::host_call(env, len_fun, &[a.clone()]),
+                        externs::host_call(env, len_fun, &[b.clone()]),
+                    ) {
+                        (Some(Value::Int(la)), Some(Value::Int(lb))) if la == lb => {
+                            (0..la).all(|j| {
+                                externs::host_call(env, obs_fun, &[a.clone(), Value::Int(j)])
+                                    == externs::host_call(env, obs_fun, &[b.clone(), Value::Int(j)])
+                            })
+                        }
+                        _ => false,
+                    }
+                }
+                _ => false,
+            },
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,72 @@
+//! PINS versus the finitized-CEGIS baseline (the paper's Sketch
+//! comparison, §4.3) on the Σi benchmark, plus bounded model checking of
+//! both results.
+//!
+//! ```sh
+//! cargo run --release --example compare_baselines
+//! ```
+
+use pins::bmc::{check_inverse, BmcConfig};
+use pins::cegis::{synthesize, CegisConfig};
+use pins::core::Pins;
+use pins::ir::program_to_string;
+use pins::suite::{benchmark, BenchmarkId};
+
+fn main() {
+    let bench = benchmark(BenchmarkId::SumI);
+
+    // --- PINS: no finitization, solves over unbounded inputs per path ---
+    let mut session = bench.session();
+    let t0 = std::time::Instant::now();
+    let outcome = Pins::new(bench.recommended_config())
+        .run(&mut session)
+        .expect("PINS succeeds");
+    println!(
+        "PINS: {} solution(s) in {:.2}s ({} paths explored)",
+        outcome.solutions.len(),
+        t0.elapsed().as_secs_f64(),
+        outcome.paths_explored
+    );
+    println!("{}", program_to_string(&outcome.solutions[0].inverse));
+
+    // --- CEGIS: requires a bounded input battery, like Sketch's bounds ---
+    let env = bench.extern_env();
+    let battery: Vec<_> = (0..16)
+        .flat_map(|seed| [0usize, 1, 2, 4, 6].map(|size| bench.gen_input(seed, size)))
+        .collect();
+    let t0 = std::time::Instant::now();
+    let report = synthesize(&session, &env, &battery, CegisConfig::default());
+    match &report.solution {
+        Some(inv) => {
+            println!(
+                "CEGIS: found in {:.2}s after {} candidates / {} counterexamples",
+                t0.elapsed().as_secs_f64(),
+                report.candidates_tried,
+                report.counterexamples
+            );
+            println!("{}", program_to_string(inv));
+        }
+        None => println!(
+            "CEGIS: failed ({})",
+            report.failure.clone().unwrap_or_default()
+        ),
+    }
+
+    // --- both validated by the bounded model checker ---
+    for (label, inv) in [
+        ("PINS", &outcome.solutions[0].inverse),
+        ("CEGIS", report.solution.as_ref().unwrap_or(&outcome.solutions[0].inverse)),
+    ] {
+        let r = check_inverse(
+            &session,
+            inv,
+            BmcConfig { unroll: 6, input_bound: 4, ..BmcConfig::default() },
+        );
+        println!(
+            "BMC({label}): verified={} over {} paths in {:.2}s",
+            r.verified,
+            r.paths,
+            r.time.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # PINS — Path-based Inductive Synthesis for Program Inversion
+//!
+//! A from-scratch Rust reproduction of *"Path-based inductive synthesis for
+//! program inversion"* (Srivastava, Gulwani, Chaudhuri, Foster — PLDI 2011).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`logic`] — sorts, symbols and hash-consed terms;
+//! * [`sat`] — a CDCL SAT solver;
+//! * [`smt`] — a DPLL(T) SMT solver (EUF + linear integer arithmetic +
+//!   arrays + quantified axioms) standing in for Z3;
+//! * [`ir`] — the paper's template language: AST, DSL parser, pretty printer
+//!   and concrete interpreter;
+//! * [`symexec`] — the symbolic executor of Figure 3 (version maps, unknowns);
+//! * [`core`] — Algorithm 1: the PINS engine with `terminate`, `safepath`,
+//!   `solve`, `stabilized` and the `pickOne` heuristic;
+//! * [`mining`] — the semi-automated template mining of Section 3;
+//! * [`suite`] — the 14 inversion benchmarks of Section 4;
+//! * [`bmc`] — a bounded model checker for validating inverses (CBMC stand-in);
+//! * [`cegis`] — a finitized CEGIS baseline (Sketch stand-in).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pins::suite::{self, BenchmarkId};
+//! use pins::core::{Pins, PinsConfig};
+//!
+//! // Load the run-length benchmark (program + mined inverse template).
+//! let bench = suite::benchmark(BenchmarkId::SumI);
+//! let mut session = bench.into_session();
+//! let outcome = Pins::new(PinsConfig::default()).run(&mut session).unwrap();
+//! assert!(!outcome.solutions.is_empty());
+//! ```
+
+pub use pins_bmc as bmc;
+pub use pins_cegis as cegis;
+pub use pins_core as core;
+pub use pins_ir as ir;
+pub use pins_logic as logic;
+pub use pins_mining as mining;
+pub use pins_sat as sat;
+pub use pins_smt as smt;
+pub use pins_suite as suite;
+pub use pins_symexec as symexec;
