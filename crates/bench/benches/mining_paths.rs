@@ -1,44 +1,30 @@
 //! Benches for Table 1 (mining) and the §2.4 path-count experiment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use pins_bench::microbench;
 use pins_suite::{benchmark, BenchmarkId, ALL};
 use pins_symexec::{EmptyFiller, ExploreConfig, Explorer, SymCtx};
 
-fn bench_mining(c: &mut Criterion) {
-    c.bench_function("table1_mining_all", |b| {
-        b.iter(|| {
-            for id in ALL {
-                let bench = benchmark(id);
-                let (mined, _mods) = bench.mined();
-                assert!(mined.total() > 0);
-            }
-        })
+fn main() {
+    microbench::run("table1_mining_all", 10, || {
+        for id in ALL {
+            let bench = benchmark(id);
+            let (mined, _mods) = bench.mined();
+            assert!(mined.total() > 0);
+        }
+    });
+
+    let bench = benchmark(BenchmarkId::InPlaceRl);
+    let session = bench.session();
+    microbench::run("pathcount_runlength_unroll2", 10, || {
+        let mut ctx = SymCtx::new(&session.composed);
+        let cfg = ExploreConfig {
+            max_unroll: 2,
+            check_feasibility: false,
+            max_steps: 10_000_000,
+            ..ExploreConfig::default()
+        };
+        let mut ex = Explorer::new(&session.composed, cfg);
+        let paths = ex.enumerate(&mut ctx, &EmptyFiller, 1_000_000);
+        assert!(paths.len() > 50);
     });
 }
-
-fn bench_paths(c: &mut Criterion) {
-    c.bench_function("pathcount_runlength_unroll2", |b| {
-        let bench = benchmark(BenchmarkId::InPlaceRl);
-        let session = bench.session();
-        b.iter(|| {
-            let mut ctx = SymCtx::new(&session.composed);
-            let cfg = ExploreConfig {
-                max_unroll: 2,
-                check_feasibility: false,
-                max_steps: 10_000_000,
-                ..ExploreConfig::default()
-            };
-            let mut ex = Explorer::new(&session.composed, cfg);
-            let paths = ex.enumerate(&mut ctx, &EmptyFiller, 1_000_000);
-            assert!(paths.len() > 50);
-        })
-    });
-}
-
-criterion_group!{
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    targets = bench_mining, bench_paths
-}
-criterion_main!(benches);

@@ -1,15 +1,17 @@
 //! Micro-benchmarks of the solver substrates (Table 2's |SAT| and Table 4's
 //! SMT-dominated profile rest on these).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use pins_bench::microbench;
 use pins_logic::{Sort, TermArena};
 use pins_sat::{Lit, SolveResult, Solver};
-use pins_smt::{check_formulas, SmtConfig};
+use pins_smt::{SmtConfig, SmtSession};
 
+#[allow(clippy::needless_range_loop)] // j indexes every pigeon's row
 fn pigeonhole(n: usize) -> SolveResult {
     let mut s = Solver::new();
-    let p: Vec<Vec<_>> = (0..n).map(|_| (0..n - 1).map(|_| s.new_var()).collect()).collect();
+    let p: Vec<Vec<_>> = (0..n)
+        .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+        .collect();
     for row in &p {
         let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
         s.add_clause(&lits);
@@ -24,59 +26,47 @@ fn pigeonhole(n: usize) -> SolveResult {
     s.solve()
 }
 
-fn bench_sat(c: &mut Criterion) {
-    c.bench_function("sat_pigeonhole_7", |b| {
-        b.iter(|| assert_eq!(pigeonhole(7), SolveResult::Unsat))
+fn main() {
+    microbench::run("sat_pigeonhole_7", 10, || {
+        assert_eq!(pigeonhole(7), SolveResult::Unsat)
     });
-}
 
-fn bench_smt(c: &mut Criterion) {
-    c.bench_function("smt_array_chain", |b| {
-        b.iter(|| {
-            let mut a = TermArena::new();
-            let arr = a.sym("A");
-            let mut t = a.mk_var(arr, 0, Sort::IntArray);
-            let base = t;
-            for i in 0..8 {
-                let idx = a.mk_int(i);
-                let v = a.mk_int(i * 10);
-                t = a.mk_upd(t, idx, v);
-            }
-            let probe = a.mk_int(3);
-            let read = a.mk_sel(t, probe);
-            let expect = a.mk_int(30);
-            let ne = a.mk_neq(read, expect);
-            let _ = base;
-            assert!(check_formulas(&mut a, &[ne], &[], SmtConfig::default()).is_unsat());
-        })
+    microbench::run("smt_array_chain", 10, || {
+        let mut a = TermArena::new();
+        let arr = a.sym("A");
+        let mut t = a.mk_var(arr, 0, Sort::IntArray);
+        for i in 0..8 {
+            let idx = a.mk_int(i);
+            let v = a.mk_int(i * 10);
+            t = a.mk_upd(t, idx, v);
+        }
+        let probe = a.mk_int(3);
+        let read = a.mk_sel(t, probe);
+        let expect = a.mk_int(30);
+        let ne = a.mk_neq(read, expect);
+        let mut session = SmtSession::new(SmtConfig::default());
+        assert!(session.check_under(&mut a, &[ne]).is_unsat());
     });
-    c.bench_function("smt_lia_system", |b| {
-        b.iter(|| {
-            let mut a = TermArena::new();
-            let vars: Vec<_> = (0..6)
-                .map(|i| {
-                    let s = a.sym(&format!("x{i}"));
-                    a.mk_var(s, 0, Sort::Int)
-                })
-                .collect();
-            let mut fs = Vec::new();
-            for w in vars.windows(2) {
-                let one = a.mk_int(1);
-                let next = a.mk_add(w[0], one);
-                fs.push(a.mk_le(next, w[1]));
-            }
-            let lo = a.mk_int(0);
-            let hi = a.mk_int(4);
-            fs.push(a.mk_ge(vars[0], lo));
-            fs.push(a.mk_le(vars[5], hi));
-            assert!(check_formulas(&mut a, &fs, &[], SmtConfig::default()).is_unsat());
-        })
-    });
-}
 
-criterion_group!{
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    targets = bench_sat, bench_smt
+    microbench::run("smt_lia_system", 10, || {
+        let mut a = TermArena::new();
+        let vars: Vec<_> = (0..6)
+            .map(|i| {
+                let s = a.sym(&format!("x{i}"));
+                a.mk_var(s, 0, Sort::Int)
+            })
+            .collect();
+        let mut fs = Vec::new();
+        for w in vars.windows(2) {
+            let one = a.mk_int(1);
+            let next = a.mk_add(w[0], one);
+            fs.push(a.mk_le(next, w[1]));
+        }
+        let lo = a.mk_int(0);
+        let hi = a.mk_int(4);
+        fs.push(a.mk_ge(vars[0], lo));
+        fs.push(a.mk_le(vars[5], hi));
+        let mut session = SmtSession::new(SmtConfig::default());
+        assert!(session.check_under(&mut a, &fs).is_unsat());
+    });
 }
-criterion_main!(benches);

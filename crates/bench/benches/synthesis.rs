@@ -1,34 +1,25 @@
-//! Criterion benches for Table 2's synthesis runs (the fast benchmarks; the
-//! slow ones are measured by the `table2` binary with per-run budgets).
+//! Benches for Table 2's synthesis runs (the fast benchmarks; the slow ones
+//! are measured by the `table2` binary with per-run budgets).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use pins_bench::microbench;
 use pins_core::Pins;
 use pins_suite::{benchmark, BenchmarkId};
 
-fn bench_synthesis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_synthesis");
-    group.sample_size(10);
+fn main() {
     // only the sub-second benchmarks are statistically sampled here; the
     // rest are measured once per run by the `table2` binary
-    for id in [BenchmarkId::SumI, BenchmarkId::LuDecomp, BenchmarkId::Serialize] {
+    for id in [
+        BenchmarkId::SumI,
+        BenchmarkId::LuDecomp,
+        BenchmarkId::Serialize,
+    ] {
         let b = benchmark(id);
-        group.bench_function(pins_bench::slug(b.name()), |bench| {
-            bench.iter(|| {
-                let mut session = b.session();
-                let outcome = Pins::new(b.recommended_config())
-                    .run(&mut session)
-                    .expect("synthesis succeeds");
-                assert!(!outcome.solutions.is_empty());
-            });
+        microbench::run(&pins_bench::slug(b.name()), 10, || {
+            let mut session = b.session();
+            let outcome = Pins::new(b.recommended_config())
+                .run(&mut session)
+                .expect("synthesis succeeds");
+            assert!(!outcome.solutions.is_empty());
         });
     }
-    group.finish();
 }
-
-criterion_group!{
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    targets = bench_synthesis
-}
-criterion_main!(benches);

@@ -1,45 +1,37 @@
 //! Benches for Table 3/5's validation machinery: bounded model checking and
 //! the CEGIS baseline on a fast benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use pins_bench::microbench;
 use pins_bmc::{check_inverse, BmcConfig};
 use pins_cegis::{synthesize, CegisConfig};
 use pins_core::Pins;
 use pins_suite::{benchmark, BenchmarkId};
 
-fn bench_validation(c: &mut Criterion) {
+fn main() {
     let b = benchmark(BenchmarkId::SumI);
     let mut session = b.session();
     let outcome = Pins::new(b.recommended_config()).run(&mut session).unwrap();
     let inverse = outcome.solutions[0].inverse.clone();
 
-    c.bench_function("table3_bmc_sum_i", |bench| {
-        bench.iter(|| {
-            let r = check_inverse(
-                &session,
-                &inverse,
-                BmcConfig { unroll: 5, input_bound: 4, ..BmcConfig::default() },
-            );
-            assert!(r.verified);
-        })
+    microbench::run("table3_bmc_sum_i", 10, || {
+        let r = check_inverse(
+            &session,
+            &inverse,
+            BmcConfig {
+                unroll: 5,
+                input_bound: 4,
+                ..BmcConfig::default()
+            },
+        );
+        assert!(r.verified);
     });
 
     let env = b.extern_env();
     let battery: Vec<_> = (0..6)
         .flat_map(|seed| [0usize, 1, 2].map(|size| b.gen_input(seed, size)))
         .collect();
-    c.bench_function("table5_cegis_sum_i", |bench| {
-        bench.iter(|| {
-            let r = synthesize(&session, &env, &battery, CegisConfig::default());
-            assert!(r.solution.is_some());
-        })
+    microbench::run("table5_cegis_sum_i", 10, || {
+        let r = synthesize(&session, &env, &battery, CegisConfig::default());
+        assert!(r.solution.is_some());
     });
 }
-
-criterion_group!{
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    targets = bench_validation
-}
-criterion_main!(benches);

@@ -22,7 +22,10 @@ fn main() {
     };
     let mut total_heur = 0.0;
     let mut total_rand = 0.0;
-    println!("{:<14} {:>12} {:>12}", "Benchmark", "pickOne(s)", "random(s)");
+    println!(
+        "{:<14} {:>12} {:>12}",
+        "Benchmark", "pickOne(s)", "random(s)"
+    );
     for id in ids {
         let b = benchmark(id);
         let mut heur = 0.0;

@@ -16,9 +16,7 @@ fn main() {
         let (mined, mods) = b.mined();
         let subset = session.expr_candidates.len() + session.pred_candidates.len();
         let axms = session.axioms.len();
-        let paper_row = paper::TABLE1
-            .iter()
-            .find(|r| slug(r.0) == slug(b.name()));
+        let paper_row = paper::TABLE1.iter().find(|r| slug(r.0) == slug(b.name()));
         let paper_str = paper_row
             .map(|r| format!("{}/{}/{}/{}", r.2, r.3, r.4, r.6))
             .unwrap_or_default();

@@ -38,7 +38,11 @@ fn main() {
         // BMC on the first correct solution
         let session = b.session();
         let first = &outcome.solutions[0].inverse;
-        let bmc_cfg = BmcConfig { unroll: 4, input_bound: 3, ..BmcConfig::default() };
+        let bmc_cfg = BmcConfig {
+            unroll: 4,
+            input_bound: 3,
+            ..BmcConfig::default()
+        };
         let bmc = check_inverse(&session, first, bmc_cfg);
         let bmc_str = if bmc.verified {
             secs(bmc.time)

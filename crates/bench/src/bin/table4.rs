@@ -19,7 +19,8 @@ fn main() {
             Ok(outcome) => {
                 let s = outcome.stats;
                 let total = s.total_time.as_secs_f64().max(1e-9);
-                let pct = |d: std::time::Duration| format!("{:.0}%", 100.0 * d.as_secs_f64() / total);
+                let pct =
+                    |d: std::time::Duration| format!("{:.0}%", 100.0 * d.as_secs_f64() / total);
                 println!(
                     "{:<14} {:>8} {:>8} {:>6} {:>8} {:>10}   ({paper_str})",
                     b.name(),
@@ -28,6 +29,25 @@ fn main() {
                     pct(s.sat_time),
                     pct(s.pickone_time),
                     secs(s.total_time),
+                );
+                let per_worker = s
+                    .worker_queries
+                    .iter()
+                    .map(|q| q.to_string())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                println!(
+                    "{:<14} cache {} hit / {} miss, {} workers (queries {}), solver reused {}x",
+                    "",
+                    s.smt_cache_hits,
+                    s.smt_cache_misses,
+                    s.verify_workers,
+                    if per_worker.is_empty() {
+                        "-".to_string()
+                    } else {
+                        per_worker
+                    },
+                    s.sessions_reused,
                 );
             }
             Err(e) => println!("{:<14} {e}   ({paper_str})", b.name()),

@@ -25,7 +25,11 @@ fn main() {
             }
         };
         let session = b.session();
-        let bmc_cfg = BmcConfig { unroll: 4, input_bound: 3, ..BmcConfig::default() };
+        let bmc_cfg = BmcConfig {
+            unroll: 4,
+            input_bound: 3,
+            ..BmcConfig::default()
+        };
         let bmc = check_inverse(&session, &outcome.solutions[0].inverse, bmc_cfg);
         let env = b.extern_env();
         let battery: Vec<_> = (0..24)
@@ -43,7 +47,11 @@ fn main() {
             bmc_cfg.input_bound,
             secs(bmc.time),
             cegis.sat_size,
-            if cegis.solution.is_some() { secs(cegis.time) } else { "fail".into() },
+            if cegis.solution.is_some() {
+                secs(cegis.time)
+            } else {
+                "fail".into()
+            },
         );
     }
 }

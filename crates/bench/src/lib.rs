@@ -30,13 +30,17 @@ pub struct HarnessArgs {
     pub budget: Option<Duration>,
     /// Fast mode: lighter budgets, for smoke runs.
     pub fast: bool,
+    /// Verification worker-thread override (default: the engine's choice).
+    pub workers: Option<usize>,
 }
 
-/// Parses `[--fast] [--budget SECS] [name...]` from `std::env::args`.
+/// Parses `[--fast] [--budget SECS] [--workers N] [name...]` from
+/// `std::env::args`.
 pub fn parse_args() -> HarnessArgs {
     let mut benchmarks = Vec::new();
     let mut budget = None;
     let mut fast = false;
+    let mut workers = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -48,14 +52,20 @@ pub fn parse_args() -> HarnessArgs {
                     .expect("--budget takes seconds");
                 budget = Some(Duration::from_secs(secs));
             }
+            "--workers" => {
+                workers = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--workers takes a count"),
+                );
+            }
             name => {
                 let id = ALL
                     .iter()
                     .copied()
                     .find(|&id| {
                         let b = benchmark(id);
-                        b.name().eq_ignore_ascii_case(name)
-                            || slug(b.name()) == slug(name)
+                        b.name().eq_ignore_ascii_case(name) || slug(b.name()) == slug(name)
                     })
                     .unwrap_or_else(|| panic!("unknown benchmark {name}"));
                 benchmarks.push(id);
@@ -65,7 +75,12 @@ pub fn parse_args() -> HarnessArgs {
     if benchmarks.is_empty() {
         benchmarks = ALL.to_vec();
     }
-    HarnessArgs { benchmarks, budget, fast }
+    HarnessArgs {
+        benchmarks,
+        budget,
+        fast,
+        workers,
+    }
 }
 
 /// Lower-cases and strips non-alphanumerics for lenient name matching.
@@ -86,12 +101,42 @@ pub fn run_pins(b: &Benchmark, args: &HarnessArgs) -> Result<PinsOutcome, PinsEr
     } else if args.fast {
         config.time_budget = Some(Duration::from_secs(60));
     }
+    if let Some(w) = args.workers {
+        config.verify_workers = w;
+    }
     Pins::new(config).run(&mut session)
 }
 
 /// Formats a duration in seconds with two decimals.
 pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
+}
+
+/// Minimal std-only micro-benchmark timer. The `benches/` targets used to be
+/// criterion harnesses; criterion is an external dependency the hermetic
+/// tier-1 build cannot resolve, so they now run on this.
+pub mod microbench {
+    use std::time::Instant;
+
+    /// Times `f` for `iters` iterations after one warm-up call and prints
+    /// total, mean, and min per-iteration wall-clock times.
+    pub fn run<F: FnMut()>(name: &str, iters: usize, mut f: F) {
+        f(); // warm-up
+        let mut samples = Vec::with_capacity(iters);
+        let total_start = Instant::now();
+        for _ in 0..iters {
+            let start = Instant::now();
+            f();
+            samples.push(start.elapsed());
+        }
+        let total = total_start.elapsed();
+        let mean = total / iters as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<32} {iters:>4} iters  total {:>9.3?}  mean {:>9.3?}  min {:>9.3?}",
+            total, mean, min
+        );
+    }
 }
 
 /// Paper-reported reference values used for side-by-side printing.

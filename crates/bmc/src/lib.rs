@@ -24,7 +24,7 @@ use std::time::Instant;
 use pins_core::Session;
 use pins_ir::{Program, Type};
 use pins_logic::TermId;
-use pins_smt::{check_formulas, SmtConfig, SmtResult};
+use pins_smt::{SmtConfig, SmtSession, Verdict};
 use pins_symexec::{EmptyFiller, ExploreConfig, Explorer, SymCtx};
 
 /// Finitization bounds.
@@ -117,15 +117,25 @@ pub fn check_inverse(session: &Session, inverse: &Program, config: BmcConfig) ->
     let paths = explorer.enumerate(&mut ctx, &EmptyFiller, config.max_paths);
     let total = paths.len();
 
+    // one session for the whole run: axioms and input bounds are asserted
+    // persistently; each path contributes only its conjuncts + negated spec
+    // as assumptions, so repeated path prefixes hit the query cache
+    let mut smt = SmtSession::new(config.smt);
+    for &ax in &axioms {
+        smt.assert_axiom(ax);
+    }
+    for &b in &bounds {
+        smt.assert(b);
+    }
+
     for path in paths {
         let spec = session.spec.to_term(&mut ctx, &path.final_vmap);
-        let mut hyps = bounds.clone();
-        hyps.extend(path.conjuncts.iter().copied());
+        let mut assumptions = path.conjuncts.clone();
         let neg = ctx.arena.mk_not(spec);
-        hyps.push(neg);
-        match check_formulas(&mut ctx.arena, &hyps, &axioms, config.smt) {
-            SmtResult::Unsat => {}
-            SmtResult::Sat(_) | SmtResult::Unknown => {
+        assumptions.push(neg);
+        match smt.verdict_under(&mut ctx.arena, &assumptions) {
+            Verdict::Unsat => {}
+            Verdict::Sat { .. } | Verdict::Unknown => {
                 let mut shown = String::new();
                 for &c in path.conjuncts.iter().take(12) {
                     shown.push_str(&format!("{}\n", ctx.arena.display(c)));

@@ -2,7 +2,11 @@ use super::*;
 use pins_core::{Session, Spec, SpecItem};
 
 fn add7_session_with_inverse(correct: bool) -> (Session, Program) {
-    let inv_body = if correct { "xI := y - 7;" } else { "xI := y + 7;" };
+    let inv_body = if correct {
+        "xI := y - 7;"
+    } else {
+        "xI := y + 7;"
+    };
     let mut session = Session::from_sources(
         "proc add7(in x: int, out y: int) { y := x + 7; }",
         &format!("proc add7_inv(in y: int, out xI: int) {{ {inv_body} }}"),
@@ -71,7 +75,11 @@ proc double_inv(in m: int, out nI: int) {{
 #[test]
 fn loopy_inverse_verifies_within_bounds() {
     let (session, inverse) = double_session("j + 2");
-    let config = BmcConfig { unroll: 5, input_bound: 3, ..BmcConfig::default() };
+    let config = BmcConfig {
+        unroll: 5,
+        input_bound: 3,
+        ..BmcConfig::default()
+    };
     let report = check_inverse(&session, &inverse, config);
     assert!(report.verified, "{report:?}");
     assert!(report.paths > 3);
@@ -80,7 +88,11 @@ fn loopy_inverse_verifies_within_bounds() {
 #[test]
 fn loopy_wrong_inverse_refuted() {
     let (session, inverse) = double_session("j + 1");
-    let config = BmcConfig { unroll: 5, input_bound: 3, ..BmcConfig::default() };
+    let config = BmcConfig {
+        unroll: 5,
+        input_bound: 3,
+        ..BmcConfig::default()
+    };
     let report = check_inverse(&session, &inverse, config);
     assert!(!report.verified);
 }

@@ -80,7 +80,10 @@ pub fn synthesize(
     let start = Instant::now();
     let domains = build_domains(
         session,
-        DomainConfig { pred_subset_max: config.pred_subset_max, include_true_invariant: true },
+        DomainConfig {
+            pred_subset_max: config.pred_subset_max,
+            include_true_invariant: true,
+        },
     );
 
     // run the original once per battery input
@@ -143,28 +146,43 @@ pub fn synthesize(
     let mut tried = 0u64;
     loop {
         if tried >= config.max_candidates {
-            return report(start, None, tried, active.len(), &sat, Some("candidate budget".into()));
+            return report(
+                start,
+                None,
+                tried,
+                active.len(),
+                &sat,
+                Some("candidate budget".into()),
+            );
         }
         if let Some(budget) = config.time_budget {
             if start.elapsed() > budget {
-                return report(start, None, tried, active.len(), &sat, Some("timeout".into()));
+                return report(
+                    start,
+                    None,
+                    tried,
+                    active.len(),
+                    &sat,
+                    Some("timeout".into()),
+                );
             }
         }
         match sat.solve() {
             SolveResult::Unsat => {
-                return report(start, None, tried, active.len(), &sat, Some("no candidate passes the counterexamples".into()));
+                return report(
+                    start,
+                    None,
+                    tried,
+                    active.len(),
+                    &sat,
+                    Some("no candidate passes the counterexamples".into()),
+                );
             }
             SolveResult::Sat => {
                 tried += 1;
                 let solution = Solution {
-                    exprs: evars
-                        .iter()
-                        .map(|vars| pick(&sat, vars))
-                        .collect(),
-                    preds: pvars
-                        .iter()
-                        .map(|vars| pick(&sat, vars))
-                        .collect(),
+                    exprs: evars.iter().map(|vars| pick(&sat, vars)).collect(),
+                    preds: pvars.iter().map(|vars| pick(&sat, vars)).collect(),
                 };
                 let resolved = resolve_solution(session, &domains, &solution);
                 let inverse = &resolved.inverse;
@@ -210,7 +228,14 @@ pub fn synthesize(
                     }
                 }
                 if !sat.add_clause(&clause) {
-                    return report(start, None, tried, active.len(), &sat, Some("search space exhausted".into()));
+                    return report(
+                        start,
+                        None,
+                        tried,
+                        active.len(),
+                        &sat,
+                        Some("search space exhausted".into()),
+                    );
                 }
             }
         }
@@ -311,7 +336,10 @@ fn check_spec(
                 let n = orig_val(&by_name(*len), orig_inputs)
                     .and_then(|v| v.as_int().ok())
                     .unwrap_or(0);
-                match (orig_val(&by_name(*input), orig_inputs), out_val(&by_name(*output))) {
+                match (
+                    orig_val(&by_name(*input), orig_inputs),
+                    out_val(&by_name(*output)),
+                ) {
                     (Some(a), Some(b)) => a.arr_prefix(n).ok() == b.arr_prefix(n).ok(),
                     _ => false,
                 }
@@ -320,16 +348,27 @@ fn check_spec(
                 let n = orig_val(&by_name(*len), mid)
                     .and_then(|v| v.as_int().ok())
                     .unwrap_or(0);
-                match (orig_val(&by_name(*input), orig_inputs), out_val(&by_name(*output))) {
+                match (
+                    orig_val(&by_name(*input), orig_inputs),
+                    out_val(&by_name(*output)),
+                ) {
                     (Some(a), Some(b)) => a.arr_prefix(n).ok() == b.arr_prefix(n).ok(),
                     _ => false,
                 }
             }
-            SpecItem::ObsEq { input, output, len_fun, obs_fun } => {
-                match (orig_val(&by_name(*input), orig_inputs), out_val(&by_name(*output))) {
+            SpecItem::ObsEq {
+                input,
+                output,
+                len_fun,
+                obs_fun,
+            } => {
+                match (
+                    orig_val(&by_name(*input), orig_inputs),
+                    out_val(&by_name(*output)),
+                ) {
                     (Some(a), Some(b)) => {
-                        let la = env.try_call(len_fun, &[a.clone()]).ok();
-                        let lb = env.try_call(len_fun, &[b.clone()]).ok();
+                        let la = env.try_call(len_fun, std::slice::from_ref(&a)).ok();
+                        let lb = env.try_call(len_fun, std::slice::from_ref(&b)).ok();
                         match (la, lb) {
                             (Some(Value::Int(la)), Some(Value::Int(lb))) if la == lb => (0..la)
                                 .all(|j| {

@@ -62,7 +62,10 @@ fn cegis_finds_the_double_inverse() {
     let report = synthesize(&session, &env, &battery, CegisConfig::default());
     let inv = report.solution.expect("cegis should find the inverse");
     let printed = program_to_string(&inv);
-    assert!(printed.contains("j < m") || printed.contains("nI"), "{printed}");
+    assert!(
+        printed.contains("j < m") || printed.contains("nI"),
+        "{printed}"
+    );
     assert!(report.candidates_tried >= 1);
     assert!(report.sat_size > 0);
     // validate on a fresh input

@@ -101,7 +101,8 @@ pub fn terminate_constraints(
         let mut explorer = Explorer::new(&body_prog, cfg);
         let paths = explorer.enumerate(ctx, &EmptyFiller, 256);
         for path in paths {
-            let rank_v = ctx.expr_term(program, &Expr::Hole(rank_hole), &path.final_vmap, Sort::Int);
+            let rank_v =
+                ctx.expr_term(program, &Expr::Hole(rank_hole), &path.final_vmap, Sort::Int);
             let inv_v = ctx.pred_term(program, &Pred::Hole(inv_hole), &path.final_vmap);
             let mut hyps = vec![guard0, inv0];
             hyps.extend(path.conjuncts.iter().copied());
@@ -132,7 +133,11 @@ pub fn safepath_constraint(
 ) -> Constraint {
     let _ = session;
     let goal = spec.to_term(ctx, &path.final_vmap);
-    Constraint { hyps: path.conjuncts.clone(), goal, label: ConstraintLabel::SafePath }
+    Constraint {
+        hyps: path.conjuncts.clone(),
+        goal,
+        label: ConstraintLabel::SafePath,
+    }
 }
 
 /// Builds the lazily-added `init` constraints for a freshly explored path:
@@ -164,4 +169,3 @@ pub fn init_constraints(
     }
     out
 }
-

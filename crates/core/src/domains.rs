@@ -44,7 +44,10 @@ pub struct DomainConfig {
 
 impl Default for DomainConfig {
     fn default() -> Self {
-        DomainConfig { pred_subset_max: 1, include_true_invariant: true }
+        DomainConfig {
+            pred_subset_max: 1,
+            include_true_invariant: true,
+        }
     }
 }
 
@@ -172,6 +175,7 @@ pub fn build_domains(session: &Session, config: DomainConfig) -> HoleDomains {
     );
     let mut next_e = program.num_eholes;
     let mut next_p = program.num_pholes;
+    #[allow(clippy::explicit_counter_loop)] // next_e/next_p allocate fresh hole ids
     for &(loop_id, _) in &session.template_loops {
         let eh = EHoleId(next_e);
         next_e += 1;

@@ -3,20 +3,24 @@
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use pins_ir::{Expr, Pred, Program, Stmt, Value};
 use pins_logic::{collect_subterms, Term, TermId};
-use pins_smt::{check_formulas, SmtConfig, SmtResult};
+use pins_prng::SplitMix64;
+use pins_smt::{SmtConfig, SmtResult, SmtSession};
 use pins_symexec::{
     apply_filler_term, ExploreConfig, Explorer, HoleKind, MapFiller, PathResult, SymCtx,
 };
 
-use crate::constraints::{init_constraints, safepath_constraint, terminate_constraints, Constraint};
+use crate::constraints::{
+    init_constraints, safepath_constraint, terminate_constraints, Constraint,
+};
 use crate::domains::{build_domains, DomainConfig, HoleDomains};
 use crate::session::Session;
 use crate::solve::{HoleSolver, Solution};
+
+/// `pickOne` memo: a path's substituted key plus the solution's choices for
+/// the holes that path mentions, mapped to "is this path infeasible under S".
+type InfeasibleCache = HashMap<(TermId, Vec<(bool, u32, usize)>), bool>;
 
 /// PINS configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +41,9 @@ pub struct PinsConfig {
     pub explore: ExploreConfig,
     /// SMT options for constraint verification.
     pub smt: SmtConfig,
+    /// Worker threads for per-constraint verification inside `solve`
+    /// (1 = serial; results are identical either way).
+    pub verify_workers: usize,
     /// Optional wall-clock budget.
     pub time_budget: Option<Duration>,
 }
@@ -51,13 +58,22 @@ impl Default for PinsConfig {
             seed: 0x9142,
             explore: ExploreConfig::default(),
             smt: SmtConfig::default(),
+            verify_workers: default_verify_workers(),
             time_budget: None,
         }
     }
 }
 
+/// Default verification parallelism: the machine's parallelism, capped at 4
+/// (the constraint sets are small; more workers mostly idle).
+pub fn default_verify_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1)
+}
+
 /// Per-phase timing breakdown, mirroring the paper's Table 4 columns.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PinsStats {
     /// Symbolic execution (includes its SMT feasibility queries).
     pub symexec_time: Duration,
@@ -75,6 +91,17 @@ pub struct PinsStats {
     pub smt_queries: u64,
     /// SMT feasibility queries issued by symbolic execution.
     pub feasibility_queries: u64,
+    /// Normalized-query cache hits on the engine's session (validity,
+    /// pickOne, and test-generation traffic combined).
+    pub smt_cache_hits: u64,
+    /// Normalized-query cache misses on the engine's session.
+    pub smt_cache_misses: u64,
+    /// `solve` calls that reused solver state from an earlier iteration.
+    pub sessions_reused: u64,
+    /// Size of the verification worker pool (1 = serial).
+    pub verify_workers: usize,
+    /// SMT queries issued per parallel worker slot (empty when serial).
+    pub worker_queries: Vec<u64>,
 }
 
 /// A concrete test input generated from an explored path (§2.5).
@@ -131,7 +158,10 @@ pub enum PinsError {
 impl std::fmt::Display for PinsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PinsError::NoSolution { iterations, paths_explored } => write!(
+            PinsError::NoSolution {
+                iterations,
+                paths_explored,
+            } => write!(
                 f,
                 "no template instantiation satisfies the constraints \
                  ({iterations} iterations, {paths_explored} paths)"
@@ -165,10 +195,17 @@ impl Pins {
     pub fn run(&self, session: &mut Session) -> Result<PinsOutcome, PinsError> {
         let start = Instant::now();
         let mut stats = PinsStats::default();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = SplitMix64::new(self.config.seed);
 
         let mut ctx = SymCtx::new(&session.composed);
         let axioms = session.axiom_terms(&mut ctx.arena);
+        // one persistent session for the whole run: it carries the library
+        // axioms and the normalized-query cache shared with the verification
+        // workers forked inside `solve`
+        let mut smt = SmtSession::new(self.config.smt);
+        for &ax in &axioms {
+            smt.assert_axiom(ax);
+        }
         let domains = build_domains(
             session,
             DomainConfig {
@@ -176,15 +213,13 @@ impl Pins {
                 include_true_invariant: true,
             },
         );
-        let mut constraints: Vec<Constraint> =
-            terminate_constraints(session, &domains, &mut ctx);
+        let mut constraints: Vec<Constraint> = terminate_constraints(session, &domains, &mut ctx);
         let mut solver = HoleSolver::new(&domains);
 
         let mut explored: HashSet<TermId> = HashSet::new();
         let mut paths: Vec<PathResult> = Vec::new();
         let mut path_holes: Vec<Vec<(bool, u32)>> = Vec::new(); // holes per path
-        let mut infeasible_cache: HashMap<(TermId, Vec<(bool, u32, usize)>), bool> =
-            HashMap::new();
+        let mut infeasible_cache: InfeasibleCache = HashMap::new();
 
         let mut last_size = usize::MAX;
         let mut iterations = 0;
@@ -201,15 +236,18 @@ impl Pins {
                 &mut ctx,
                 session,
                 &domains,
-                &axioms,
                 &constraints,
                 self.config.m,
-                self.config.smt,
+                &mut smt,
+                self.config.verify_workers,
             );
             stats.smt_reduction_time = solver.stats.smt_time;
             stats.sat_time = solver.stats.sat_time;
             stats.sat_size = solver.stats.sat_size;
             stats.smt_queries = solver.stats.smt_queries;
+            stats.sessions_reused = solver.stats.sessions_reused;
+            stats.verify_workers = solver.stats.workers;
+            stats.worker_queries = solver.stats.worker_queries.clone();
             if sols.is_empty() {
                 return Err(PinsError::NoSolution {
                     iterations,
@@ -218,7 +256,7 @@ impl Pins {
             }
             if sols.len() == last_size && sols.len() < self.config.m {
                 return Ok(self.finalize(
-                    session, &mut ctx, &domains, &axioms, sols, iterations, &paths, stats, start,
+                    session, &mut ctx, &domains, &mut smt, sols, iterations, &paths, stats, start,
                     true,
                 ));
             }
@@ -227,13 +265,13 @@ impl Pins {
             // pickOne (§2.3): prefer solutions contradicting many explored paths
             let t0 = Instant::now();
             let pick = if self.config.pick_random {
-                rng.gen_range(0..sols.len())
+                rng.gen_index(sols.len())
             } else {
                 self.pick_one(
                     session,
                     &mut ctx,
                     &domains,
-                    &axioms,
+                    &mut smt,
                     &sols,
                     &paths,
                     &path_holes,
@@ -253,7 +291,11 @@ impl Pins {
             let mut order: Vec<usize> = (0..sols.len()).collect();
             order.swap(0, pick);
             for idx in order {
-                let f = if idx == pick { filler.clone() } else { sols[idx].to_filler(&domains) };
+                let f = if idx == pick {
+                    filler.clone()
+                } else {
+                    sols[idx].to_filler(&domains)
+                };
                 let mut cfg = self.config.explore.clone();
                 cfg.axioms = axioms.clone();
                 let mut explorer = Explorer::new(&session.composed, cfg);
@@ -276,7 +318,15 @@ impl Pins {
                 // budget cut the search off for every candidate, in which
                 // case the solution set is only path-complete up to bounds)
                 return Ok(self.finalize(
-                    session, &mut ctx, &domains, &axioms, sols, iterations, &paths, stats, start,
+                    session,
+                    &mut ctx,
+                    &domains,
+                    &mut smt,
+                    sols,
+                    iterations,
+                    &paths,
+                    stats,
+                    start,
                     !any_budget_hit,
                 ));
             };
@@ -284,7 +334,12 @@ impl Pins {
             path_holes.push(holes_in_terms(&ctx, &path.conjuncts));
 
             // extend the constraint system
-            constraints.push(safepath_constraint(session, &session.spec.clone(), &mut ctx, &path));
+            constraints.push(safepath_constraint(
+                session,
+                &session.spec.clone(),
+                &mut ctx,
+                &path,
+            ));
             constraints.extend(init_constraints(session, &domains, &mut ctx, &path));
             paths.push(path);
             iterations += 1;
@@ -300,12 +355,12 @@ impl Pins {
         session: &Session,
         ctx: &mut SymCtx,
         domains: &HoleDomains,
-        axioms: &[TermId],
+        smt: &mut SmtSession,
         sols: &[Solution],
         paths: &[PathResult],
         path_holes: &[Vec<(bool, u32)>],
-        cache: &mut HashMap<(TermId, Vec<(bool, u32, usize)>), bool>,
-        rng: &mut StdRng,
+        cache: &mut InfeasibleCache,
+        rng: &mut SplitMix64,
     ) -> usize {
         let mut best: Vec<usize> = Vec::new();
         let mut best_count = -1i64;
@@ -332,10 +387,7 @@ impl Pins {
                         .iter()
                         .map(|&c| apply_filler_term(ctx, &session.composed, c, &filler))
                         .collect();
-                    let v = matches!(
-                        check_formulas(&mut ctx.arena, &subst, axioms, self.config.smt),
-                        SmtResult::Unsat
-                    );
+                    let v = smt.verdict_under(&mut ctx.arena, &subst).is_unsat();
                     cache.insert((path.key, key), v);
                     v
                 };
@@ -352,7 +404,7 @@ impl Pins {
                 std::cmp::Ordering::Less => {}
             }
         }
-        best[rng.gen_range(0..best.len())]
+        best[rng.gen_index(best.len())]
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -361,7 +413,7 @@ impl Pins {
         session: &Session,
         ctx: &mut SymCtx,
         domains: &HoleDomains,
-        axioms: &[TermId],
+        smt: &mut SmtSession,
         sols: Vec<Solution>,
         iterations: usize,
         paths: &[PathResult],
@@ -374,10 +426,12 @@ impl Pins {
             .map(|s| resolve_solution(session, domains, s))
             .collect();
         let tests = if let Some(first) = sols.first() {
-            generate_tests(session, ctx, domains, axioms, first, paths, self.config.smt)
+            generate_tests(session, ctx, domains, smt, first, paths)
         } else {
             Vec::new()
         };
+        stats.smt_cache_hits = smt.stats.cache_hits;
+        stats.smt_cache_misses = smt.stats.cache_misses;
         stats.total_time = start.elapsed();
         PinsOutcome {
             solutions,
@@ -458,16 +512,15 @@ pub fn resolve_solution(
             session.composed.var_by_name(name).map(|cv| (cv, m))
         })
         .collect();
-    ResolvedSolution { filler: template_filler, inverse }
+    ResolvedSolution {
+        filler: template_filler,
+        inverse,
+    }
 }
 
 fn subst_expr(e: &Expr, filler: &MapFiller) -> Expr {
     match e {
-        Expr::Hole(h) => filler
-            .exprs
-            .get(h)
-            .cloned()
-            .unwrap_or_else(|| Expr::Hole(*h)),
+        Expr::Hole(h) => filler.exprs.get(h).cloned().unwrap_or(Expr::Hole(*h)),
         Expr::Int(_) | Expr::Var(_) => e.clone(),
         Expr::Add(a, b) => Expr::Add(
             Box::new(subst_expr(a, filler)),
@@ -490,27 +543,25 @@ fn subst_expr(e: &Expr, filler: &MapFiller) -> Expr {
             Box::new(subst_expr(b, filler)),
             Box::new(subst_expr(c, filler)),
         ),
-        Expr::Call(f, args) => {
-            Expr::Call(f.clone(), args.iter().map(|a| subst_expr(a, filler)).collect())
-        }
+        Expr::Call(f, args) => Expr::Call(
+            f.clone(),
+            args.iter().map(|a| subst_expr(a, filler)).collect(),
+        ),
     }
 }
 
 fn subst_pred(p: &Pred, filler: &MapFiller) -> Pred {
     match p {
-        Pred::Hole(h) => filler
-            .preds
-            .get(h)
-            .cloned()
-            .unwrap_or_else(|| Pred::Hole(*h)),
+        Pred::Hole(h) => filler.preds.get(h).cloned().unwrap_or(Pred::Hole(*h)),
         Pred::Bool(_) | Pred::Star => p.clone(),
         Pred::Cmp(op, a, b) => Pred::Cmp(*op, subst_expr(a, filler), subst_expr(b, filler)),
         Pred::And(items) => Pred::And(items.iter().map(|q| subst_pred(q, filler)).collect()),
         Pred::Or(items) => Pred::Or(items.iter().map(|q| subst_pred(q, filler)).collect()),
         Pred::Not(q) => Pred::Not(Box::new(subst_pred(q, filler))),
-        Pred::Call(f, args) => {
-            Pred::Call(f.clone(), args.iter().map(|a| subst_expr(a, filler)).collect())
-        }
+        Pred::Call(f, args) => Pred::Call(
+            f.clone(),
+            args.iter().map(|a| subst_expr(a, filler)).collect(),
+        ),
     }
 }
 
@@ -545,10 +596,9 @@ fn generate_tests(
     session: &Session,
     ctx: &mut SymCtx,
     domains: &HoleDomains,
-    axioms: &[TermId],
+    smt: &mut SmtSession,
     solution: &Solution,
     paths: &[PathResult],
-    smt: SmtConfig,
 ) -> Vec<ConcreteTest> {
     let filler = solution.to_filler(domains);
     let mut tests = Vec::new();
@@ -558,7 +608,7 @@ fn generate_tests(
             .iter()
             .map(|&c| apply_filler_term(ctx, &session.composed, c, &filler))
             .collect();
-        let SmtResult::Sat(model) = check_formulas(&mut ctx.arena, &subst, axioms, smt) else {
+        let SmtResult::Sat(model) = smt.check_under(&mut ctx.arena, &subst) else {
             continue; // path infeasible under the final solution
         };
         let mut inputs = Vec::new();

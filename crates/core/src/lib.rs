@@ -55,11 +55,11 @@ pub use domains::{
     type_of_expr, DomainConfig, HoleDomains,
 };
 pub use engine::{
-    resolve_solution, ConcreteTest, Pins, PinsConfig, PinsError, PinsOutcome, PinsStats,
-    ResolvedSolution,
+    default_verify_workers, resolve_solution, ConcreteTest, Pins, PinsConfig, PinsError,
+    PinsOutcome, PinsStats, ResolvedSolution,
 };
 pub use session::{AxiomDef, Session, Spec, SpecItem};
-pub use solve::{HoleSolver, SolveStats, Solution};
+pub use solve::{HoleSolver, Solution, SolveStats};
 
 #[cfg(test)]
 mod tests;

@@ -112,7 +112,12 @@ impl Spec {
                     let body = ctx.arena.mk_implies(range, eq);
                     parts.push(ctx.arena.mk_forall(vec![(k, Sort::Int)], body));
                 }
-                SpecItem::ObsEq { input, output, len_fun, obs_fun } => {
+                SpecItem::ObsEq {
+                    input,
+                    output,
+                    len_fun,
+                    obs_fun,
+                } => {
                     let a0 = ctx.var_term(*input, 0);
                     let bv = ctx.var_at(*output, final_vmap);
                     let len_sym = ctx
@@ -190,14 +195,22 @@ impl AxiomDef {
             .collect();
         let body = parse_pred_in(&scratch, body_src)
             .unwrap_or_else(|e| panic!("bad axiom {body_src:?}: {e}"));
-        AxiomDef { scratch, bound, body }
+        AxiomDef {
+            scratch,
+            bound,
+            body,
+        }
     }
 
     /// Translates the axiom into a closed `forall` term in `arena`.
     pub fn to_term(&self, arena: &mut TermArena) -> TermId {
         for e in &self.scratch.externs {
             let args: Vec<Sort> = e.args.iter().map(|t| sort_of(arena, t)).collect();
-            let ret = if e.returns_bool { Sort::Bool } else { sort_of(arena, &e.ret) };
+            let ret = if e.returns_bool {
+                Sort::Bool
+            } else {
+                sort_of(arena, &e.ret)
+            };
             arena.declare_fun(&e.name, args, ret);
         }
         let binders: Vec<(pins_logic::Symbol, Sort)> = self
@@ -341,10 +354,10 @@ impl Session {
     ///
     /// Panics on parse errors (benchmark definitions are static inputs).
     pub fn from_sources(original_src: &str, template_src: &str) -> Session {
-        let original = parse_program(original_src)
-            .unwrap_or_else(|e| panic!("bad original program: {e}"));
-        let template = parse_program(template_src)
-            .unwrap_or_else(|e| panic!("bad template program: {e}"));
+        let original =
+            parse_program(original_src).unwrap_or_else(|e| panic!("bad original program: {e}"));
+        let template =
+            parse_program(template_src).unwrap_or_else(|e| panic!("bad template program: {e}"));
         Session::compose(original, template)
     }
 

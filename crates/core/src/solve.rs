@@ -8,6 +8,16 @@
 //! restricted assignment of the holes that actually occur in the
 //! constraint); a failed constraint contributes a blocking clause over
 //! exactly those holes — the generalization that makes the search converge.
+//!
+//! Verification goes through a persistent [`SmtSession`] owned by the
+//! engine: the session carries the library axioms and the normalized-query
+//! cache, so repeated validity checks across PINS iterations short-circuit.
+//! With `workers >= 2` the per-constraint queries of one candidate are
+//! dispatched in waves to a scoped thread pool (one forked session per
+//! worker). Workers only *verify* — the blocking clause is still chosen as
+//! the first failing constraint in index order, so the search trajectory
+//! (and therefore the returned `Solution` set) is identical to the serial
+//! run.
 
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -15,7 +25,7 @@ use std::time::{Duration, Instant};
 use pins_ir::{EHoleId, PHoleId};
 use pins_logic::{collect_subterms, Term, TermId};
 use pins_sat::{Lit, SolveResult, Solver as SatSolver, Var};
-use pins_smt::{is_valid, SmtConfig};
+use pins_smt::SmtSession;
 use pins_symexec::{apply_filler_term, HoleKind, MapFiller, SymCtx};
 
 use crate::constraints::Constraint;
@@ -62,19 +72,53 @@ pub struct ConstraintHoles {
 }
 
 /// Timing and counting statistics from `solve`.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SolveStats {
     /// Time in SAT solving.
     pub sat_time: Duration,
     /// Time in SMT validity checking (the paper's "SMT reduction").
     pub smt_time: Duration,
-    /// Number of SMT validity queries issued.
+    /// Number of SMT validity queries issued (excluding local memo hits).
     pub smt_queries: u64,
     /// Number of candidate assignments proposed by SAT.
     pub candidates_proposed: u64,
     /// Final SAT formula size (vars + literal occurrences).
     pub sat_size: usize,
+    /// Normalized-query cache hits attributable to `solve` (parent session
+    /// and workers combined).
+    pub cache_hits: u64,
+    /// Normalized-query cache misses attributable to `solve`.
+    pub cache_misses: u64,
+    /// Number of `solve` calls that reused solver/session state built by an
+    /// earlier call (incremental reuse across PINS iterations).
+    pub sessions_reused: u64,
+    /// Size of the verification worker pool used (1 = serial).
+    pub workers: usize,
+    /// SMT queries issued by each parallel worker slot.
+    pub worker_queries: Vec<u64>,
 }
+
+/// Verifies a single constraint under a filled-in candidate: substitutes the
+/// filler into the hypotheses and goal, then asks the session for validity.
+fn verify_one(
+    ctx: &mut SymCtx,
+    program: &pins_ir::Program,
+    smt: &mut SmtSession,
+    constraint: &Constraint,
+    filler: &MapFiller,
+) -> bool {
+    let hyps: Vec<TermId> = constraint
+        .hyps
+        .iter()
+        .map(|&h| apply_filler_term(ctx, program, h, filler))
+        .collect();
+    let goal = apply_filler_term(ctx, program, constraint.goal, filler);
+    smt.entails(&mut ctx.arena, &hyps, goal)
+}
+
+/// A solution's choices restricted to the holes one constraint mentions:
+/// `(is_expr, hole id, chosen candidate)` triples.
+type RestrictedKey = Vec<(bool, u32, usize)>;
 
 /// The incremental hole solver, persistent across PINS iterations
 /// (blocking clauses learned from old constraints remain valid as the
@@ -84,7 +128,7 @@ pub struct HoleSolver {
     evars: Vec<Vec<Var>>,
     pvars: Vec<Vec<Var>>,
     /// `(constraint index, restricted assignment) -> verified?`
-    cache: HashMap<(usize, Vec<(bool, u32, usize)>), bool>,
+    cache: HashMap<(usize, RestrictedKey), bool>,
     holes_of: Vec<ConstraintHoles>,
     /// Statistics accumulated across calls.
     pub stats: SolveStats,
@@ -119,7 +163,11 @@ impl HoleSolver {
     /// Registers the holes occurring in constraint `idx` (call once per new
     /// constraint, in order).
     pub fn register_constraint(&mut self, ctx: &SymCtx, idx: usize, c: &Constraint) {
-        assert_eq!(idx, self.holes_of.len(), "constraints must register in order");
+        assert_eq!(
+            idx,
+            self.holes_of.len(),
+            "constraints must register in order"
+        );
         let mut eholes = HashSet::new();
         let mut pholes = HashSet::new();
         let mut subs = HashSet::new();
@@ -157,7 +205,7 @@ impl HoleSolver {
         }
     }
 
-    fn restricted_key(&self, c: usize, s: &Solution) -> Vec<(bool, u32, usize)> {
+    fn restricted_key(&self, c: usize, s: &Solution) -> RestrictedKey {
         let holes = &self.holes_of[c];
         let mut key = Vec::with_capacity(holes.eholes.len() + holes.pholes.len());
         for &h in &holes.eholes {
@@ -169,36 +217,166 @@ impl HoleSolver {
         key
     }
 
-    /// Verifies one constraint under a solution, with memoization.
+    /// Verifies one constraint under a solution, with memoization (serial
+    /// path).
+    #[allow(clippy::too_many_arguments)]
     fn verify(
         &mut self,
         ctx: &mut SymCtx,
         session: &Session,
-        axioms: &[TermId],
         constraints: &[Constraint],
         c: usize,
         solution: &Solution,
         domains: &HoleDomains,
-        smt: SmtConfig,
+        smt: &mut SmtSession,
     ) -> bool {
         let key = self.restricted_key(c, solution);
         if let Some(&v) = self.cache.get(&(c, key.clone())) {
             return v;
         }
         let filler = solution.to_filler(domains);
-        let program = &session.composed;
         let t0 = Instant::now();
-        let hyps: Vec<TermId> = constraints[c]
-            .hyps
-            .iter()
-            .map(|&h| apply_filler_term(ctx, program, h, &filler))
-            .collect();
-        let goal = apply_filler_term(ctx, program, constraints[c].goal, &filler);
-        let valid = is_valid(&mut ctx.arena, &hyps, goal, axioms, smt);
+        let valid = verify_one(ctx, &session.composed, smt, &constraints[c], &filler);
         self.stats.smt_time += t0.elapsed();
         self.stats.smt_queries += 1;
         self.cache.insert((c, key), valid);
         valid
+    }
+
+    /// Returns the index of the first constraint that fails under `s`, or
+    /// `None` if all pass — the serial reference semantics that the parallel
+    /// path must reproduce.
+    #[allow(clippy::too_many_arguments)]
+    fn first_failing(
+        &mut self,
+        ctx: &mut SymCtx,
+        session: &Session,
+        domains: &HoleDomains,
+        constraints: &[Constraint],
+        s: &Solution,
+        smt: &mut SmtSession,
+        workers: usize,
+    ) -> Option<usize> {
+        if workers >= 2 && constraints.len() >= 2 {
+            return self.first_failing_parallel(
+                ctx,
+                session,
+                domains,
+                constraints,
+                s,
+                smt,
+                workers,
+            );
+        }
+        (0..constraints.len())
+            .find(|&c| !self.verify(ctx, session, constraints, c, s, domains, smt))
+    }
+
+    /// Parallel verification: constraint indices are dispatched in waves of
+    /// `workers * 2`; within a wave, uncached indices are split round-robin
+    /// across scoped worker threads, each with its own cloned translation
+    /// context and a forked session sharing the parent's query cache.
+    ///
+    /// Determinism: waves are processed in index order and the first wave
+    /// containing a failure yields its *minimum* failing index, which is
+    /// exactly the serial first-failure. Worker verdicts equal serial
+    /// verdicts (verification is pure given constraint + filler), so the
+    /// memo table converges to the same contents in either mode.
+    #[allow(clippy::too_many_arguments)]
+    fn first_failing_parallel(
+        &mut self,
+        ctx: &mut SymCtx,
+        session: &Session,
+        domains: &HoleDomains,
+        constraints: &[Constraint],
+        s: &Solution,
+        smt: &mut SmtSession,
+        workers: usize,
+    ) -> Option<usize> {
+        let n = constraints.len();
+        let filler = s.to_filler(domains);
+        let program = &session.composed;
+        if self.stats.worker_queries.len() < workers {
+            self.stats.worker_queries.resize(workers, 0);
+        }
+        let wave_size = workers * 2;
+        let mut start = 0;
+        while start < n {
+            let end = n.min(start + wave_size);
+            let wave: Vec<usize> = (start..end).collect();
+            start = end;
+
+            let mut results: HashMap<usize, bool> = HashMap::new();
+            let mut keys: HashMap<usize, Vec<(bool, u32, usize)>> = HashMap::new();
+            let mut pending: Vec<usize> = Vec::new();
+            for &c in &wave {
+                let key = self.restricted_key(c, s);
+                if let Some(&v) = self.cache.get(&(c, key.clone())) {
+                    results.insert(c, v);
+                } else {
+                    pending.push(c);
+                }
+                keys.insert(c, key);
+            }
+
+            if !pending.is_empty() {
+                let t0 = Instant::now();
+                let chunks: Vec<Vec<usize>> = (0..workers)
+                    .map(|w| pending.iter().copied().skip(w).step_by(workers).collect())
+                    .collect();
+                let outcomes: Vec<(Vec<(usize, bool)>, pins_smt::SessionStats)> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = chunks
+                            .into_iter()
+                            .map(|chunk| {
+                                let mut wctx = ctx.clone();
+                                let mut wsmt = smt.fork();
+                                let filler = &filler;
+                                scope.spawn(move || {
+                                    let out: Vec<(usize, bool)> = chunk
+                                        .into_iter()
+                                        .map(|c| {
+                                            let ok = verify_one(
+                                                &mut wctx,
+                                                program,
+                                                &mut wsmt,
+                                                &constraints[c],
+                                                filler,
+                                            );
+                                            (c, ok)
+                                        })
+                                        .collect();
+                                    (out, wsmt.stats)
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("verification worker panicked"))
+                            .collect()
+                    });
+                self.stats.smt_time += t0.elapsed();
+                for (w, (pairs, wstats)) in outcomes.into_iter().enumerate() {
+                    self.stats.smt_queries += wstats.queries;
+                    self.stats.worker_queries[w] += wstats.queries;
+                    // fold worker traffic into the parent session so its
+                    // counters stay the single source of truth
+                    smt.stats.absorb(&wstats);
+                    for (c, ok) in pairs {
+                        results.insert(c, ok);
+                    }
+                }
+            }
+
+            for &c in &wave {
+                self.cache
+                    .insert((c, keys.remove(&c).unwrap()), results[&c]);
+            }
+            if let Some(&c) = wave.iter().find(|&&c| !results[&c]) {
+                return Some(c);
+            }
+        }
+        None
     }
 
     /// Adds a blocking clause rejecting the restricted assignment of
@@ -229,24 +407,33 @@ impl HoleSolver {
 
     /// Finds up to `m` solutions satisfying all constraints (Algorithm 1's
     /// `solve(C, Δp, Δe, m)`).
+    ///
+    /// `smt` is the engine's persistent session (it already carries the
+    /// library axioms); `workers >= 2` enables the parallel verification
+    /// path, which returns the same solutions in the same order as serial.
     #[allow(clippy::too_many_arguments)]
     pub fn solve(
         &mut self,
         ctx: &mut SymCtx,
         session: &Session,
         domains: &HoleDomains,
-        axioms: &[TermId],
         constraints: &[Constraint],
         m: usize,
-        smt: SmtConfig,
+        smt: &mut SmtSession,
+        workers: usize,
     ) -> Vec<Solution> {
+        if self.stats.smt_queries > 0 || self.stats.candidates_proposed > 0 {
+            self.stats.sessions_reused += 1;
+        }
+        self.stats.workers = self.stats.workers.max(workers.max(1));
+        let before = smt.stats;
         // register any new constraints
-        for idx in self.holes_of.len()..constraints.len() {
-            self.register_constraint(ctx, idx, &constraints[idx]);
+        for (idx, constraint) in constraints.iter().enumerate().skip(self.holes_of.len()) {
+            self.register_constraint(ctx, idx, constraint);
         }
         let mut found = Vec::new();
         let mut snapshot = self.sat.clone();
-        'outer: loop {
+        loop {
             let t0 = Instant::now();
             let res = snapshot.solve();
             self.stats.sat_time += t0.elapsed();
@@ -256,11 +443,11 @@ impl HoleSolver {
                 SolveResult::Sat => {
                     let s = Self::extract_solution(&snapshot, &self.evars, &self.pvars);
                     self.stats.candidates_proposed += 1;
-                    for c in 0..constraints.len() {
-                        if !self.verify(ctx, session, axioms, constraints, c, &s, domains, smt) {
-                            self.block(c, &s, true, &mut snapshot);
-                            continue 'outer;
-                        }
+                    if let Some(c) =
+                        self.first_failing(ctx, session, domains, constraints, &s, smt, workers)
+                    {
+                        self.block(c, &s, true, &mut snapshot);
+                        continue;
                     }
                     // verified: block the exact full assignment in the
                     // snapshot only (the solution remains globally valid)
@@ -283,6 +470,8 @@ impl HoleSolver {
                 }
             }
         }
+        self.stats.cache_hits += smt.stats.cache_hits - before.cache_hits;
+        self.stats.cache_misses += smt.stats.cache_misses - before.cache_misses;
         found
     }
 }

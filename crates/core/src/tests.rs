@@ -30,7 +30,11 @@ fn add7_session() -> Session {
 fn add7_inverse_synthesized() {
     let mut session = add7_session();
     let outcome = Pins::new(PinsConfig::default()).run(&mut session).unwrap();
-    assert_eq!(outcome.solutions.len(), 1, "exactly one inverse should survive");
+    assert_eq!(
+        outcome.solutions.len(),
+        1,
+        "exactly one inverse should survive"
+    );
     let inv = &outcome.solutions[0].inverse;
     let printed = program_to_string(inv);
     assert!(printed.contains("y - 7"), "got:\n{printed}");
@@ -57,7 +61,9 @@ fn no_solution_when_candidates_insufficient() {
         parse_expr_in(&c, "y + 7").unwrap(), // wrong direction only
         parse_expr_in(&c, "0").unwrap(),
     ];
-    let err = Pins::new(PinsConfig::default()).run(&mut session).unwrap_err();
+    let err = Pins::new(PinsConfig::default())
+        .run(&mut session)
+        .unwrap_err();
     assert!(matches!(err, PinsError::NoSolution { .. }), "{err:?}");
 }
 
@@ -105,7 +111,10 @@ proc double_inv(in m: int, out nI: int) {
 #[test]
 fn double_inverse_synthesized_and_correct() {
     let mut session = double_session();
-    let config = PinsConfig { max_iterations: 40, ..PinsConfig::default() };
+    let config = PinsConfig {
+        max_iterations: 40,
+        ..PinsConfig::default()
+    };
     let outcome = Pins::new(config).run(&mut session).unwrap();
     assert!(
         !outcome.solutions.is_empty() && outcome.solutions.len() <= 4,
@@ -140,7 +149,10 @@ fn double_inverse_synthesized_and_correct() {
             correct += 1;
         }
     }
-    assert!(correct >= 1, "at least one surviving solution must be a true inverse");
+    assert!(
+        correct >= 1,
+        "at least one surviving solution must be a true inverse"
+    );
 }
 
 #[test]
@@ -148,14 +160,22 @@ fn iterations_match_small_path_bound_hypothesis() {
     let mut session = double_session();
     let outcome = Pins::new(PinsConfig::default()).run(&mut session).unwrap();
     // the paper reports 1..14 iterations across all benchmarks
-    assert!(outcome.iterations <= 20, "too many iterations: {}", outcome.iterations);
+    assert!(
+        outcome.iterations <= 20,
+        "too many iterations: {}",
+        outcome.iterations
+    );
     assert!(outcome.paths_explored <= 20);
 }
 
 #[test]
 fn random_pickone_also_converges() {
     let mut session = double_session();
-    let config = PinsConfig { pick_random: true, seed: 7, ..PinsConfig::default() };
+    let config = PinsConfig {
+        pick_random: true,
+        seed: 7,
+        ..PinsConfig::default()
+    };
     let outcome = Pins::new(config).run(&mut session).unwrap();
     assert!(!outcome.solutions.is_empty());
 }
@@ -223,7 +243,11 @@ fn axiom_def_round_trip() {
         ret: Type::Int,
         returns_bool: false,
     }];
-    let ax = AxiomDef::parse(&externs, &[("s", Type::Abstract("Str".into()))], "strlen(s) >= 0");
+    let ax = AxiomDef::parse(
+        &externs,
+        &[("s", Type::Abstract("Str".into()))],
+        "strlen(s) >= 0",
+    );
     let mut arena = pins_logic::TermArena::new();
     let t = ax.to_term(&mut arena);
     let shown = arena.display(t).to_string();
@@ -239,7 +263,13 @@ fn terminate_constraints_generated_per_template_loop() {
     let cs = terminate_constraints(&session, &domains, &mut ctx);
     // one bounded + per body path (1) a decrease and an inv-maintain
     assert_eq!(cs.len(), 3);
-    assert!(cs.iter().any(|c| matches!(c.label, ConstraintLabel::Bounded(_))));
-    assert!(cs.iter().any(|c| matches!(c.label, ConstraintLabel::Decrease(_))));
-    assert!(cs.iter().any(|c| matches!(c.label, ConstraintLabel::InvMaintain(_))));
+    assert!(cs
+        .iter()
+        .any(|c| matches!(c.label, ConstraintLabel::Bounded(_))));
+    assert!(cs
+        .iter()
+        .any(|c| matches!(c.label, ConstraintLabel::Decrease(_))));
+    assert!(cs
+        .iter()
+        .any(|c| matches!(c.label, ConstraintLabel::InvMaintain(_))));
 }

@@ -206,7 +206,10 @@ impl Program {
     /// Declares a fresh local variable, returning its id.
     pub fn add_local(&mut self, name: &str, ty: Type) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarDecl { name: name.to_owned(), ty });
+        self.vars.push(VarDecl {
+            name: name.to_owned(),
+            ty,
+        });
         id
     }
 
@@ -249,8 +252,12 @@ impl Program {
         combined.num_loops += other.num_loops;
         combined.num_eholes += other.num_eholes;
         combined.num_pholes += other.num_pholes;
-        combined.ehole_names.extend(other.ehole_names.iter().cloned());
-        combined.phole_names.extend(other.phole_names.iter().cloned());
+        combined
+            .ehole_names
+            .extend(other.ehole_names.iter().cloned());
+        combined
+            .phole_names
+            .extend(other.phole_names.iter().cloned());
         (combined, map, loop_offset)
     }
 }
@@ -314,13 +321,19 @@ fn remap_stmt(s: &Stmt, map: &[VarId], loff: u32, eoff: u32, poff: u32) -> Stmt 
         ),
         Stmt::If(p, t, e) => Stmt::If(
             remap_pred(p, map, eoff, poff),
-            t.iter().map(|s| remap_stmt(s, map, loff, eoff, poff)).collect(),
-            e.iter().map(|s| remap_stmt(s, map, loff, eoff, poff)).collect(),
+            t.iter()
+                .map(|s| remap_stmt(s, map, loff, eoff, poff))
+                .collect(),
+            e.iter()
+                .map(|s| remap_stmt(s, map, loff, eoff, poff))
+                .collect(),
         ),
         Stmt::While(id, p, body) => Stmt::While(
             LoopId(id.0 + loff),
             remap_pred(p, map, eoff, poff),
-            body.iter().map(|s| remap_stmt(s, map, loff, eoff, poff)).collect(),
+            body.iter()
+                .map(|s| remap_stmt(s, map, loff, eoff, poff))
+                .collect(),
         ),
         Stmt::Assume(p) => Stmt::Assume(remap_pred(p, map, eoff, poff)),
         Stmt::Exit => Stmt::Exit,

@@ -34,14 +34,22 @@ impl Value {
 
     /// Builds an array value from a slice (indices `0..len`).
     pub fn arr_from(items: &[i64]) -> Value {
-        Value::Arr(items.iter().enumerate().map(|(i, &v)| (i as i64, v)).collect())
+        Value::Arr(
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as i64, v))
+                .collect(),
+        )
     }
 
     /// Extracts an integer.
     pub fn as_int(&self) -> Result<i64, InterpError> {
         match self {
             Value::Int(v) => Ok(*v),
-            other => Err(InterpError::TypeError(format!("expected int, got {other:?}"))),
+            other => Err(InterpError::TypeError(format!(
+                "expected int, got {other:?}"
+            ))),
         }
     }
 
@@ -49,14 +57,18 @@ impl Value {
     pub fn as_arr(&self) -> Result<&BTreeMap<i64, i64>, InterpError> {
         match self {
             Value::Arr(m) => Ok(m),
-            other => Err(InterpError::TypeError(format!("expected array, got {other:?}"))),
+            other => Err(InterpError::TypeError(format!(
+                "expected array, got {other:?}"
+            ))),
         }
     }
 
     /// Reads the first `n` elements of an array value.
     pub fn arr_prefix(&self, n: i64) -> Result<Vec<i64>, InterpError> {
         let m = self.as_arr()?;
-        Ok((0..n.max(0)).map(|i| m.get(&i).copied().unwrap_or(0)).collect())
+        Ok((0..n.max(0))
+            .map(|i| m.get(&i).copied().unwrap_or(0))
+            .collect())
     }
 }
 
@@ -166,7 +178,10 @@ pub fn run(
     let mut store: Store = Store::new();
     for (i, decl) in program.vars.iter().enumerate() {
         let id = VarId(i as u32);
-        let v = inputs.get(&id).cloned().unwrap_or_else(|| default_value(&decl.ty));
+        let v = inputs
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| default_value(&decl.ty));
         store.insert(id, v);
     }
     let mut fuel = fuel;

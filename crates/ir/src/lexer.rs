@@ -128,7 +128,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let mut col = 1u32;
     macro_rules! push {
         ($tok:expr, $len:expr) => {{
-            out.push(Spanned { token: $tok, line, col });
+            out.push(Spanned {
+                token: $tok,
+                line,
+                col,
+            });
             i += $len;
             col += $len as u32;
         }};

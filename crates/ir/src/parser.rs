@@ -53,7 +53,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line, col: e.col }
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -97,7 +101,11 @@ impl Parser {
             .get(self.pos)
             .map(|s| (s.line, s.col))
             .unwrap_or((0, 0));
-        ParseError { message: message.into(), line, col }
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -187,7 +195,12 @@ impl Parser {
             (self.ty()?, false)
         };
         self.expect(&Token::Semi)?;
-        self.program.externs.push(ExternDecl { name, args, ret, returns_bool });
+        self.program.externs.push(ExternDecl {
+            name,
+            args,
+            ret,
+            returns_bool,
+        });
         Ok(())
     }
 

@@ -24,7 +24,11 @@ pub fn program_to_string(p: &Program) -> String {
     let mut s = String::new();
     for e in &p.externs {
         let args: Vec<String> = e.args.iter().map(ty_str).collect();
-        let ret = if e.returns_bool { "bool".to_owned() } else { ty_str(&e.ret) };
+        let ret = if e.returns_bool {
+            "bool".to_owned()
+        } else {
+            ty_str(&e.ret)
+        };
         let _ = writeln!(s, "extern {}({}): {};", e.name, args.join(", "), ret);
     }
     let params: Vec<String> = p

@@ -178,7 +178,11 @@ impl TermArena {
     /// Panics if `name` was previously declared with a different signature.
     pub fn declare_fun(&mut self, name: &str, args: Vec<Sort>, ret: Sort) -> Symbol {
         let sym = self.symbols.intern(name);
-        let decl = FunDecl { name: sym, args, ret };
+        let decl = FunDecl {
+            name: sym,
+            args,
+            ret,
+        };
         if let Some(existing) = self.fun_decls.get(&sym) {
             assert_eq!(
                 existing, &decl,
@@ -369,7 +373,11 @@ impl TermArena {
 
     /// `a = b` (equivalence on booleans), canonically ordered, with folding.
     pub fn mk_eq(&mut self, a: TermId, b: TermId) -> TermId {
-        debug_assert_eq!(self.sort(a), self.sort(b), "equality between different sorts");
+        debug_assert_eq!(
+            self.sort(a),
+            self.sort(b),
+            "equality between different sorts"
+        );
         if a == b {
             return self.mk_true();
         }
@@ -491,7 +499,11 @@ impl TermArena {
             0 => unit,
             1 => flat[0],
             _ => {
-                let node = if conj { Term::And(flat) } else { Term::Or(flat) };
+                let node = if conj {
+                    Term::And(flat)
+                } else {
+                    Term::Or(flat)
+                };
                 self.insert(node, Sort::Bool)
             }
         }

@@ -39,8 +39,14 @@ impl MinedSets {
     /// How many of `chosen_exprs`/`chosen_preds` are *not* in the mined set —
     /// the paper's "Mod" column (manual modifications needed).
     pub fn modifications(&self, chosen_exprs: &[Expr], chosen_preds: &[Pred]) -> usize {
-        let e = chosen_exprs.iter().filter(|e| !self.exprs.contains(e)).count();
-        let p = chosen_preds.iter().filter(|p| !self.preds.contains(p)).count();
+        let e = chosen_exprs
+            .iter()
+            .filter(|e| !self.exprs.contains(e))
+            .count();
+        let p = chosen_preds
+            .iter()
+            .filter(|p| !self.preds.contains(p))
+            .count();
         e + p
     }
 }
@@ -234,7 +240,10 @@ pub fn mine(
             .iter()
             .find(|(o, _)| *o == decl.name)
             .map(|(_, p)| *p)
-            .or_else(|| keep.contains(&decl.name.as_str()).then_some(decl.name.as_str()));
+            .or_else(|| {
+                keep.contains(&decl.name.as_str())
+                    .then_some(decl.name.as_str())
+            });
         map.insert(from, target.and_then(|name| composed.var_by_name(name)));
     }
 

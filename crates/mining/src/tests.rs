@@ -84,7 +84,11 @@ fn mine_renames_into_primed_frame_and_drops_n() {
     assert!(re.iter().any(|s| s == "rI - 1"), "{re:?}");
     // nothing mentions the dropped variable n
     assert!(!re.iter().any(|s| s.contains('n')), "{re:?}");
-    assert!(!rp.iter().any(|s| s.split(['<', '=', '>']).any(|p| p.trim() == "n")), "{rp:?}");
+    assert!(
+        !rp.iter()
+            .any(|s| s.split(['<', '=', '>']).any(|p| p.trim() == "n")),
+        "{rp:?}"
+    );
     // the out-derived progress predicate appears
     assert!(rp.iter().any(|s| s == "mI < m"), "{rp:?}");
     // counter scan gives rI > 0

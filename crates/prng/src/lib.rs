@@ -1,0 +1,183 @@
+//! A tiny deterministic PRNG for the PINS workspace.
+//!
+//! The engine needs randomness in exactly two low-stakes places — seeded
+//! tie-breaking in `pickOne` and workload generation for the benchmark
+//! suite — plus the randomized test corpora. Pulling in the external
+//! `rand` crate for that broke the hermetic (no-network) tier-1 build, so
+//! this crate provides the classic splitmix64 generator instead: 64 bits of
+//! state, excellent equidistribution for this use, and byte-for-byte
+//! reproducible across platforms.
+//!
+//! splitmix64 is the generator recommended for seeding by Vigna (2015); its
+//! output function is a finalizing bijection, so every seed yields a full
+//! period-2^64 sequence.
+//!
+//! # Example
+//!
+//! ```
+//! use pins_prng::SplitMix64;
+//!
+//! let mut rng = SplitMix64::new(0x9142);
+//! let a = rng.gen_range(0..10);
+//! assert!((0..10).contains(&a));
+//! let mut again = SplitMix64::new(0x9142);
+//! assert_eq!(again.gen_range(0..10), a); // fully deterministic
+//! ```
+
+/// The splitmix64 generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Every seed is valid (including 0).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `i64` in `range` (half-open). Uses rejection sampling, so
+    /// the distribution is exactly uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<i64>) -> i64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add(self.next_below(span) as i64)
+    }
+
+    /// A uniform `i64` in the inclusive `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn gen_range_inclusive(&mut self, range: std::ops::RangeInclusive<i64>) -> i64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "gen_range_inclusive on empty range");
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.next_below(span + 1) as i64)
+    }
+
+    /// A uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is 0.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index(0)");
+        self.next_below(n as u64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 bits of mantissa are plenty for test workloads
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+
+    /// Uniform value in `0..bound` by rejection (no modulo bias).
+    fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector() {
+        // reference outputs for seed 1234567 from Vigna's splitmix64.c
+        let mut rng = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_are_in_bounds_and_deterministic() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5..7);
+            assert!((-5..7).contains(&v));
+            let w = rng.gen_range_inclusive(0..=3);
+            assert!((0..=3).contains(&w));
+            let i = rng.gen_index(9);
+            assert!(i < 9);
+        }
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<i64> = (0..64).map(|_| a.gen_range(0..100)).collect();
+        let ys: Vec<i64> = (0..64).map(|_| b.gen_range(0..100)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SplitMix64::new(99);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[rng.gen_index(4)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (800..1200).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(5);
+        let mut v: Vec<i64> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

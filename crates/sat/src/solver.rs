@@ -176,7 +176,10 @@ impl Solver {
 
     /// Number of original (problem) clauses currently alive.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
     }
 
     /// Sum of literal counts over live problem clauses plus variables — the
@@ -260,14 +263,25 @@ impl Solver {
 
     fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         let cref = self.clauses.len() as u32;
-        let w0 = Watcher { cref, blocker: lits[1] };
-        let w1 = Watcher { cref, blocker: lits[0] };
+        let w0 = Watcher {
+            cref,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            cref,
+            blocker: lits[0],
+        };
         self.watches[(!lits[0]).code() as usize].push(w0);
         self.watches[(!lits[1]).code() as usize].push(w1);
         if learnt {
             self.learnt_refs.push(cref);
         }
-        self.clauses.push(Clause { lits, learnt, deleted: false, activity: 0.0 });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
         cref
     }
 
@@ -313,7 +327,10 @@ impl Solver {
                 }
                 let first = self.clauses[cref].lits[0];
                 if first != w.blocker && self.lit_value(first) == 1 {
-                    ws[j] = Watcher { cref: w.cref, blocker: first };
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
                     j += 1;
                     continue;
                 }
@@ -323,12 +340,18 @@ impl Solver {
                     let lk = self.clauses[cref].lits[k];
                     if self.lit_value(lk) != -1 {
                         self.clauses[cref].lits.swap(1, k);
-                        self.watches[(!lk).code() as usize].push(Watcher { cref: w.cref, blocker: first });
+                        self.watches[(!lk).code() as usize].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
                         continue 'outer;
                     }
                 }
                 // clause is unit or conflicting
-                ws[j] = Watcher { cref: w.cref, blocker: first };
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
                 j += 1;
                 if self.lit_value(first) == -1 {
                     // conflict: copy remaining watchers back and bail
@@ -501,7 +524,8 @@ impl Solver {
             self.clauses[r as usize].deleted = true;
             removed += 1;
         }
-        self.learnt_refs.retain(|&r| !self.clauses[r as usize].deleted);
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
     }
 
     fn is_locked(&self, cref: u32) -> bool {

@@ -1,5 +1,15 @@
 use crate::{Lit, SolveResult, Solver, Var};
-use proptest::prelude::*;
+use pins_prng::SplitMix64;
+
+/// Number of randomized cases to run: small by default so the hermetic
+/// tier-1 run stays fast, larger under `--features heavy-tests`.
+fn cases(light: usize, heavy: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        heavy
+    } else {
+        light
+    }
+}
 
 fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
     (0..n).map(|_| s.new_var()).collect()
@@ -44,6 +54,7 @@ fn simple_implication_chain() {
 }
 
 #[test]
+#[allow(clippy::needless_range_loop)] // j indexes every pigeon's row
 fn pigeonhole_3_into_2_is_unsat() {
     // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j
     let mut s = Solver::new();
@@ -62,6 +73,7 @@ fn pigeonhole_3_into_2_is_unsat() {
 }
 
 #[test]
+#[allow(clippy::needless_range_loop)] // j indexes every pigeon's row
 fn pigeonhole_5_into_4_is_unsat() {
     let n = 5;
     let mut s = Solver::new();
@@ -181,16 +193,28 @@ fn brute_force(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
     false
 }
 
-fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
-    prop::collection::vec((0..num_vars, any::<bool>()), 1..=4)
+fn random_clause(rng: &mut SplitMix64, num_vars: usize) -> Vec<(usize, bool)> {
+    let len = rng.gen_index(4) + 1;
+    (0..len)
+        .map(|_| (rng.gen_index(num_vars), rng.gen_bool(0.5)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn solver_agrees_with_brute_force(
-        clauses in prop::collection::vec(clause_strategy(6), 1..30)
-    ) {
+fn random_clauses(
+    rng: &mut SplitMix64,
+    num_vars: usize,
+    min: usize,
+    max: usize,
+) -> Vec<Vec<(usize, bool)>> {
+    let count = min + rng.gen_index(max - min);
+    (0..count).map(|_| random_clause(rng, num_vars)).collect()
+}
+
+#[test]
+fn solver_agrees_with_brute_force() {
+    let mut rng = SplitMix64::new(0x5A7_0001);
+    for _ in 0..cases(96, 512) {
+        let clauses = random_clauses(&mut rng, 6, 1, 30);
         let mut s = Solver::new();
         let v = vars(&mut s, 6);
         let mut consistent = true;
@@ -200,22 +224,26 @@ proptest! {
         }
         let expected = brute_force(6, &clauses);
         let got = consistent && s.solve() == SolveResult::Sat;
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "disagreement on {clauses:?}");
         if got {
             // model must satisfy every clause
             for clause in &clauses {
                 let ok = clause.iter().any(|&(i, pos)| s.value(v[i]) == Some(pos));
-                prop_assert!(ok, "model does not satisfy {:?}", clause);
+                assert!(ok, "model does not satisfy {clause:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn assumption_solving_matches_augmented_formula(
-        clauses in prop::collection::vec(clause_strategy(5), 1..20),
-        assumps in prop::collection::vec((0..5usize, any::<bool>()), 0..3)
-    ) {
+#[test]
+fn assumption_solving_matches_augmented_formula() {
+    let mut rng = SplitMix64::new(0x5A7_0002);
+    for _ in 0..cases(96, 512) {
         // solving with assumptions == solving with those units added
+        let clauses = random_clauses(&mut rng, 5, 1, 20);
+        let assumps: Vec<(usize, bool)> = (0..rng.gen_index(3))
+            .map(|_| (rng.gen_index(5), rng.gen_bool(0.5)))
+            .collect();
         let build = |extra: bool| {
             let mut s = Solver::new();
             let v = vars(&mut s, 5);
@@ -232,10 +260,13 @@ proptest! {
             (s, v, consistent)
         };
         let (mut s1, v1, c1) = build(false);
-        let a: Vec<Lit> = assumps.iter().map(|&(i, pos)| Lit::new(v1[i], pos)).collect();
+        let a: Vec<Lit> = assumps
+            .iter()
+            .map(|&(i, pos)| Lit::new(v1[i], pos))
+            .collect();
         let r1 = c1 && s1.solve_with_assumptions(&a) == SolveResult::Sat;
         let (mut s2, _, c2) = build(true);
         let r2 = c2 && s2.solve() == SolveResult::Sat;
-        prop_assert_eq!(r1, r2);
+        assert_eq!(r1, r2, "assumption mismatch on {clauses:?} / {assumps:?}");
     }
 }

@@ -26,7 +26,10 @@ pub struct EmatchConfig {
 
 impl Default for EmatchConfig {
     fn default() -> Self {
-        EmatchConfig { max_instances: 2000, max_branches: 64 }
+        EmatchConfig {
+            max_instances: 2000,
+            max_branches: 64,
+        }
     }
 }
 
@@ -59,7 +62,11 @@ pub fn ematch_round(
         repr.insert(root, *terms.iter().min().unwrap());
     }
     let canon = |t: TermId, root_of: &HashMap<TermId, u32>| -> TermId {
-        root_of.get(&t).and_then(|r| repr.get(r)).copied().unwrap_or(t)
+        root_of
+            .get(&t)
+            .and_then(|r| repr.get(r))
+            .copied()
+            .unwrap_or(t)
     };
     // one seed per class, not per term
     let seeds: Vec<TermId> = repr.values().copied().collect();
@@ -168,9 +175,9 @@ fn match_mod_euf(
                 match subst.get(&p) {
                     Some(&existing) => {
                         let same = existing == g
-                            || root_of.get(&existing).is_some_and(|r1| {
-                                root_of.get(&g).is_some_and(|r2| r1 == r2)
-                            });
+                            || root_of
+                                .get(&existing)
+                                .is_some_and(|r1| root_of.get(&g).is_some_and(|r2| r1 == r2));
                         if same {
                             work.push((subst, goals));
                         }
@@ -213,9 +220,9 @@ fn match_mod_euf(
 fn is_ground_pat(arena: &TermArena, p: TermId) -> bool {
     let mut subs = HashSet::new();
     collect_subterms(arena, p, &mut subs);
-    !subs.iter().any(|&s| {
-        matches!(arena.term(s), Term::Var { version, .. } if *version == BOUND_VERSION)
-    })
+    !subs
+        .iter()
+        .any(|&s| matches!(arena.term(s), Term::Var { version, .. } if *version == BOUND_VERSION))
 }
 
 /// If `p`'s head operator matches `cand`'s, returns the child goals.

@@ -41,6 +41,7 @@ pub struct Euf {
     /// per-root list of application nodes with a member as a child
     use_list: Vec<Vec<u32>>,
     /// per-node operator structure (None for leaves)
+    #[allow(clippy::type_complexity)]
     sig_template: Vec<Option<((u8, u32), Vec<u32>)>>,
     sig_table: HashMap<Signature, u32>,
     /// per-root integer constant witness
@@ -95,7 +96,10 @@ impl Euf {
                 let rk = self.find(k);
                 self.use_list[rk as usize].push(n);
             }
-            let sig = Signature { op, children: kids.iter().map(|&k| self.find(k)).collect() };
+            let sig = Signature {
+                op,
+                children: kids.iter().map(|&k| self.find(k)).collect(),
+            };
             if let Some(&other) = self.sig_table.get(&sig) {
                 if self.find(other) != self.find(n) {
                     self.pending.push((n, other, Cause::Congruence(n, other)));
@@ -172,9 +176,11 @@ impl Euf {
         }
         self.uf[loser as usize] = winner;
         // constant witnesses
-        match (self.int_const[winner as usize], self.int_const[loser as usize]) {
-            (None, Some(c)) => self.int_const[winner as usize] = Some(c),
-            _ => {}
+        if let (None, Some(c)) = (
+            self.int_const[winner as usize],
+            self.int_const[loser as usize],
+        ) {
+            self.int_const[winner as usize] = Some(c)
         }
         // recompute signatures of parents of the losing class
         let parents = std::mem::take(&mut self.use_list[loser as usize]);
@@ -288,6 +294,7 @@ impl Euf {
     }
 
     /// Explains why `a` and `b` are congruent: the set of asserted tags.
+    #[allow(clippy::needless_range_loop)]
     fn explain(&mut self, a: u32, b: u32) -> Vec<u32> {
         let mut tags = Vec::new();
         let mut queue = vec![(a, b)];
@@ -308,9 +315,8 @@ impl Euf {
                     break;
                 }
             }
-            let (ci, cj) = common.unwrap_or_else(||
-
-                panic!("explain called on nodes not in the same proof tree"));
+            let (ci, cj) = common
+                .unwrap_or_else(|| panic!("explain called on nodes not in the same proof tree"));
             for k in 0..ci {
                 self.push_cause(px[k].1.expect("edge"), &mut tags, &mut queue);
             }

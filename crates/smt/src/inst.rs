@@ -23,7 +23,10 @@ pub struct InstConfig {
 
 impl Default for InstConfig {
     fn default() -> Self {
-        InstConfig { max_rounds: 3, max_instances: 2000 }
+        InstConfig {
+            max_rounds: 3,
+            max_instances: 2000,
+        }
     }
 }
 
@@ -181,9 +184,9 @@ fn is_ground(arena: &TermArena, t: TermId, bound: &[(TermId, Sort)]) -> bool {
     let mut subs = HashSet::new();
     collect_subterms(arena, t, &mut subs);
     bound.iter().all(|&(v, _)| !subs.contains(&v))
-        && !subs.iter().any(|&s| {
-            matches!(arena.term(s), Term::Var { version, .. } if *version == BOUND_VERSION)
-        })
+        && !subs.iter().any(
+            |&s| matches!(arena.term(s), Term::Var { version, .. } if *version == BOUND_VERSION),
+        )
 }
 
 /// Syntactic one-way matching: extends `subst` so that `pat[subst] == g`.
@@ -344,7 +347,10 @@ mod tests {
             &mut arena,
             &[ax],
             &[root],
-            InstConfig { max_rounds: 10, max_instances: 3 },
+            InstConfig {
+                max_rounds: 10,
+                max_instances: 3,
+            },
         );
         assert!(out.truncated);
         assert!(out.instances.len() <= 3);

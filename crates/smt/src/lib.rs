@@ -22,11 +22,17 @@
 //! `Sat` answers carry a [`Model`] whose `complete` flag records whether a
 //! budget was hit.
 //!
+//! The public entry point is the incremental [`SmtSession`]: persistent
+//! assertions with `push`/`pop` scopes, assumption-based checks, and a
+//! process-wide normalized-query cache (see [`session`] for the design).
+//! The historical free functions (`check_formulas`, `is_unsat`, `is_valid`)
+//! remain as deprecated shims over a session.
+//!
 //! # Example
 //!
 //! ```
 //! use pins_logic::{TermArena, Sort};
-//! use pins_smt::{check_formulas, SmtConfig, SmtResult};
+//! use pins_smt::{SmtConfig, SmtResult, SmtSession};
 //!
 //! let mut arena = TermArena::new();
 //! let x = arena.sym("x");
@@ -35,13 +41,18 @@
 //! let five = arena.mk_int(5);
 //! let lo = arena.mk_lt(two, vx);    // 2 < x
 //! let hi = arena.mk_lt(vx, five);   // x < 5
-//! match check_formulas(&mut arena, &[lo, hi], &[], SmtConfig::default()) {
+//!
+//! let mut session = SmtSession::new(SmtConfig::default());
+//! session.assert(lo);               // persists across checks
+//! match session.check_under(&mut arena, &[hi]) {
 //!     SmtResult::Sat(model) => {
 //!         let v = model.ints[&vx];
 //!         assert!(v > 2 && v < 5);
 //!     }
 //!     _ => panic!("expected sat"),
 //! }
+//! // the session still holds `2 < x`; the assumption did not leak
+//! assert_eq!(session.assertions(), &[lo]);
 //! ```
 
 mod ematch;
@@ -51,6 +62,7 @@ mod linear;
 mod model;
 mod prep;
 mod rational;
+pub mod session;
 mod simplex;
 mod solver;
 
@@ -61,8 +73,11 @@ pub use linear::{linearize, LinExpr};
 pub use model::Model;
 pub use prep::{preprocess, Prepped};
 pub use rational::Rat;
+pub use session::{global_cache, QueryCache, SessionStats, SmtSession, Verdict};
 pub use simplex::Lia;
-pub use solver::{check_formulas, is_unsat, is_valid, Smt, SmtConfig, SmtResult, SmtStats};
+#[allow(deprecated)]
+pub use solver::{check_formulas, is_unsat, is_valid};
+pub use solver::{Smt, SmtConfig, SmtResult, SmtStats};
 
 #[cfg(test)]
 mod tests;

@@ -32,9 +32,15 @@ impl Model {
         }
         match arena.term(t) {
             Term::IntConst(v) => *v,
-            Term::Add(a, b) => self.eval_int(arena, *a).wrapping_add(self.eval_int(arena, *b)),
-            Term::Sub(a, b) => self.eval_int(arena, *a).wrapping_sub(self.eval_int(arena, *b)),
-            Term::Mul(a, b) => self.eval_int(arena, *a).wrapping_mul(self.eval_int(arena, *b)),
+            Term::Add(a, b) => self
+                .eval_int(arena, *a)
+                .wrapping_add(self.eval_int(arena, *b)),
+            Term::Sub(a, b) => self
+                .eval_int(arena, *a)
+                .wrapping_sub(self.eval_int(arena, *b)),
+            Term::Mul(a, b) => self
+                .eval_int(arena, *a)
+                .wrapping_mul(self.eval_int(arena, *b)),
             Term::Sel(a, i) => {
                 let idx = self.eval_int(arena, *i);
                 self.array_lookup(arena, *a, idx)
@@ -56,9 +62,7 @@ impl Model {
             _ => self
                 .arrays
                 .get(&a)
-                .and_then(|entries| {
-                    entries.iter().find(|&&(i, _)| i == idx).map(|&(_, v)| v)
-                })
+                .and_then(|entries| entries.iter().find(|&&(i, _)| i == idx).map(|&(_, v)| v))
                 .unwrap_or(0),
         }
     }

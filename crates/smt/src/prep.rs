@@ -139,19 +139,31 @@ fn elim_rec(
         }
         Term::IntConst(_) | Term::BoolConst(_) | Term::Var { .. } | Term::Hole(..) => t,
         Term::Add(a, b) => {
-            let (a, b) = (elim_rec(arena, a, defs, memo), elim_rec(arena, b, defs, memo));
+            let (a, b) = (
+                elim_rec(arena, a, defs, memo),
+                elim_rec(arena, b, defs, memo),
+            );
             arena.mk_add(a, b)
         }
         Term::Sub(a, b) => {
-            let (a, b) = (elim_rec(arena, a, defs, memo), elim_rec(arena, b, defs, memo));
+            let (a, b) = (
+                elim_rec(arena, a, defs, memo),
+                elim_rec(arena, b, defs, memo),
+            );
             arena.mk_sub(a, b)
         }
         Term::Mul(a, b) => {
-            let (a, b) = (elim_rec(arena, a, defs, memo), elim_rec(arena, b, defs, memo));
+            let (a, b) = (
+                elim_rec(arena, a, defs, memo),
+                elim_rec(arena, b, defs, memo),
+            );
             arena.mk_mul(a, b)
         }
         Term::Sel(a, b) => {
-            let (a, b) = (elim_rec(arena, a, defs, memo), elim_rec(arena, b, defs, memo));
+            let (a, b) = (
+                elim_rec(arena, a, defs, memo),
+                elim_rec(arena, b, defs, memo),
+            );
             arena.mk_sel(a, b)
         }
         Term::Upd(a, b, c) => {
@@ -168,15 +180,24 @@ fn elim_rec(
             arena.mk_app(f, args)
         }
         Term::Eq(a, b) => {
-            let (a, b) = (elim_rec(arena, a, defs, memo), elim_rec(arena, b, defs, memo));
+            let (a, b) = (
+                elim_rec(arena, a, defs, memo),
+                elim_rec(arena, b, defs, memo),
+            );
             arena.mk_eq(a, b)
         }
         Term::Le(a, b) => {
-            let (a, b) = (elim_rec(arena, a, defs, memo), elim_rec(arena, b, defs, memo));
+            let (a, b) = (
+                elim_rec(arena, a, defs, memo),
+                elim_rec(arena, b, defs, memo),
+            );
             arena.mk_le(a, b)
         }
         Term::Lt(a, b) => {
-            let (a, b) = (elim_rec(arena, a, defs, memo), elim_rec(arena, b, defs, memo));
+            let (a, b) = (
+                elim_rec(arena, a, defs, memo),
+                elim_rec(arena, b, defs, memo),
+            );
             arena.mk_lt(a, b)
         }
         Term::Not(a) => {

@@ -42,7 +42,10 @@ impl Rat {
         let g = gcd(num, den);
         let (num, den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
         if den < 0 {
-            Rat { num: -num, den: -den }
+            Rat {
+                num: -num,
+                den: -den,
+            }
         } else {
             Rat { num, den }
         }
@@ -50,7 +53,10 @@ impl Rat {
 
     /// The integer `v` as a rational.
     pub fn from_int(v: i64) -> Rat {
-        Rat { num: v as i128, den: 1 }
+        Rat {
+            num: v as i128,
+            den: 1,
+        }
     }
 
     /// Numerator (after normalisation; sign lives here).
@@ -120,7 +126,10 @@ impl Add for Rat {
             .checked_mul(rhs.den)
             .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
             .expect("rational overflow in add");
-        let den = self.den.checked_mul(rhs.den).expect("rational overflow in add");
+        let den = self
+            .den
+            .checked_mul(rhs.den)
+            .expect("rational overflow in add");
         Rat::new(num, den)
     }
 }
@@ -135,7 +144,10 @@ impl Sub for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -157,6 +169,7 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a * b^-1
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }
@@ -170,8 +183,14 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
-        let lhs = self.num.checked_mul(other.den).expect("rational overflow in cmp");
-        let rhs = other.num.checked_mul(self.den).expect("rational overflow in cmp");
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational overflow in cmp");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational overflow in cmp");
         lhs.cmp(&rhs)
     }
 }

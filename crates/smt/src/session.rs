@@ -1,0 +1,569 @@
+//! A persistent, incremental solver session with a process-wide query cache.
+//!
+//! PINS's inner loop (§2.3 of the paper) issues thousands of SMT validity
+//! queries per synthesis run, and the vast majority are repeats: the same
+//! path condition re-checked under a slightly different candidate, the same
+//! infeasibility probe issued by `pickOne` across iterations, the same axiom
+//! set asserted before every query. The historical entry points
+//! ([`check_formulas`](crate::check_formulas), [`is_unsat`](crate::is_unsat),
+//! [`is_valid`](crate::is_valid)) rebuilt everything from scratch each call.
+//!
+//! [`SmtSession`] replaces them. A session holds
+//!
+//! * a persistent **assertion set** with [`push`](SmtSession::push) /
+//!   [`pop`](SmtSession::pop) scopes and a separate **axiom set** (quantified
+//!   library facts that get trigger-instantiated rather than asserted),
+//! * **assumption-based checks** ([`check_under`](SmtSession::check_under),
+//!   [`verdict_under`](SmtSession::verdict_under)): extra conjuncts for one
+//!   query only, without disturbing the persistent scope, and
+//! * a shared, process-wide **normalized-query cache** mapping a structural
+//!   fingerprint of (config, axioms, assertions ∪ assumptions) to the
+//!   verdict, with hit/miss counters.
+//!
+//! # Normalization and soundness
+//!
+//! Cache keys are 128-bit structural fingerprints over the term DAG that
+//! hash symbol *names* (not arena-local ids), SSA versions, and sorts, with
+//! the assertion multiset sorted and deduplicated. Two queries that denote
+//! the same conjunction therefore share a key even when issued from
+//! different [`TermArena`]s or in a different assertion order. Only the
+//! *verdict* is cached — never a model, since model term-ids are only
+//! meaningful in the arena that produced them. When a caller needs a model
+//! for a formula whose verdict is already cached as satisfiable, the session
+//! re-solves ([`SessionStats::sat_resolves`]); verdict-only callers
+//! (feasibility probes, validity checks) short-circuit entirely.
+//!
+//! `Unsat` verdicts from the underlying solver are always sound, and
+//! `Sat`/`Unknown` ones record their completeness, so replaying a cached
+//! verdict is exactly as trustworthy as re-running the solver with the same
+//! (fingerprinted) configuration.
+//!
+//! # Worker sessions
+//!
+//! [`fork`](SmtSession::fork) clones a session's scope and fingerprint memo
+//! while *sharing* the query cache, which is how the parallel constraint
+//! verifier in `pins-core` gives each worker thread its own session. A fork
+//! must only be used with the arena it was forked against or a clone of it:
+//! [`TermArena`] is append-only, so term ids that existed at fork time stay
+//! valid in clones, which keeps the memoized fingerprints correct.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pins_logic::{Sort, SymbolTable, Term, TermArena, TermId};
+
+use crate::solver::{Smt, SmtConfig, SmtResult};
+
+// ---------------------------------------------------------------------------
+// fingerprints
+// ---------------------------------------------------------------------------
+
+/// splitmix64's finalizer: a bijective 64-bit mix.
+fn fmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines two 128-bit values non-commutatively.
+fn mix(acc: u128, v: u128) -> u128 {
+    let lo = fmix((acc as u64).wrapping_add(fmix(v as u64)));
+    let hi = fmix(
+        ((acc >> 64) as u64)
+            .rotate_left(17)
+            .wrapping_add(fmix((v >> 64) as u64))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15),
+    );
+    ((hi as u128) << 64) | lo as u128
+}
+
+fn mix_u64(acc: u128, v: u64) -> u128 {
+    mix(acc, v as u128)
+}
+
+fn mix_str(acc: u128, s: &str) -> u128 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the bytes
+    for &b in s.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix(acc, ((s.len() as u128) << 64) | h as u128)
+}
+
+fn mix_sort(acc: u128, sort: &Sort, syms: &SymbolTable) -> u128 {
+    match sort {
+        Sort::Bool => mix_u64(acc, 0x0b01),
+        Sort::Int => mix_u64(acc, 0x1217),
+        Sort::IntArray => mix_u64(acc, 0xa55a),
+        Sort::Unint(s) => mix_str(mix_u64(acc, 0x0111), syms.name(*s)),
+    }
+}
+
+/// Arbitrary distinct seed (pi's hex digits), so an empty combination is not 0.
+const FP_SEED: u128 = 0x243F_6A88_85A3_08D3_1319_8A2E_0370_7344;
+
+fn node_tag(tag: u64) -> u128 {
+    mix_u64(FP_SEED, tag)
+}
+
+/// Fingerprint of the node at `id`, assuming every child is already in `memo`.
+fn fp_node(arena: &TermArena, id: TermId, memo: &HashMap<TermId, u128>) -> u128 {
+    let syms = arena.symbols();
+    match arena.term(id) {
+        Term::IntConst(v) => mix_u64(node_tag(1), *v as u64),
+        Term::BoolConst(b) => mix_u64(node_tag(2), *b as u64),
+        Term::Var { sym, version, sort } => {
+            let h = mix_str(node_tag(3), syms.name(*sym));
+            let h = mix_u64(h, *version as u64);
+            mix_sort(h, sort, syms)
+        }
+        Term::Add(a, b) => mix(mix(node_tag(4), memo[a]), memo[b]),
+        Term::Sub(a, b) => mix(mix(node_tag(5), memo[a]), memo[b]),
+        Term::Mul(a, b) => mix(mix(node_tag(6), memo[a]), memo[b]),
+        Term::Sel(a, b) => mix(mix(node_tag(7), memo[a]), memo[b]),
+        Term::Upd(a, b, c) => mix(mix(mix(node_tag(8), memo[a]), memo[b]), memo[c]),
+        Term::App(f, args) => {
+            let mut h = mix_str(node_tag(9), syms.name(*f));
+            for a in args {
+                h = mix(h, memo[a]);
+            }
+            mix_u64(h, args.len() as u64)
+        }
+        Term::Eq(a, b) => mix(mix(node_tag(10), memo[a]), memo[b]),
+        Term::Le(a, b) => mix(mix(node_tag(11), memo[a]), memo[b]),
+        Term::Lt(a, b) => mix(mix(node_tag(12), memo[a]), memo[b]),
+        Term::Not(a) => mix(node_tag(13), memo[a]),
+        Term::And(kids) => {
+            let mut h = node_tag(14);
+            for k in kids {
+                h = mix(h, memo[k]);
+            }
+            mix_u64(h, kids.len() as u64)
+        }
+        Term::Or(kids) => {
+            let mut h = node_tag(15);
+            for k in kids {
+                h = mix(h, memo[k]);
+            }
+            mix_u64(h, kids.len() as u64)
+        }
+        Term::Ite(c, t, e) => mix(mix(mix(node_tag(16), memo[c]), memo[t]), memo[e]),
+        Term::Forall(vars, body) => {
+            let mut h = node_tag(17);
+            for (sym, sort) in vars {
+                h = mix_sort(mix_str(h, syms.name(*sym)), sort, syms);
+            }
+            mix(h, memo[body])
+        }
+        Term::Hole(occ, sort) => mix_sort(mix_u64(node_tag(18), *occ as u64), sort, syms),
+    }
+}
+
+/// Structural fingerprint of `root`, memoized over the DAG. Iterative
+/// post-order so deeply nested path conditions cannot overflow the stack.
+fn fingerprint(arena: &TermArena, root: TermId, memo: &mut HashMap<TermId, u128>) -> u128 {
+    if let Some(&h) = memo.get(&root) {
+        return h;
+    }
+    let mut stack = vec![root];
+    while let Some(&id) = stack.last() {
+        if memo.contains_key(&id) {
+            stack.pop();
+            continue;
+        }
+        let mut ready = true;
+        for k in arena.children(id) {
+            if !memo.contains_key(&k) {
+                stack.push(k);
+                ready = false;
+            }
+        }
+        if ready {
+            let h = fp_node(arena, id, memo);
+            memo.insert(id, h);
+            stack.pop();
+        }
+    }
+    memo[&root]
+}
+
+// ---------------------------------------------------------------------------
+// verdicts and the cache
+// ---------------------------------------------------------------------------
+
+/// The model-free outcome of a query: what the cache stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The conjunction is provably unsatisfiable (always sound).
+    Unsat,
+    /// A satisfying assignment was found; `complete` records whether the
+    /// solver ran within all budgets (see [`crate::Model::complete`]).
+    Sat {
+        /// Whether the answer is exact rather than budget-limited.
+        complete: bool,
+    },
+    /// The solver gave up within its budgets.
+    Unknown,
+}
+
+impl Verdict {
+    /// The verdict of a full solver result, dropping the model.
+    pub fn of(result: &SmtResult) -> Verdict {
+        match result {
+            SmtResult::Unsat => Verdict::Unsat,
+            SmtResult::Sat(m) => Verdict::Sat {
+                complete: m.complete,
+            },
+            SmtResult::Unknown => Verdict::Unknown,
+        }
+    }
+
+    /// Whether the verdict is `Unsat`.
+    pub fn is_unsat(self) -> bool {
+        matches!(self, Verdict::Unsat)
+    }
+
+    /// Whether the verdict is `Sat` (complete or not).
+    pub fn is_sat(self) -> bool {
+        matches!(self, Verdict::Sat { .. })
+    }
+}
+
+/// A process-wide map from normalized query fingerprints to verdicts,
+/// shared by every session that opts in (all of them by default).
+///
+/// The map is guarded by a [`Mutex`] — queries take microseconds to
+/// milliseconds, so contention on the lock is negligible next to solving —
+/// and the counters are lock-free atomics so hot paths can report stats
+/// without taking the lock.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    map: Mutex<HashMap<u128, Verdict>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// An empty cache.
+    pub fn new() -> QueryCache {
+        QueryCache::default()
+    }
+
+    /// Looks up a fingerprint, bumping the hit or miss counter.
+    pub fn lookup(&self, key: u128) -> Option<Verdict> {
+        let got = self.map.lock().unwrap().get(&key).copied();
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Records a verdict for a fingerprint.
+    pub fn insert(&self, key: u128, verdict: Verdict) {
+        self.map.lock().unwrap().insert(key, verdict);
+    }
+
+    /// Cache hits since creation (or the last [`reset_counters`](Self::reset_counters)).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since creation (or the last [`reset_counters`](Self::reset_counters)).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cached queries.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+
+    /// Zeroes the hit/miss counters (entries are kept). Benchmarks use this
+    /// to attribute traffic to a single run of the process-wide cache.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide cache used by [`SmtSession::new`] and the deprecated
+/// free-function shims.
+pub fn global_cache() -> &'static Arc<QueryCache> {
+    static CACHE: OnceLock<Arc<QueryCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Arc::new(QueryCache::new()))
+}
+
+// ---------------------------------------------------------------------------
+// the session
+// ---------------------------------------------------------------------------
+
+/// Per-session query counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Total queries issued through this session.
+    pub queries: u64,
+    /// Queries answered from the shared cache without solving.
+    pub cache_hits: u64,
+    /// Queries that required an actual solve.
+    pub cache_misses: u64,
+    /// Model-producing checks whose verdict was cached as satisfiable and
+    /// therefore had to re-solve to recover a model for this arena.
+    pub sat_resolves: u64,
+}
+
+impl SessionStats {
+    /// Folds another session's counters into this one (used when joining
+    /// worker sessions back into the parent).
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.sat_resolves += other.sat_resolves;
+    }
+}
+
+/// A persistent solver session: scoped assertions, assumption-based checks,
+/// and a shared normalized-query cache. See the [module docs](self).
+#[derive(Debug)]
+pub struct SmtSession {
+    config: SmtConfig,
+    config_fp: u128,
+    /// Persistent ground assertions, in assertion order.
+    assertions: Vec<TermId>,
+    /// Quantified library axioms, instantiated rather than asserted.
+    axioms: Vec<TermId>,
+    /// Scope marks: (assertions.len(), axioms.len()) at each `push`.
+    frames: Vec<(usize, usize)>,
+    /// Memoized term fingerprints, valid for the arena this session is used
+    /// with (term ids are append-only, so the memo survives arena growth).
+    fp_memo: HashMap<TermId, u128>,
+    cache: Arc<QueryCache>,
+    /// Counters for this session's traffic.
+    pub stats: SessionStats,
+}
+
+impl SmtSession {
+    /// A session over the process-wide [`global_cache`].
+    pub fn new(config: SmtConfig) -> SmtSession {
+        SmtSession::with_cache(config, Arc::clone(global_cache()))
+    }
+
+    /// A session over an explicit cache — tests use a private cache for
+    /// isolation; workers share their parent's.
+    pub fn with_cache(config: SmtConfig, cache: Arc<QueryCache>) -> SmtSession {
+        // the configuration changes what a verdict means (budgets can turn
+        // Unsat into Unknown), so it is part of every cache key; Debug
+        // formatting is a cheap stable encoding of the config's contents
+        let config_fp = mix_str(mix_u64(FP_SEED, 0xc0f1), &format!("{config:?}"));
+        SmtSession {
+            config,
+            config_fp,
+            assertions: Vec::new(),
+            axioms: Vec::new(),
+            frames: Vec::new(),
+            fp_memo: HashMap::new(),
+            cache,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The solver configuration used for every check.
+    pub fn config(&self) -> SmtConfig {
+        self.config
+    }
+
+    /// The cache this session reads and writes.
+    pub fn cache(&self) -> &Arc<QueryCache> {
+        &self.cache
+    }
+
+    /// Adds a persistent assertion to the current scope.
+    pub fn assert(&mut self, t: TermId) {
+        self.assertions.push(t);
+    }
+
+    /// Adds a quantified axiom to the current scope. Axioms are handed to
+    /// the solver for trigger-based instantiation ahead of the assertions.
+    pub fn assert_axiom(&mut self, t: TermId) {
+        self.axioms.push(t);
+    }
+
+    /// The current persistent assertions, oldest first.
+    pub fn assertions(&self) -> &[TermId] {
+        &self.assertions
+    }
+
+    /// The current axioms, oldest first.
+    pub fn axioms(&self) -> &[TermId] {
+        &self.axioms
+    }
+
+    /// Opens a new assertion scope.
+    pub fn push(&mut self) {
+        self.frames.push((self.assertions.len(), self.axioms.len()));
+    }
+
+    /// Closes the innermost scope, dropping every assertion and axiom added
+    /// since the matching [`push`](Self::push).
+    ///
+    /// # Panics
+    ///
+    /// Panics when there is no open scope.
+    pub fn pop(&mut self) {
+        let (na, nx) = self
+            .frames
+            .pop()
+            .expect("SmtSession::pop without matching push");
+        self.assertions.truncate(na);
+        self.axioms.truncate(nx);
+    }
+
+    /// How many scopes are open.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// A worker session: same scope, memo, and configuration, sharing the
+    /// same cache, with fresh per-session counters. Valid for use with the
+    /// arena this session was used with or any clone of it (term ids are
+    /// stable under cloning because the arena is append-only).
+    pub fn fork(&self) -> SmtSession {
+        SmtSession {
+            config: self.config,
+            config_fp: self.config_fp,
+            assertions: self.assertions.clone(),
+            axioms: self.axioms.clone(),
+            frames: self.frames.clone(),
+            fp_memo: self.fp_memo.clone(),
+            cache: Arc::clone(&self.cache),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The normalized cache key of the current scope plus `assumptions`.
+    fn query_key(&mut self, arena: &TermArena, assumptions: &[TermId]) -> u128 {
+        let mut fps: Vec<u128> = Vec::with_capacity(self.assertions.len() + assumptions.len());
+        for i in 0..self.assertions.len() {
+            let t = self.assertions[i];
+            fps.push(fingerprint(arena, t, &mut self.fp_memo));
+        }
+        for &t in assumptions {
+            fps.push(fingerprint(arena, t, &mut self.fp_memo));
+        }
+        // conjunction: order and multiplicity are irrelevant
+        fps.sort_unstable();
+        fps.dedup();
+        let mut ax: Vec<u128> = Vec::with_capacity(self.axioms.len());
+        for i in 0..self.axioms.len() {
+            let t = self.axioms[i];
+            ax.push(fingerprint(arena, t, &mut self.fp_memo));
+        }
+        ax.sort_unstable();
+        ax.dedup();
+        let mut key = self.config_fp;
+        key = mix_u64(key, ax.len() as u64);
+        for h in ax {
+            key = mix(key, h);
+        }
+        key = mix_u64(key, fps.len() as u64);
+        for h in fps {
+            key = mix(key, h);
+        }
+        key
+    }
+
+    /// Runs the underlying solver on the current scope plus `assumptions`.
+    fn solve(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> SmtResult {
+        let mut smt = Smt::new(self.config);
+        for i in 0..self.axioms.len() {
+            let ax = self.axioms[i];
+            smt.assert_term(arena, ax);
+        }
+        for i in 0..self.assertions.len() {
+            let t = self.assertions[i];
+            smt.assert_term(arena, t);
+        }
+        for &t in assumptions {
+            smt.assert_term(arena, t);
+        }
+        smt.check(arena)
+    }
+
+    /// Checks the current scope, producing a model on `Sat`.
+    pub fn check(&mut self, arena: &mut TermArena) -> SmtResult {
+        self.check_under(arena, &[])
+    }
+
+    /// Checks the current scope with extra `assumptions` for this query
+    /// only, producing a model on `Sat`.
+    ///
+    /// `Unsat`/`Unknown` verdicts short-circuit through the cache; a cached
+    /// satisfiable verdict still re-solves, because models cannot be shared
+    /// across arenas (counted in [`SessionStats::sat_resolves`]).
+    pub fn check_under(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> SmtResult {
+        self.stats.queries += 1;
+        let key = self.query_key(arena, assumptions);
+        match self.cache.lookup(key) {
+            Some(Verdict::Unsat) => {
+                self.stats.cache_hits += 1;
+                return SmtResult::Unsat;
+            }
+            Some(Verdict::Unknown) => {
+                self.stats.cache_hits += 1;
+                return SmtResult::Unknown;
+            }
+            Some(Verdict::Sat { .. }) => {
+                self.stats.cache_hits += 1;
+                self.stats.sat_resolves += 1;
+            }
+            None => self.stats.cache_misses += 1,
+        }
+        let result = self.solve(arena, assumptions);
+        self.cache.insert(key, Verdict::of(&result));
+        result
+    }
+
+    /// The verdict of the current scope plus `assumptions`, without a model.
+    /// Any cached verdict short-circuits the solver entirely.
+    pub fn verdict_under(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> Verdict {
+        self.stats.queries += 1;
+        let key = self.query_key(arena, assumptions);
+        if let Some(v) = self.cache.lookup(key) {
+            self.stats.cache_hits += 1;
+            return v;
+        }
+        self.stats.cache_misses += 1;
+        let result = self.solve(arena, assumptions);
+        let v = Verdict::of(&result);
+        self.cache.insert(key, v);
+        v
+    }
+
+    /// Whether the current scope plus `assumptions` is provably
+    /// unsatisfiable.
+    pub fn is_unsat_under(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> bool {
+        self.verdict_under(arena, assumptions).is_unsat()
+    }
+
+    /// Whether `hyps |= goal` modulo the session's assertions and axioms,
+    /// proven by refuting `hyps ∧ ¬goal`. The successor of the deprecated
+    /// free function [`is_valid`](crate::is_valid).
+    pub fn entails(&mut self, arena: &mut TermArena, hyps: &[TermId], goal: TermId) -> bool {
+        let neg = arena.mk_not(goal);
+        let mut assumptions = Vec::with_capacity(hyps.len() + 1);
+        assumptions.extend_from_slice(hyps);
+        assumptions.push(neg);
+        self.is_unsat_under(arena, &assumptions)
+    }
+}

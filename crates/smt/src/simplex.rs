@@ -69,7 +69,10 @@ pub struct Lia {
 impl Lia {
     /// Creates an empty solver.
     pub fn new() -> Self {
-        Lia { next_marker: MARKER_BASE, ..Default::default() }
+        Lia {
+            next_marker: MARKER_BASE,
+            ..Default::default()
+        }
     }
 
     /// Allocates a fresh integer variable.
@@ -335,7 +338,10 @@ impl Lia {
             }
         }
         new_coeffs.retain(|_, c| !c.is_zero());
-        self.rows[r] = Row { basic: xj, coeffs: new_coeffs };
+        self.rows[r] = Row {
+            basic: xj,
+            coeffs: new_coeffs,
+        };
         self.row_of[xi] = None;
         self.row_of[xj] = Some(r);
         // substitute xj in all other rows
@@ -381,7 +387,7 @@ impl Lia {
         match left_result {
             Ok(()) => {
                 *self = left;
-                return Ok(());
+                Ok(())
             }
             Err(e1) => {
                 if !e1.contains(&marker) {
@@ -400,11 +406,8 @@ impl Lia {
                         if !e2.contains(&marker) {
                             return Err(e2);
                         }
-                        let mut expl: Vec<Reason> = e1
-                            .into_iter()
-                            .chain(e2)
-                            .filter(|&t| t != marker)
-                            .collect();
+                        let mut expl: Vec<Reason> =
+                            e1.into_iter().chain(e2).filter(|&t| t != marker).collect();
                         expl.sort_unstable();
                         expl.dedup();
                         Err(expl)
@@ -486,7 +489,10 @@ mod tests {
         lia.assert_upper(s, r(1), 1).unwrap();
         let e = lia.check_int(20).unwrap_err();
         assert!(!e.is_empty());
-        assert!(e.iter().all(|&t| t < MARKER_BASE), "markers must not leak: {e:?}");
+        assert!(
+            e.iter().all(|&t| t < MARKER_BASE),
+            "markers must not leak: {e:?}"
+        );
     }
 
     #[test]
@@ -503,7 +509,10 @@ mod tests {
             lia.assert_upper(v, r(5), hi_r).unwrap();
         }
         assert!(lia.check_int(30).is_ok());
-        let (vx, vy) = (lia.value(x).to_i64().unwrap(), lia.value(y).to_i64().unwrap());
+        let (vx, vy) = (
+            lia.value(x).to_i64().unwrap(),
+            lia.value(y).to_i64().unwrap(),
+        );
         assert_eq!(2 * vx + 3 * vy, 7);
     }
 

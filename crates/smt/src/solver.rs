@@ -34,7 +34,11 @@ pub struct SmtConfig {
 
 impl Default for SmtConfig {
     fn default() -> Self {
-        SmtConfig { inst: InstConfig::default(), max_theory_rounds: 5000, bb_depth: 40 }
+        SmtConfig {
+            inst: InstConfig::default(),
+            max_theory_rounds: 5000,
+            bb_depth: 40,
+        }
     }
 }
 
@@ -177,7 +181,9 @@ impl Smt {
                     !tl
                 }
             }
-            Term::Var { sort: Sort::Bool, .. } => self.atom_lit(t),
+            Term::Var {
+                sort: Sort::Bool, ..
+            } => self.atom_lit(t),
             Term::Eq(a, b) if arena.sort(a).is_bool() => {
                 let la = self.encode(arena, a);
                 let lb = self.encode(arena, b);
@@ -450,10 +456,10 @@ impl Smt {
         };
 
         let assert_le = |lia: &mut Lia,
-                             lvar: &mut HashMap<TermId, usize>,
-                             expr: &LinExpr,
-                             rhs: i64,
-                             reason: u32|
+                         lvar: &mut HashMap<TermId, usize>,
+                         expr: &LinExpr,
+                         rhs: i64,
+                         reason: u32|
          -> Result<(), Vec<u32>> {
             // expr <= rhs  (expr's own constant is folded into the bound)
             if expr.coeffs.is_empty() {
@@ -605,7 +611,10 @@ impl Smt {
         }
 
         // ---- build the model -------------------------------------------------
-        let mut model = Model { complete: int_exact, ..Default::default() };
+        let mut model = Model {
+            complete: int_exact,
+            ..Default::default()
+        };
         for (&t, &v) in &lvar {
             if let Some(val) = lia.value(v).to_i64() {
                 model.ints.insert(t, val);
@@ -647,12 +656,7 @@ impl Smt {
 }
 
 /// Evaluates an integer term's linear form under the LIA assignment.
-fn eval_lin(
-    arena: &TermArena,
-    t: TermId,
-    lvar: &HashMap<TermId, usize>,
-    lia: &Lia,
-) -> Option<i64> {
+fn eval_lin(arena: &TermArena, t: TermId, lvar: &HashMap<TermId, usize>, lia: &Lia) -> Option<i64> {
     let e = linearize(arena, t);
     let mut acc = Rat::from_int(e.constant);
     for (&term, &c) in &e.coeffs {
@@ -664,34 +668,53 @@ fn eval_lin(
 
 /// Checks the conjunction of `assertions` (with `axioms` available for
 /// instantiation) for satisfiability.
+///
+/// Deprecated shim: builds a throwaway [`SmtSession`](crate::SmtSession)
+/// over the process-wide query cache, so repeated calls still benefit from
+/// verdict caching, but the per-session fingerprint memo is rebuilt every
+/// call. Long-lived callers should hold a session instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "create an `SmtSession` and use `check`/`check_under`"
+)]
 pub fn check_formulas(
     arena: &mut TermArena,
     assertions: &[TermId],
     axioms: &[TermId],
     config: SmtConfig,
 ) -> SmtResult {
-    let mut smt = Smt::new(config);
+    let mut session = crate::SmtSession::new(config);
     for &a in axioms {
-        smt.assert_term(arena, a);
+        session.assert_axiom(a);
     }
-    for &t in assertions {
-        smt.assert_term(arena, t);
-    }
-    smt.check(arena)
+    session.check_under(arena, assertions)
 }
 
 /// Whether the conjunction is provably unsatisfiable.
+///
+/// Deprecated shim over [`SmtSession::is_unsat_under`](crate::SmtSession::is_unsat_under).
+#[deprecated(
+    since = "0.2.0",
+    note = "create an `SmtSession` and use `is_unsat_under`"
+)]
 pub fn is_unsat(
     arena: &mut TermArena,
     assertions: &[TermId],
     axioms: &[TermId],
     config: SmtConfig,
 ) -> bool {
-    check_formulas(arena, assertions, axioms, config).is_unsat()
+    let mut session = crate::SmtSession::new(config);
+    for &a in axioms {
+        session.assert_axiom(a);
+    }
+    session.is_unsat_under(arena, assertions)
 }
 
 /// Whether `hyps |= goal` (modulo `axioms`), proven by refuting
 /// `hyps and not goal`.
+///
+/// Deprecated shim over [`SmtSession::entails`](crate::SmtSession::entails).
+#[deprecated(since = "0.2.0", note = "create an `SmtSession` and use `entails`")]
 pub fn is_valid(
     arena: &mut TermArena,
     hyps: &[TermId],
@@ -699,8 +722,9 @@ pub fn is_valid(
     axioms: &[TermId],
     config: SmtConfig,
 ) -> bool {
-    let neg = arena.mk_not(goal);
-    let mut assertions: Vec<TermId> = hyps.to_vec();
-    assertions.push(neg);
-    is_unsat(arena, &assertions, axioms, config)
+    let mut session = crate::SmtSession::new(config);
+    for &a in axioms {
+        session.assert_axiom(a);
+    }
+    session.entails(arena, hyps, goal)
 }

@@ -1,7 +1,20 @@
+// The free-function entry points are deprecated in favour of `SmtSession`,
+// but the shims must keep working until downstream callers finish migrating,
+// so this suite intentionally keeps exercising them.
+#![allow(deprecated)]
+
 use pins_logic::{Sort, TermArena, TermId};
-use proptest::prelude::*;
+use pins_prng::SplitMix64;
 
 use crate::{check_formulas, is_valid, SmtConfig, SmtResult};
+
+fn cases(light: usize, heavy: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        heavy
+    } else {
+        light
+    }
+}
 
 fn cfg() -> SmtConfig {
     SmtConfig::default()
@@ -556,19 +569,30 @@ enum F {
     Or(Box<F>, Box<F>),
 }
 
-fn f_strategy() -> impl Strategy<Value = F> {
-    let leaf = prop_oneof![
-        (0..3usize, -4i64..=4).prop_map(|(v, c)| F::Le(v, c)),
-        (0..3usize, -4i64..=4).prop_map(|(v, c)| F::Ge(v, c)),
-        (0..3usize, 0..3usize, -4i64..=4).prop_map(|(a, b, c)| F::EqSum(a, b, c)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| F::Not(Box::new(f))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
-        ]
-    })
+fn random_f(rng: &mut SplitMix64, depth: usize) -> F {
+    if depth == 0 || rng.gen_bool(0.4) {
+        match rng.gen_index(3) {
+            0 => F::Le(rng.gen_index(3), rng.gen_range_inclusive(-4..=4)),
+            1 => F::Ge(rng.gen_index(3), rng.gen_range_inclusive(-4..=4)),
+            _ => F::EqSum(
+                rng.gen_index(3),
+                rng.gen_index(3),
+                rng.gen_range_inclusive(-4..=4),
+            ),
+        }
+    } else {
+        match rng.gen_index(3) {
+            0 => F::Not(Box::new(random_f(rng, depth - 1))),
+            1 => F::And(
+                Box::new(random_f(rng, depth - 1)),
+                Box::new(random_f(rng, depth - 1)),
+            ),
+            _ => F::Or(
+                Box::new(random_f(rng, depth - 1)),
+                Box::new(random_f(rng, depth - 1)),
+            ),
+        }
+    }
 }
 
 fn f_to_term(arena: &mut TermArena, f: &F, vars: &[TermId]) -> TermId {
@@ -612,12 +636,15 @@ fn f_eval(f: &F, env: &[i64]) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-    #[test]
-    fn smt_agrees_with_bounded_enumeration(f in f_strategy()) {
+#[test]
+fn smt_agrees_with_bounded_enumeration() {
+    let mut rng = SplitMix64::new(0x5317_0001);
+    for _ in 0..cases(96, 512) {
+        let f = random_f(&mut rng, 3);
         let mut arena = TermArena::new();
-        let vars: Vec<TermId> = (0..3).map(|i| int_var(&mut arena, &format!("v{i}"))).collect();
+        let vars: Vec<TermId> = (0..3)
+            .map(|i| int_var(&mut arena, &format!("v{i}")))
+            .collect();
         // bound vars to the enumeration box so SAT/UNSAT agree with search
         let mut hyps = Vec::new();
         for &v in &vars {
@@ -643,12 +670,18 @@ proptest! {
         let got = check_formulas(&mut arena, &hyps, &[], cfg());
         match got {
             SmtResult::Sat(m) => {
-                prop_assert!(expected, "solver said sat, enumeration said unsat");
-                let env: Vec<i64> = vars.iter().map(|v| m.ints.get(v).copied().unwrap_or(0)).collect();
-                prop_assert!(f_eval(&f, &env), "model does not satisfy the formula: {env:?}");
+                assert!(expected, "solver said sat, enumeration said unsat: {f:?}");
+                let env: Vec<i64> = vars
+                    .iter()
+                    .map(|v| m.ints.get(v).copied().unwrap_or(0))
+                    .collect();
+                assert!(
+                    f_eval(&f, &env),
+                    "model does not satisfy the formula: {env:?}"
+                );
             }
-            SmtResult::Unsat => prop_assert!(!expected, "solver said unsat, enumeration found {f:?}"),
-            SmtResult::Unknown => prop_assert!(false, "unexpected unknown"),
+            SmtResult::Unsat => assert!(!expected, "solver said unsat, enumeration found {f:?}"),
+            SmtResult::Unknown => panic!("unexpected unknown on {f:?}"),
         }
     }
 }
@@ -872,4 +905,232 @@ fn skolemized_array_spec_counterexample_model() {
         !is_valid(&mut a, &[hyp_n, hyp_b], spec, &[], cfg()),
         "the broken write must falsify the identity spec"
     );
+}
+
+// ---------- the incremental session ----------
+
+mod session {
+    use std::sync::Arc;
+
+    use super::{cases, cfg, int_var, F};
+    use crate::{QueryCache, SmtResult, SmtSession, Verdict};
+    use pins_logic::{TermArena, TermId};
+    use pins_prng::SplitMix64;
+
+    /// A session with a private cache, so tests neither warm nor read the
+    /// process-wide one.
+    fn fresh_session() -> SmtSession {
+        SmtSession::with_cache(cfg(), Arc::new(QueryCache::new()))
+    }
+
+    fn bounds(a: &mut TermArena, v: TermId, lo: i64, hi: i64) -> (TermId, TermId) {
+        let l = a.mk_int(lo);
+        let h = a.mk_int(hi);
+        (a.mk_ge(v, l), a.mk_le(v, h))
+    }
+
+    #[test]
+    fn push_pop_restores_assertions_and_models() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let (lo, hi) = bounds(&mut a, x, 0, 10);
+        let mut s = fresh_session();
+        s.assert(lo);
+        s.assert(hi);
+        assert!(s.check(&mut a).is_sat());
+
+        s.push();
+        let twenty = a.mk_int(20);
+        let conflict = a.mk_ge(x, twenty);
+        s.assert(conflict);
+        assert_eq!(s.depth(), 1);
+        assert!(s.check(&mut a).is_unsat());
+        s.pop();
+
+        // the scope is gone: satisfiable again, with an in-bounds model
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.assertions(), &[lo, hi]);
+        match s.check(&mut a) {
+            SmtResult::Sat(m) => {
+                let v = m.ints[&x];
+                assert!(
+                    (0..=10).contains(&v),
+                    "model must satisfy restored scope: {v}"
+                );
+            }
+            other => panic!("expected sat after pop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_scopes_unwind_in_order() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let zero = a.mk_int(0);
+        let five = a.mk_int(5);
+        let ge0 = a.mk_ge(x, zero);
+        let ge5 = a.mk_ge(x, five);
+        let lt0 = a.mk_lt(x, zero);
+
+        let mut s = fresh_session();
+        s.assert(ge0);
+        s.push();
+        s.assert(ge5);
+        s.push();
+        s.assert(lt0);
+        assert_eq!(s.depth(), 2);
+        assert!(s.check(&mut a).is_unsat());
+        s.pop();
+        assert_eq!(s.assertions(), &[ge0, ge5]);
+        assert!(s.check(&mut a).is_sat());
+        s.pop();
+        assert_eq!(s.assertions(), &[ge0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop without matching push")]
+    fn unbalanced_pop_panics() {
+        let mut s = fresh_session();
+        s.pop();
+    }
+
+    #[test]
+    fn assumptions_do_not_leak() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let zero = a.mk_int(0);
+        let ge0 = a.mk_ge(x, zero);
+        let lt0 = a.mk_lt(x, zero);
+
+        let mut s = fresh_session();
+        s.assert(ge0);
+        assert!(s.check_under(&mut a, &[lt0]).is_unsat());
+        // the contradictory assumption must not persist
+        assert_eq!(s.assertions(), &[ge0]);
+        assert!(s.check(&mut a).is_sat());
+        assert!(s.check_under(&mut a, &[lt0]).is_unsat());
+    }
+
+    #[test]
+    fn cache_counts_hits_and_repeats_verdicts() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let (lo, hi) = bounds(&mut a, x, 3, 5);
+        let zero = a.mk_int(0);
+        let lt0 = a.mk_lt(x, zero);
+        let mut s = fresh_session();
+        s.assert(lo);
+        assert!(s.is_unsat_under(&mut a, &[lt0]));
+        let misses = s.cache().misses();
+        assert_eq!(s.cache().hits(), 0);
+        assert!(misses > 0);
+        // identical query: served from cache
+        assert!(s.is_unsat_under(&mut a, &[lt0]));
+        assert_eq!(s.cache().hits(), 1);
+        assert_eq!(s.cache().misses(), misses);
+        assert_eq!(s.stats.queries, 2);
+        let _ = hi;
+    }
+
+    #[test]
+    fn forked_sessions_share_the_cache() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let zero = a.mk_int(0);
+        let ge0 = a.mk_ge(x, zero);
+        let lt0 = a.mk_lt(x, zero);
+        let mut parent = fresh_session();
+        parent.assert(ge0);
+        assert!(parent.is_unsat_under(&mut a, &[lt0]));
+
+        let mut worker = parent.fork();
+        assert_eq!(worker.assertions(), parent.assertions());
+        // same query through the fork: answered by the shared cache
+        assert!(worker.is_unsat_under(&mut a, &[lt0]));
+        assert_eq!(worker.stats.cache_hits, 1);
+        assert_eq!(worker.stats.cache_misses, 0);
+        assert_eq!(parent.cache().hits(), 1);
+    }
+
+    #[test]
+    fn sat_with_model_re_solves_but_counts_the_hit() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let (lo, hi) = bounds(&mut a, x, 2, 4);
+        let mut s = fresh_session();
+        s.assert(lo);
+        s.assert(hi);
+        assert!(s.check(&mut a).is_sat());
+        // verdict cached as Sat; a model-producing check must still return a
+        // usable model for this arena
+        match s.check(&mut a) {
+            SmtResult::Sat(m) => assert!((2..=4).contains(&m.ints[&x])),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert_eq!(s.stats.sat_resolves, 1);
+        assert_eq!(s.stats.cache_hits, 1);
+        // verdict-only queries short-circuit entirely
+        assert!(s.verdict_under(&mut a, &[]).is_sat());
+        assert_eq!(s.stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn entails_matches_deprecated_is_valid() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let five = a.mk_int(5);
+        let three = a.mk_int(3);
+        let hyp = a.mk_gt(x, five);
+        let goal = a.mk_gt(x, three);
+        let mut s = fresh_session();
+        assert!(s.entails(&mut a, &[hyp], goal));
+        assert!(!s.entails(&mut a, &[goal], hyp));
+    }
+
+    /// The cached verdict of every query must equal a fresh solve of the same
+    /// formula, on a randomized corpus (the cache key must not conflate
+    /// distinct formulas, and re-asking must not change answers).
+    #[test]
+    fn cached_verdicts_match_fresh_solves_on_random_corpus() {
+        let mut rng = SplitMix64::new(0x5E55_0001);
+        let mut cached = SmtSession::with_cache(cfg(), Arc::new(QueryCache::new()));
+        let mut corpus: Vec<F> = Vec::new();
+        for _ in 0..cases(48, 256) {
+            corpus.push(super::random_f(&mut rng, 3));
+        }
+        // a session's fingerprint memo is arena-local, so the whole corpus
+        // lives in one arena (hash-consing makes repeats cheap anyway)
+        let mut arena = TermArena::new();
+        let vars: Vec<TermId> = (0..3)
+            .map(|i| int_var(&mut arena, &format!("v{i}")))
+            .collect();
+        let mut box_fs = Vec::new();
+        for &v in &vars {
+            let (lo, hi) = bounds(&mut arena, v, -6, 6);
+            box_fs.push(lo);
+            box_fs.push(hi);
+        }
+        // round 1: populate the cache; round 2: all answers must come from
+        // the cache and agree with a brand-new session per query
+        let mut first: Vec<Verdict> = Vec::new();
+        for round in 0..2 {
+            for (i, f) in corpus.iter().enumerate() {
+                let mut fs = box_fs.clone();
+                fs.push(super::f_to_term(&mut arena, f, &vars));
+                let got = cached.verdict_under(&mut arena, &fs);
+                if round == 0 {
+                    let fresh = fresh_session().verdict_under(&mut arena, &fs);
+                    assert_eq!(got, fresh, "cached session diverged on {f:?}");
+                    first.push(got);
+                } else {
+                    assert_eq!(got, first[i], "verdict changed between rounds on {f:?}");
+                }
+            }
+        }
+        assert!(
+            cached.stats.cache_hits >= corpus.len() as u64,
+            "round 2 must be served by the cache: {:?}",
+            cached.stats
+        );
+    }
 }

@@ -34,7 +34,15 @@ proc sum_i_inv(in s: int, out nI: int) {
   }
 }
 "#,
-        delta_e: &["0", "s", "nI + 1", "nI - 1", "sI + nI", "sI - nI", "sI + nI + 1"],
+        delta_e: &[
+            "0",
+            "s",
+            "nI + 1",
+            "nI - 1",
+            "sI + nI",
+            "sI - nI",
+            "sI + nI + 1",
+        ],
         delta_p: &["sI < s", "0 <= nI", "nI <= sI"],
         spec: &[SpecSrc::IntEq("n", "nI")],
         axioms: no_axioms,

@@ -55,10 +55,7 @@ proc rl_inv(in A: int[], in N: int[], in m: int, out AI: int[], out iI: int) {
             "upd(AI, iI, A[mI])",
         ],
         delta_p: &["AI[iI] = AI[iI + 1]", "mI < m", "rI > 0"],
-        spec: &[
-            SpecSrc::IntEq("n", "iI"),
-            SpecSrc::ArrayEq("A", "AI", "n"),
-        ],
+        spec: &[SpecSrc::IntEq("n", "iI"), SpecSrc::ArrayEq("A", "AI", "n")],
         axioms: no_axioms,
         rename: &[("i", "iI"), ("m", "mI"), ("r", "rI"), ("A", "AI")],
         keep: &["N", "m", "A"],
@@ -119,12 +116,15 @@ proc rl2_inv(in B: int[], in N: int[], in m: int, out AI: int[], out iI: int) {
             "upd(AI, mI, B[iI])",
         ],
         delta_p: &["mI < m", "rI > 0", "iI < m"],
-        spec: &[
-            SpecSrc::IntEq("n", "iI"),
-            SpecSrc::ArrayEq("A", "AI", "n"),
-        ],
+        spec: &[SpecSrc::IntEq("n", "iI"), SpecSrc::ArrayEq("A", "AI", "n")],
         axioms: no_axioms,
-        rename: &[("i", "iI"), ("m", "mI"), ("r", "rI"), ("A", "AI"), ("B", "AI")],
+        rename: &[
+            ("i", "iI"),
+            ("m", "mI"),
+            ("r", "rI"),
+            ("A", "AI"),
+            ("B", "AI"),
+        ],
         keep: &["N", "m", "B"],
         has_axioms: false,
         tune: |c: &mut PinsConfig| {
@@ -195,10 +195,7 @@ proc lz77_inv(in P: int[], in L: int[], in C: int[], in k: int, out AI: int[], o
             "upd(AI, kI, C[kI])",
         ],
         delta_p: &["kI < k", "cI > 0"],
-        spec: &[
-            SpecSrc::IntEq("n", "iI"),
-            SpecSrc::ArrayEq("A", "AI", "n"),
-        ],
+        spec: &[SpecSrc::IntEq("n", "iI"), SpecSrc::ArrayEq("A", "AI", "n")],
         axioms: no_axioms,
         rename: &[("i", "iI"), ("k", "kI"), ("r", "cI"), ("A", "AI")],
         keep: &["P", "L", "C", "k"],
@@ -317,12 +314,15 @@ proc lzw_inv(in B: int[], in C: int[], in k: int, out AI: int[], out iI: int) {
             "upd(AI, tI, charat(wI, iI))",
         ],
         delta_p: &["kI < k", "tI < strlen(wI)", "iI < k"],
-        spec: &[
-            SpecSrc::IntEq("n", "iI"),
-            SpecSrc::ArrayEq("A", "AI", "n"),
-        ],
+        spec: &[SpecSrc::IntEq("n", "iI"), SpecSrc::ArrayEq("A", "AI", "n")],
         axioms: lzw_axioms,
-        rename: &[("i", "iI"), ("k", "kI"), ("w", "wI"), ("d", "dI"), ("A", "AI")],
+        rename: &[
+            ("i", "iI"),
+            ("k", "kI"),
+            ("w", "wI"),
+            ("d", "dI"),
+            ("A", "AI"),
+        ],
         keep: &["B", "C", "k"],
         has_axioms: true,
         tune: |c: &mut PinsConfig| {

@@ -63,10 +63,7 @@ proc base64_inv(in B: int[], in j: int, out AI: int[], out iI: int) {
             "upd(AI, iI, B[jI])",
         ],
         delta_p: &["jI < j", "iI < j", "0 <= jI"],
-        spec: &[
-            SpecSrc::IntEq("n", "iI"),
-            SpecSrc::ArrayEq("A", "AI", "n"),
-        ],
+        spec: &[SpecSrc::IntEq("n", "iI"), SpecSrc::ArrayEq("A", "AI", "n")],
         axioms: radix_axioms,
         rename: &[("i", "iI"), ("j", "jI"), ("A", "AI")],
         keep: &["B", "j"],
@@ -130,10 +127,7 @@ proc uuencode_inv(in B: int[], out AI: int[], out iI: int) {
             "upd(AI, jI, B[iI])",
         ],
         delta_p: &["iI < nI", "jI < nI", "iI < jI"],
-        spec: &[
-            SpecSrc::IntEq("n", "iI"),
-            SpecSrc::ArrayEq("A", "AI", "n"),
-        ],
+        spec: &[SpecSrc::IntEq("n", "iI"), SpecSrc::ArrayEq("A", "AI", "n")],
         axioms: radix_axioms,
         rename: &[("i", "iI"), ("j", "jI"), ("n", "nI"), ("A", "AI")],
         keep: &["B"],
@@ -206,7 +200,14 @@ proc pktwrap_inv(in P: int[], in k: int, in f: int, out LI: int[], out DI: int[]
             SpecSrc::ArrayEqFinalLen("D", "DI", "d"),
         ],
         axioms: no_axioms,
-        rename: &[("t", "tI"), ("k", "kI"), ("s", "sI"), ("d", "dI"), ("L", "LI"), ("D", "DI")],
+        rename: &[
+            ("t", "tI"),
+            ("k", "kI"),
+            ("s", "sI"),
+            ("d", "dI"),
+            ("L", "LI"),
+            ("D", "DI"),
+        ],
         keep: &["P", "k", "f"],
         has_axioms: false,
         tune: |c: &mut PinsConfig| {

@@ -14,13 +14,19 @@ fn int_arg(args: &[Value], i: usize) -> Result<i64, InterpError> {
 fn seq_arg(args: &[Value], i: usize) -> Result<Vec<Value>, InterpError> {
     match args.get(i) {
         Some(Value::Seq(items)) => Ok(items.clone()),
-        other => Err(InterpError::TypeError(format!("expected seq, got {other:?}"))),
+        other => Err(InterpError::TypeError(format!(
+            "expected seq, got {other:?}"
+        ))),
     }
 }
 
 fn register_radix(env: &mut ExternEnv) {
-    env.register("hi", |args| Ok(Value::Int(int_arg(args, 0)?.div_euclid(16))));
-    env.register("lo", |args| Ok(Value::Int(int_arg(args, 0)?.rem_euclid(16))));
+    env.register("hi", |args| {
+        Ok(Value::Int(int_arg(args, 0)?.div_euclid(16)))
+    });
+    env.register("lo", |args| {
+        Ok(Value::Int(int_arg(args, 0)?.rem_euclid(16)))
+    });
     env.register("combine", |args| {
         Ok(Value::Int(16 * int_arg(args, 0)? + int_arg(args, 1)?))
     });
@@ -28,7 +34,9 @@ fn register_radix(env: &mut ExternEnv) {
 
 fn register_muldiv(env: &mut ExternEnv) {
     env.register("mul", |args| {
-        Ok(Value::Int(int_arg(args, 0)?.wrapping_mul(int_arg(args, 1)?)))
+        Ok(Value::Int(
+            int_arg(args, 0)?.wrapping_mul(int_arg(args, 1)?),
+        ))
     });
     env.register("div", |args| {
         let (x, y) = (int_arg(args, 0)?, int_arg(args, 1)?);
@@ -81,7 +89,9 @@ fn register_lzw(env: &mut ExternEnv) {
         s.push(Value::Int(int_arg(args, 1)?));
         Ok(Value::Seq(s))
     });
-    env.register("strlen", |args| Ok(Value::Int(seq_arg(args, 0)?.len() as i64)));
+    env.register("strlen", |args| {
+        Ok(Value::Int(seq_arg(args, 0)?.len() as i64))
+    });
     env.register("charat", |args| {
         let s = seq_arg(args, 0)?;
         let i = int_arg(args, 1)?;

@@ -1,7 +1,6 @@
 //! Random workload generation for the benchmarks' original programs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pins_prng::SplitMix64;
 
 use pins_ir::{Store, Value};
 
@@ -17,7 +16,7 @@ fn set(store: &mut Store, program: &pins_ir::Program, name: &str, value: Value) 
 /// Generates a concrete input store for benchmark `id` of roughly the given
 /// size, deterministically from `seed`.
 pub(crate) fn gen(id: BenchmarkId, seed: u64, size: usize) -> Store {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let program = benchmark(id).session().original;
     let mut store = Store::new();
     let n = size as i64;
@@ -66,8 +65,18 @@ pub(crate) fn gen(id: BenchmarkId, seed: u64, size: usize) -> Store {
             set(&mut store, &program, "X", Value::arr_from(&xs));
             set(&mut store, &program, "Y", Value::arr_from(&ys));
             set(&mut store, &program, "n", Value::Int(n));
-            set(&mut store, &program, "dx", Value::Int(rng.gen_range(-10..10)));
-            set(&mut store, &program, "dy", Value::Int(rng.gen_range(-10..10)));
+            set(
+                &mut store,
+                &program,
+                "dx",
+                Value::Int(rng.gen_range(-10..10)),
+            );
+            set(
+                &mut store,
+                &program,
+                "dy",
+                Value::Int(rng.gen_range(-10..10)),
+            );
         }
         BenchmarkId::VectorScale => {
             let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
@@ -89,19 +98,33 @@ pub(crate) fn gen(id: BenchmarkId, seed: u64, size: usize) -> Store {
         BenchmarkId::PermuteCount => {
             let mut perm: Vec<i64> = (0..n).collect();
             for i in (1..perm.len()).rev() {
-                let j = rng.gen_range(0..=i);
+                let j = rng.gen_index(i + 1);
                 perm.swap(i, j);
             }
             set(&mut store, &program, "p", Value::arr_from(&perm));
             set(&mut store, &program, "n", Value::Int(n));
         }
         BenchmarkId::LuDecomp => {
-            let a = *[1, 2, -1, 3].iter().filter(|&&v| v != 0).nth(rng.gen_range(0..4) % 4).unwrap();
+            let a = *[1, 2, -1, 3]
+                .iter()
+                .filter(|&&v| v != 0)
+                .nth(rng.gen_index(4))
+                .unwrap();
             let l = rng.gen_range(-5..5);
             set(&mut store, &program, "a", Value::Int(a));
-            set(&mut store, &program, "b", Value::Int(rng.gen_range(-10..10)));
+            set(
+                &mut store,
+                &program,
+                "b",
+                Value::Int(rng.gen_range(-10..10)),
+            );
             set(&mut store, &program, "c", Value::Int(l * a));
-            set(&mut store, &program, "d", Value::Int(rng.gen_range(-10..10)));
+            set(
+                &mut store,
+                &program,
+                "d",
+                Value::Int(rng.gen_range(-10..10)),
+            );
         }
     }
     store

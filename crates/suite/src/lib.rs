@@ -95,7 +95,10 @@ pub struct Benchmark {
 
 /// Returns the benchmark definition for `id`.
 pub fn benchmark(id: BenchmarkId) -> Benchmark {
-    Benchmark { id, raw: defs::raw(id) }
+    Benchmark {
+        id,
+        raw: defs::raw(id),
+    }
 }
 
 impl Benchmark {
@@ -223,7 +226,13 @@ impl Benchmark {
         }
         let out = run(inverse, &inv_inputs, &env, 1_000_000)?;
         Ok(check_spec_concrete(
-            &session, self.raw.spec, &inputs, &mid, inverse, &out, &env,
+            &session,
+            self.raw.spec,
+            &inputs,
+            &mid,
+            inverse,
+            &out,
+            &env,
         ))
     }
 }
@@ -238,15 +247,28 @@ fn build_spec(composed: &Program, items: &[SpecSrc]) -> Spec {
         items: items
             .iter()
             .map(|s| match s {
-                SpecSrc::IntEq(i, o) => SpecItem::IntEq { input: var(i), output: var(o) },
-                SpecSrc::ArrayEq(i, o, n) => {
-                    SpecItem::ArrayEq { input: var(i), output: var(o), len: var(n) }
-                }
-                SpecSrc::AbsEq(i, o) => SpecItem::AbsEq { input: var(i), output: var(o) },
-                SpecSrc::IntEqFinal(l, r) => SpecItem::IntEqFinal { left: var(l), right: var(r) },
-                SpecSrc::ArrayEqFinalLen(i, o, n) => {
-                    SpecItem::ArrayEqFinalLen { input: var(i), output: var(o), len: var(n) }
-                }
+                SpecSrc::IntEq(i, o) => SpecItem::IntEq {
+                    input: var(i),
+                    output: var(o),
+                },
+                SpecSrc::ArrayEq(i, o, n) => SpecItem::ArrayEq {
+                    input: var(i),
+                    output: var(o),
+                    len: var(n),
+                },
+                SpecSrc::AbsEq(i, o) => SpecItem::AbsEq {
+                    input: var(i),
+                    output: var(o),
+                },
+                SpecSrc::IntEqFinal(l, r) => SpecItem::IntEqFinal {
+                    left: var(l),
+                    right: var(r),
+                },
+                SpecSrc::ArrayEqFinalLen(i, o, n) => SpecItem::ArrayEqFinalLen {
+                    input: var(i),
+                    output: var(o),
+                    len: var(n),
+                },
                 SpecSrc::ObsEq(i, o, lf, of) => SpecItem::ObsEq {
                     input: var(i),
                     output: var(o),
@@ -310,8 +332,8 @@ fn check_spec_concrete(
             SpecSrc::ObsEq(i, o, len_fun, obs_fun) => match (oval(i, orig_inputs), ival(o)) {
                 (Some(a), Some(b)) => {
                     match (
-                        externs::host_call(env, len_fun, &[a.clone()]),
-                        externs::host_call(env, len_fun, &[b.clone()]),
+                        externs::host_call(env, len_fun, std::slice::from_ref(&a)),
+                        externs::host_call(env, len_fun, std::slice::from_ref(&b)),
                     ) {
                         (Some(Value::Int(la)), Some(Value::Int(lb))) if la == lb => {
                             (0..la).all(|j| {

@@ -14,8 +14,7 @@ fn all_sessions_build() {
             b.name()
         );
         // every expression hole must have at least one candidate of its type
-        let domains =
-            pins_core::build_domains(&session, pins_core::DomainConfig::default());
+        let domains = pins_core::build_domains(&session, pins_core::DomainConfig::default());
         for (h, dom) in domains.exprs.iter().enumerate() {
             if (h as u32) < session.composed.num_eholes {
                 assert!(
@@ -69,9 +68,8 @@ fn forward_programs_run_on_generated_inputs() {
         let env = b.extern_env();
         for seed in 0..3 {
             let inputs = b.gen_input(seed, 5);
-            run(&session.original, &inputs, &env, 1_000_000).unwrap_or_else(|e| {
-                panic!("{}: forward run failed with {e}", b.name())
-            });
+            run(&session.original, &inputs, &env, 1_000_000)
+                .unwrap_or_else(|e| panic!("{}: forward run failed with {e}", b.name()));
         }
     }
 }
@@ -88,8 +86,14 @@ fn runlength_forward_semantics() {
     let out = run(p, &inputs, &env, 100_000).unwrap();
     let m = out[&p.var_by_name("m").unwrap()].as_int().unwrap();
     assert_eq!(m, 2);
-    assert_eq!(out[&p.var_by_name("A").unwrap()].arr_prefix(m).unwrap(), vec![5, 7]);
-    assert_eq!(out[&p.var_by_name("N").unwrap()].arr_prefix(m).unwrap(), vec![2, 1]);
+    assert_eq!(
+        out[&p.var_by_name("A").unwrap()].arr_prefix(m).unwrap(),
+        vec![5, 7]
+    );
+    assert_eq!(
+        out[&p.var_by_name("N").unwrap()].arr_prefix(m).unwrap(),
+        vec![2, 1]
+    );
 }
 
 #[test]
@@ -99,7 +103,10 @@ fn lzw_forward_round_trips_by_hand() {
     let env = b.extern_env();
     let p = &session.original;
     let mut inputs = pins_ir::Store::new();
-    inputs.insert(p.var_by_name("A").unwrap(), Value::arr_from(&[1, 0, 1, 0, 1, 0]));
+    inputs.insert(
+        p.var_by_name("A").unwrap(),
+        Value::arr_from(&[1, 0, 1, 0, 1, 0]),
+    );
     inputs.insert(p.var_by_name("n").unwrap(), Value::Int(6));
     let out = run(p, &inputs, &env, 100_000).unwrap();
     let k = out[&p.var_by_name("k").unwrap()].as_int().unwrap();
@@ -202,19 +209,28 @@ fn synthesize_sum_i() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "synthesis is slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "synthesis is slow without optimizations; run with --release"
+)]
 fn synthesize_vector_shift() {
     synthesize_and_check(BenchmarkId::VectorShift, &[0, 1, 4]);
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "synthesis is slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "synthesis is slow without optimizations; run with --release"
+)]
 fn synthesize_vector_scale() {
     synthesize_and_check(BenchmarkId::VectorScale, &[0, 2, 4]);
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "synthesis is slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "synthesis is slow without optimizations; run with --release"
+)]
 fn synthesize_vector_rotate() {
     synthesize_and_check(BenchmarkId::VectorRotate, &[0, 2, 4]);
 }
@@ -225,7 +241,10 @@ fn synthesize_lu_decomp() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "synthesis is slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "synthesis is slow without optimizations; run with --release"
+)]
 fn synthesize_serialize() {
     synthesize_and_check(BenchmarkId::Serialize, &[0, 1, 4]);
 }

@@ -37,7 +37,7 @@ pub struct HoleOcc {
 
 /// Shared translation state for one synthesis session: the term arena, the
 /// variable/function symbol tables, and the hole-occurrence registry.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SymCtx {
     /// The term arena all formulas live in.
     pub arena: TermArena,
@@ -67,7 +67,13 @@ impl SymCtx {
             };
             arena.declare_fun(&e.name, args, ret);
         }
-        SymCtx { arena, var_syms, var_sorts, occs: Vec::new(), occ_ids: HashMap::new() }
+        SymCtx {
+            arena,
+            var_syms,
+            var_sorts,
+            occs: Vec::new(),
+            occ_ids: HashMap::new(),
+        }
     }
 
     /// The sort of variable `v`.
@@ -166,7 +172,11 @@ impl SymCtx {
                         self.expr_term(program, a, vmap, s)
                     })
                     .collect();
-                let sym = self.arena.symbols().get(f).expect("extern declared in new()");
+                let sym = self
+                    .arena
+                    .symbols()
+                    .get(f)
+                    .expect("extern declared in new()");
                 self.arena.mk_app(sym, targs)
             }
             Expr::Hole(h) => self.register_occ(HoleOcc {
@@ -226,7 +236,11 @@ impl SymCtx {
                         self.expr_term(program, a, vmap, s)
                     })
                     .collect();
-                let sym = self.arena.symbols().get(f).expect("extern declared in new()");
+                let sym = self
+                    .arena
+                    .symbols()
+                    .get(f)
+                    .expect("extern declared in new()");
                 self.arena.mk_app(sym, targs)
             }
             Pred::Hole(h) => self.register_occ(HoleOcc {

@@ -8,7 +8,7 @@ use std::collections::{HashMap, HashSet};
 
 use pins_ir::{EHoleId, Expr, LoopId, PHoleId, Pred, Program, Stmt, VarId};
 use pins_logic::{collect_subterms, Sort, Term, TermId};
-use pins_smt::{check_formulas, SmtConfig};
+use pins_smt::{SmtConfig, SmtSession};
 
 use crate::ctx::{version_of, HoleKind, SymCtx, VersionMap};
 
@@ -124,6 +124,9 @@ pub struct Explorer<'p> {
     program: &'p Program,
     config: ExploreConfig,
     steps: u64,
+    /// Persistent solver session for feasibility queries; repeated prefixes
+    /// across backtracking hit the shared normalized-query cache.
+    session: SmtSession,
     /// Count of SMT feasibility queries issued (instrumentation).
     pub feasibility_queries: u64,
     /// Set when the last search stopped on the step budget rather than by
@@ -134,7 +137,18 @@ pub struct Explorer<'p> {
 impl<'p> Explorer<'p> {
     /// Creates an explorer over `program`.
     pub fn new(program: &'p Program, config: ExploreConfig) -> Self {
-        Explorer { program, config, steps: 0, feasibility_queries: 0, budget_hit: false }
+        let mut session = SmtSession::new(config.smt);
+        for &ax in &config.axioms {
+            session.assert_axiom(ax);
+        }
+        Explorer {
+            program,
+            config,
+            steps: 0,
+            session,
+            feasibility_queries: 0,
+            budget_hit: false,
+        }
     }
 
     fn initial_state(&self) -> State<'p> {
@@ -178,7 +192,14 @@ impl<'p> Explorer<'p> {
         let mut out = Vec::new();
         let avoid = HashSet::new();
         let state = self.initial_state();
-        self.search(ctx, filler, &avoid, state, &Mode::Collect { limit }, &mut out);
+        self.search(
+            ctx,
+            filler,
+            &avoid,
+            state,
+            &Mode::Collect { limit },
+            &mut out,
+        );
         out
     }
 
@@ -187,7 +208,9 @@ impl<'p> Explorer<'p> {
             return true;
         }
         self.feasibility_queries += 1;
-        !check_formulas(&mut ctx.arena, substituted, &self.config.axioms, self.config.smt)
+        !self
+            .session
+            .verdict_under(&mut ctx.arena, substituted)
             .is_unsat()
     }
 

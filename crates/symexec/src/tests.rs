@@ -1,7 +1,7 @@
 use std::collections::HashSet;
 
 use pins_ir::{parse_expr_in, parse_pred_in, parse_program, Program};
-use pins_smt::{check_formulas, SmtConfig};
+use pins_smt::{SmtConfig, SmtSession};
 
 use crate::*;
 
@@ -25,7 +25,9 @@ fn first_path_skips_the_loop() {
     let p = sum_program();
     let mut ctx = SymCtx::new(&p);
     let mut ex = Explorer::new(&p, ExploreConfig::default());
-    let path = ex.explore_one(&mut ctx, &EmptyFiller, &HashSet::new()).unwrap();
+    let path = ex
+        .explore_one(&mut ctx, &EmptyFiller, &HashSet::new())
+        .unwrap();
     // exit-first: loop not taken; conjuncts say n>=0, i1=0, s1=0, !(i1<n)
     assert_eq!(path.conjuncts.len(), 4);
     // the final version map has i and s at version 1
@@ -48,7 +50,10 @@ fn avoid_set_forces_new_paths() {
         lengths.push(path.conjuncts.len());
     }
     // progressively deeper paths (0, 1, 2 loop iterations)
-    assert!(lengths[0] < lengths[1] && lengths[1] < lengths[2], "{lengths:?}");
+    assert!(
+        lengths[0] < lengths[1] && lengths[1] < lengths[2],
+        "{lengths:?}"
+    );
 }
 
 #[test]
@@ -56,11 +61,12 @@ fn path_condition_is_satisfiable() {
     let p = sum_program();
     let mut ctx = SymCtx::new(&p);
     let mut avoid = HashSet::new();
+    let mut session = SmtSession::new(SmtConfig::default());
     for _ in 0..3 {
         let mut ex = Explorer::new(&p, ExploreConfig::default());
         let path = ex.explore_one(&mut ctx, &EmptyFiller, &avoid).unwrap();
         avoid.insert(path.key);
-        let r = check_formulas(&mut ctx.arena, &path.conjuncts, &[], SmtConfig::default());
+        let r = session.check_under(&mut ctx.arena, &path.conjuncts);
         assert!(r.is_sat(), "explored path must be feasible");
     }
 }
@@ -147,12 +153,21 @@ proc t(in m: int, out x: int) {
 "#;
     let p = parse_program(src).unwrap();
     let mut ctx = SymCtx::new(&p);
-    let cfg = ExploreConfig { check_feasibility: false, ..ExploreConfig::default() };
+    let cfg = ExploreConfig {
+        check_feasibility: false,
+        ..ExploreConfig::default()
+    };
     let mut ex = Explorer::new(&p, cfg);
     let mut avoid = HashSet::new();
     let path1 = ex.explore_one(&mut ctx, &EmptyFiller, &avoid).unwrap();
     avoid.insert(path1.key);
-    let mut ex2 = Explorer::new(&p, ExploreConfig { check_feasibility: false, ..Default::default() });
+    let mut ex2 = Explorer::new(
+        &p,
+        ExploreConfig {
+            check_feasibility: false,
+            ..Default::default()
+        },
+    );
     let path2 = ex2.explore_one(&mut ctx, &EmptyFiller, &avoid).unwrap();
     // the predicate hole occurs under at least two different version maps
     let occs = ctx.occurrences();
@@ -160,7 +175,10 @@ proc t(in m: int, out x: int) {
         .iter()
         .filter(|o| matches!(o.kind, HoleKind::Pred(_)))
         .collect();
-    assert!(pred_occs.len() >= 2, "expected multiple versioned occurrences");
+    assert!(
+        pred_occs.len() >= 2,
+        "expected multiple versioned occurrences"
+    );
     let _ = path2;
 }
 
@@ -183,13 +201,16 @@ proc t(in n: int, out x: int) {
     filler
         .preds
         .insert(pins_ir::PHoleId(0), parse_pred_in(&p, "n < 0").unwrap());
-    let cfg = ExploreConfig { exit_first: false, ..ExploreConfig::default() };
+    let cfg = ExploreConfig {
+        exit_first: false,
+        ..ExploreConfig::default()
+    };
     let mut ex = Explorer::new(&p, cfg);
     let path = ex.explore_one(&mut ctx, &filler, &HashSet::new()).unwrap();
     // the substituted condition of the taken path must be satisfiable;
     // combined with assume(n=3), only the else branch works, whose
     // substituted form contains !(n < 0)
-    let r = check_formulas(&mut ctx.arena, &path.substituted, &[], SmtConfig::default());
+    let r = SmtSession::new(SmtConfig::default()).check_under(&mut ctx.arena, &path.substituted);
     assert!(r.is_sat());
     // x must end as 2 on this path: conjunct x@1 = 2 present
     let x = p.var_by_name("x").unwrap();
@@ -209,9 +230,14 @@ proc t(in n: int, out x: int) {
 "#;
     let p = parse_program(src).unwrap();
     let mut ctx = SymCtx::new(&p);
-    let cfg = ExploreConfig { check_feasibility: false, ..ExploreConfig::default() };
+    let cfg = ExploreConfig {
+        check_feasibility: false,
+        ..ExploreConfig::default()
+    };
     let mut ex = Explorer::new(&p, cfg);
-    let path = ex.explore_one(&mut ctx, &EmptyFiller, &HashSet::new()).unwrap();
+    let path = ex
+        .explore_one(&mut ctx, &EmptyFiller, &HashSet::new())
+        .unwrap();
     // condition: x@1 = 5, x@2 = hole(e1 @ {x->1})
     let mut filler = MapFiller::default();
     filler
@@ -226,8 +252,8 @@ proc t(in n: int, out x: int) {
     let six = ctx.arena.mk_int(6);
     let ne = ctx.arena.mk_neq(x2, six);
     let first = path.conjuncts[0];
-    let r = check_formulas(&mut ctx.arena, &[first, substituted, ne], &[], SmtConfig::default());
-    assert!(r.is_unsat());
+    let mut session = SmtSession::new(SmtConfig::default());
+    assert!(session.is_unsat_under(&mut ctx.arena, &[first, substituted, ne]));
 }
 
 #[test]
@@ -235,7 +261,9 @@ fn loop_entry_prefixes_recorded() {
     let p = sum_program();
     let mut ctx = SymCtx::new(&p);
     let mut ex = Explorer::new(&p, ExploreConfig::default());
-    let path = ex.explore_one(&mut ctx, &EmptyFiller, &HashSet::new()).unwrap();
+    let path = ex
+        .explore_one(&mut ctx, &EmptyFiller, &HashSet::new())
+        .unwrap();
     assert_eq!(path.loop_entries.len(), 1);
     let (lid, prefix, vmap) = &path.loop_entries[0];
     assert_eq!(lid.0, 0);
@@ -257,7 +285,9 @@ proc f(in n: int, out x: int) {
     let p = parse_program(src).unwrap();
     let mut ctx = SymCtx::new(&p);
     let mut ex = Explorer::new(&p, ExploreConfig::default());
-    let path = ex.explore_one(&mut ctx, &EmptyFiller, &HashSet::new()).unwrap();
+    let path = ex
+        .explore_one(&mut ctx, &EmptyFiller, &HashSet::new())
+        .unwrap();
     assert_eq!(path.conjuncts.len(), 1); // only x@1 = 1
     let x = p.var_by_name("x").unwrap();
     assert_eq!(version_of(&path.final_vmap, x), 1);
@@ -272,7 +302,10 @@ proc f(out x: int) {
 "#;
     let p = parse_program(src).unwrap();
     let mut ctx = SymCtx::new(&p);
-    let cfg = ExploreConfig { check_feasibility: false, ..ExploreConfig::default() };
+    let cfg = ExploreConfig {
+        check_feasibility: false,
+        ..ExploreConfig::default()
+    };
     let mut ex = Explorer::new(&p, cfg);
     let paths = ex.enumerate(&mut ctx, &EmptyFiller, 100);
     assert_eq!(paths.len(), 2);

@@ -8,8 +8,8 @@
 
 use pins::bmc::{check_inverse, BmcConfig};
 use pins::cegis::{synthesize, CegisConfig};
-use pins::core::Pins;
 use pins::ir::program_to_string;
+use pins::prelude::*;
 use pins::suite::{benchmark, BenchmarkId};
 
 fn main() {
@@ -55,12 +55,22 @@ fn main() {
     // --- both validated by the bounded model checker ---
     for (label, inv) in [
         ("PINS", &outcome.solutions[0].inverse),
-        ("CEGIS", report.solution.as_ref().unwrap_or(&outcome.solutions[0].inverse)),
+        (
+            "CEGIS",
+            report
+                .solution
+                .as_ref()
+                .unwrap_or(&outcome.solutions[0].inverse),
+        ),
     ] {
         let r = check_inverse(
             &session,
             inv,
-            BmcConfig { unroll: 6, input_bound: 4, ..BmcConfig::default() },
+            BmcConfig {
+                unroll: 6,
+                input_bound: 4,
+                ..BmcConfig::default()
+            },
         );
         println!(
             "BMC({label}): verified={} over {} paths in {:.2}s",

@@ -11,18 +11,23 @@
 //! model checking, and decodes a sample input with the synthesized inverse.
 
 use pins::bmc::{check_inverse, BmcConfig};
-use pins::core::Pins;
 use pins::ir::{program_to_string, run, Store, Value};
+use pins::prelude::*;
 use pins::suite::{benchmark, BenchmarkId};
 
 fn main() {
     let bench = benchmark(BenchmarkId::InPlaceRl);
     let mut session = bench.session();
-    println!("original program:\n{}", program_to_string(&session.original));
+    println!(
+        "original program:\n{}",
+        program_to_string(&session.original)
+    );
 
     let mut config = bench.recommended_config();
     config.time_budget = Some(std::time::Duration::from_secs(600));
-    let outcome = Pins::new(config).run(&mut session).expect("synthesis succeeds");
+    let outcome = Pins::new(config)
+        .run(&mut session)
+        .expect("synthesis succeeds");
     println!(
         "PINS finished after {} iterations / {} paths in {:.2}s with {} solution(s)",
         outcome.iterations,
@@ -47,7 +52,11 @@ fn main() {
     let report = check_inverse(
         &session,
         inverse,
-        BmcConfig { unroll: 4, input_bound: 3, ..BmcConfig::default() },
+        BmcConfig {
+            unroll: 4,
+            input_bound: 3,
+            ..BmcConfig::default()
+        },
     );
     println!(
         "bounded model check: verified={} over {} paths in {:.2}s",
@@ -82,6 +91,8 @@ fn main() {
     let n = out[&inverse.var_by_name("iI").unwrap()].as_int().unwrap();
     println!(
         "decoded back -> {:?}",
-        out[&inverse.var_by_name("AI").unwrap()].arr_prefix(n).unwrap()
+        out[&inverse.var_by_name("AI").unwrap()]
+            .arr_prefix(n)
+            .unwrap()
     );
 }

@@ -55,7 +55,11 @@ proc rl_inv(in A: int[], in N: int[], in m: int, out AI: int[], out iI: int) {
 
     // step 2: the eight inversion projections
     let (pe, pp) = project(&p, &exprs, &preds);
-    println!("\nafter projection: {} expressions, {} predicates", pe.len(), pp.len());
+    println!(
+        "\nafter projection: {} expressions, {} predicates",
+        pe.len(),
+        pp.len()
+    );
 
     // step 3: rename into the decoder's frame; `n` has no counterpart in
     // the decoder, so candidates mentioning it disappear automatically —

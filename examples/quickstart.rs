@@ -9,8 +9,9 @@
 //! and print the synthesized inverse with the concrete tests PINS generated
 //! from its explored paths.
 
-use pins::core::{Pins, PinsConfig, Session, Spec, SpecItem};
+use pins::core::{Spec, SpecItem};
 use pins::ir::{parse_expr_in, parse_pred_in, program_to_string};
+use pins::prelude::*;
 
 fn main() {
     // The program to invert: doubling by repeated addition.
@@ -74,5 +75,17 @@ proc double_inv(in m: int, out nI: int) {
     println!("concrete tests generated from the explored paths:");
     for t in &outcome.tests {
         println!("  {:?}", t.inputs);
+    }
+
+    // The one-call facade: `pins::invert` mines candidates automatically
+    // (Section 3) and derives the identity spec from the `I`-suffix naming
+    // convention. Auto-mining is a starting point, not a guarantee — the
+    // paper's mining loop is semi-automated for a reason.
+    match invert(original, template, PinsConfig::default()) {
+        Ok(auto) => println!(
+            "\npins::invert with auto-mined candidates: {} solution(s)",
+            auto.solutions.len()
+        ),
+        Err(e) => println!("\npins::invert with auto-mined candidates: {e}"),
     }
 }

@@ -42,3 +42,140 @@ pub use pins_sat as sat;
 pub use pins_smt as smt;
 pub use pins_suite as suite;
 pub use pins_symexec as symexec;
+
+pub mod prelude {
+    //! The types most programs need, in one import.
+    //!
+    //! ```
+    //! use pins::prelude::*;
+    //! ```
+
+    pub use pins_core::{
+        Pins, PinsConfig, PinsError, PinsOutcome, ResolvedSolution, Session, Solution,
+    };
+    pub use pins_smt::{SmtConfig, SmtSession};
+
+    pub use crate::invert;
+}
+
+use pins_core::{Pins, PinsConfig, PinsError, PinsOutcome, Session, SpecItem};
+use pins_mining::mine;
+
+/// One-call program inversion: parses `original_src` and `template_src`,
+/// composes them, mines candidate expressions/predicates from the original
+/// (Section 3), derives the identity specification, and runs the PINS
+/// engine.
+///
+/// Variable pairing follows the `I`-suffix convention used throughout the
+/// benchmark suite: a template variable `vI` reconstructs the original's
+/// `v`; template variables whose name matches an original variable are
+/// treated as shared. Originals with no `vI` counterpart (loop counters,
+/// scratch state) are additionally paired with each same-typed
+/// template-only variable, and the candidates mined under every pairing
+/// are unioned. The auto-derived spec equates each original `int` or
+/// abstract input with its reconstructed counterpart at exit — programs
+/// needing array or observational specs should build a [`Session`]
+/// explicitly and set `session.spec` themselves.
+///
+/// # Errors
+///
+/// Propagates the engine's [`PinsError`] (no solution / budget exhausted).
+///
+/// # Panics
+///
+/// Panics on parse errors, like [`Session::from_sources`].
+pub fn invert(
+    original_src: &str,
+    template_src: &str,
+    config: PinsConfig,
+) -> Result<PinsOutcome, PinsError> {
+    let mut session = Session::from_sources(original_src, template_src);
+
+    // base pairing: original `v` reconstructed by template `vI`
+    let mut base: Vec<(String, String)> = Vec::new();
+    let mut unmatched: Vec<String> = Vec::new();
+    for v in &session.original.vars {
+        let primed = format!("{}I", v.name);
+        if session.composed.var_by_name(&primed).is_some() {
+            base.push((v.name.clone(), primed));
+        } else {
+            unmatched.push(v.name.clone());
+        }
+    }
+    // the template's counter often reconstructs a *differently named*
+    // original (the suite's Σi maps its loop counter `i` to the output
+    // `nI`), so candidates are mined once per plausible extra pairing of an
+    // unmatched original variable with a same-typed template-only variable,
+    // and the results unioned
+    let inverse_only: Vec<String> = session
+        .template
+        .vars
+        .iter()
+        .filter(|v| session.original.var_by_name(&v.name).is_none())
+        .map(|v| v.name.clone())
+        .collect();
+    let mut maps: Vec<Vec<(String, String)>> = vec![base.clone()];
+    for v in &unmatched {
+        let ty = session
+            .original
+            .var_by_name(v)
+            .map(|id| session.original.var(id).ty.clone());
+        for w in &inverse_only {
+            let wty = session
+                .template
+                .var_by_name(w)
+                .map(|id| session.template.var(id).ty.clone());
+            if ty.is_some() && ty == wty {
+                let mut m = base.clone();
+                m.push((v.clone(), w.clone()));
+                maps.push(m);
+            }
+        }
+    }
+    for map in &maps {
+        let renamed: std::collections::HashSet<&str> =
+            map.iter().map(|(a, _)| a.as_str()).collect();
+        // only variables shared with the template (the inverse's own frame,
+        // typically the original's outputs) survive un-renamed; candidates
+        // mentioning anything else would read leftover original state that a
+        // standalone inverse does not have
+        let keep: Vec<&str> = session
+            .original
+            .vars
+            .iter()
+            .map(|v| v.name.as_str())
+            .filter(|n| !renamed.contains(n) && session.template.var_by_name(n).is_some())
+            .collect();
+        let rename_refs: Vec<(&str, &str)> =
+            map.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let mined = mine(&session.original, &session.composed, &rename_refs, &keep);
+        for e in mined.exprs {
+            if !session.expr_candidates.contains(&e) {
+                session.expr_candidates.push(e);
+            }
+        }
+        for p in mined.preds {
+            if !session.pred_candidates.contains(&p) {
+                session.pred_candidates.push(p);
+            }
+        }
+    }
+
+    for v in session.original.inputs() {
+        let name = &session.original.var(v).name;
+        let (Some(input), Some(output)) = (
+            session.composed.var_by_name(name),
+            session.composed.var_by_name(&format!("{name}I")),
+        ) else {
+            continue;
+        };
+        let item = match session.original.var(v).ty {
+            pins_ir::Type::Int => SpecItem::IntEq { input, output },
+            pins_ir::Type::Abstract(_) => SpecItem::AbsEq { input, output },
+            pins_ir::Type::IntArray => continue, // needs a length; set explicitly
+        };
+        session.spec.items.push(item);
+    }
+
+    Pins::new(config).run(&mut session)
+}

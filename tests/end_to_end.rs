@@ -4,7 +4,7 @@
 use pins::bmc::{check_inverse, BmcConfig};
 use pins::cegis::{synthesize, CegisConfig};
 use pins::core::{Pins, PinsConfig, Session, Spec, SpecItem};
-use pins::ir::{parse_expr_in, parse_pred_in, program_to_string};
+use pins::ir::{parse_expr_in, program_to_string};
 use pins::suite::{benchmark, BenchmarkId};
 
 /// A fresh inversion problem defined from scratch (not part of the suite):
@@ -44,16 +44,23 @@ fn affine_is_not_invertible_with_linear_candidates_only() {
     // prove non-invertibility over the template (the paper's debugging
     // story: the explored paths witness why)
     let mut session = affine_session();
-    let err = Pins::new(PinsConfig::default()).run(&mut session).unwrap_err();
+    let err = Pins::new(PinsConfig::default())
+        .run(&mut session)
+        .unwrap_err();
     assert!(matches!(err, pins::core::PinsError::NoSolution { .. }));
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "synthesis is slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "synthesis is slow without optimizations; run with --release"
+)]
 fn pins_and_cegis_agree_on_sum_i() {
     let bench = benchmark(BenchmarkId::SumI);
     let mut session = bench.session();
-    let outcome = Pins::new(bench.recommended_config()).run(&mut session).unwrap();
+    let outcome = Pins::new(bench.recommended_config())
+        .run(&mut session)
+        .unwrap();
     assert!(!outcome.solutions.is_empty());
 
     let env = bench.extern_env();
@@ -65,32 +72,44 @@ fn pins_and_cegis_agree_on_sum_i() {
 
     // both inverses agree on fresh concrete workloads
     for seed in 100..110 {
-        assert_eq!(
-            bench.round_trip(&outcome.solutions[0].inverse, seed, 5).unwrap(),
-            true,
+        assert!(
+            bench
+                .round_trip(&outcome.solutions[0].inverse, seed, 5)
+                .unwrap(),
             "PINS inverse fails concretely"
         );
-        assert_eq!(
+        assert!(
             bench.round_trip(&cegis_inv, seed, 5).unwrap(),
-            true,
             "CEGIS inverse fails concretely"
         );
     }
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "synthesis is slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "synthesis is slow without optimizations; run with --release"
+)]
 fn bmc_confirms_synthesized_vector_shift() {
     let bench = benchmark(BenchmarkId::VectorShift);
     let mut session = bench.session();
-    let outcome = Pins::new(bench.recommended_config()).run(&mut session).unwrap();
+    let outcome = Pins::new(bench.recommended_config())
+        .run(&mut session)
+        .unwrap();
     let inverse = &outcome.solutions[0].inverse;
     let report = check_inverse(
         &session,
         inverse,
-        BmcConfig { unroll: 3, input_bound: 2, ..BmcConfig::default() },
+        BmcConfig {
+            unroll: 3,
+            input_bound: 2,
+            ..BmcConfig::default()
+        },
     );
-    assert!(report.verified, "BMC rejected a synthesized inverse: {report:?}");
+    assert!(
+        report.verified,
+        "BMC rejected a synthesized inverse: {report:?}"
+    );
 }
 
 #[test]
@@ -121,7 +140,11 @@ proc sum_i_bad(in s: int, out nI: int) {
     let report = check_inverse(
         &session,
         &inverse,
-        BmcConfig { unroll: 6, input_bound: 4, ..BmcConfig::default() },
+        BmcConfig {
+            unroll: 6,
+            input_bound: 4,
+            ..BmcConfig::default()
+        },
     );
     assert!(!report.verified, "BMC must refute the planted bug");
 }
@@ -130,7 +153,9 @@ proc sum_i_bad(in s: int, out nI: int) {
 fn synthesized_inverse_prints_as_valid_dsl() {
     let bench = benchmark(BenchmarkId::SumI);
     let mut session = bench.session();
-    let outcome = Pins::new(bench.recommended_config()).run(&mut session).unwrap();
+    let outcome = Pins::new(bench.recommended_config())
+        .run(&mut session)
+        .unwrap();
     let printed = program_to_string(&outcome.solutions[0].inverse);
     let reparsed = pins::ir::parse_program(&printed)
         .unwrap_or_else(|e| panic!("printed inverse does not reparse: {e}\n{printed}"));
@@ -141,7 +166,9 @@ fn synthesized_inverse_prints_as_valid_dsl() {
 fn concrete_tests_satisfy_the_forward_precondition() {
     let bench = benchmark(BenchmarkId::SumI);
     let mut session = bench.session();
-    let outcome = Pins::new(bench.recommended_config()).run(&mut session).unwrap();
+    let outcome = Pins::new(bench.recommended_config())
+        .run(&mut session)
+        .unwrap();
     let env = bench.extern_env();
     for test in &outcome.tests {
         let mut store = pins::ir::Store::new();

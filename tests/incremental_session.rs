@@ -1,0 +1,130 @@
+//! Integration tests for the incremental solver session: parallel
+//! constraint verification must be observationally identical to serial
+//! solving, the process-wide query cache must actually fire on suite
+//! benchmarks, and the one-call `pins::invert` facade works end to end.
+
+use pins::ir::{program_to_string, run, ExternEnv, Store, Value};
+use pins::prelude::*;
+use pins::suite::{benchmark, BenchmarkId};
+
+fn run_with_workers(id: BenchmarkId, workers: usize) -> PinsOutcome {
+    let b = benchmark(id);
+    let mut session = b.session();
+    let mut config = b.recommended_config();
+    config.verify_workers = workers;
+    Pins::new(config)
+        .run(&mut session)
+        .unwrap_or_else(|e| panic!("{}: synthesis failed: {e}", b.name()))
+}
+
+/// The observable result of a run: every surviving inverse, pretty-printed,
+/// in order. Two runs agree iff these are byte-identical.
+fn rendered(outcome: &PinsOutcome) -> Vec<String> {
+    outcome
+        .solutions
+        .iter()
+        .map(|s| program_to_string(&s.inverse))
+        .collect()
+}
+
+fn assert_parallel_matches_serial(id: BenchmarkId) {
+    let serial = run_with_workers(id, 1);
+    let parallel = run_with_workers(id, 4);
+    assert_eq!(
+        rendered(&serial),
+        rendered(&parallel),
+        "{id:?}: parallel verification changed the solution set"
+    );
+    assert_eq!(
+        serial.iterations, parallel.iterations,
+        "{id:?}: parallel verification changed the iteration count"
+    );
+    assert_eq!(serial.stats.verify_workers, 1);
+    assert_eq!(parallel.stats.verify_workers, 4);
+}
+
+#[test]
+fn parallel_matches_serial_on_sum_i() {
+    assert_parallel_matches_serial(BenchmarkId::SumI);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "synthesis is slow without optimizations; run with --release"
+)]
+fn parallel_matches_serial_on_lu_decomp() {
+    assert_parallel_matches_serial(BenchmarkId::LuDecomp);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "synthesis is slow without optimizations; run with --release"
+)]
+fn parallel_matches_serial_on_serialize() {
+    assert_parallel_matches_serial(BenchmarkId::Serialize);
+}
+
+#[test]
+fn repeated_runs_hit_the_query_cache() {
+    // the normalized-query cache is process-wide: a second identical run
+    // must be answered (at least partly) from it
+    let first = run_with_workers(BenchmarkId::SumI, 2);
+    let second = run_with_workers(BenchmarkId::SumI, 2);
+    assert_eq!(rendered(&first), rendered(&second));
+    assert!(
+        second.stats.smt_cache_hits > 0,
+        "second run saw no cache hits: {:?}",
+        second.stats
+    );
+    assert!(second.stats.smt_cache_misses <= first.stats.smt_cache_misses);
+}
+
+#[test]
+fn invert_facade_synthesizes_doubling_inverse() {
+    let original = r#"
+proc dbl(in n: int, out m: int) {
+  local i: int;
+  assume(n >= 0);
+  i := 0; m := 0;
+  while (i < n) {
+    i := i + 1;
+    m := m + 2;
+  }
+}
+"#;
+    let template = r#"
+proc dbl_inv(in m: int, out nI: int) {
+  local mI: int;
+  nI := ?e1;
+  mI := ?e2;
+  while (?p1) {
+    nI := ?e3;
+    mI := ?e4;
+  }
+}
+"#;
+    let outcome = invert(original, template, PinsConfig::default())
+        .expect("auto-mined candidates suffice for the doubling inverse");
+    assert!(!outcome.solutions.is_empty());
+
+    // at least one surviving inverse must concretely recover n from m = 2n
+    let found = outcome.solutions.iter().any(|sol| {
+        (0..6i64).all(|n| {
+            let m_var = sol.inverse.var_by_name("m").unwrap();
+            let n_var = sol.inverse.var_by_name("nI").unwrap();
+            let mut inputs = Store::new();
+            inputs.insert(m_var, Value::Int(2 * n));
+            match run(&sol.inverse, &inputs, &ExternEnv::new(), 10_000) {
+                Ok(out) => out[&n_var] == Value::Int(n),
+                Err(_) => false,
+            }
+        })
+    });
+    assert!(
+        found,
+        "no surviving inverse recovers n:\n{}",
+        program_to_string(&outcome.solutions[0].inverse)
+    );
+}

@@ -3,11 +3,11 @@
 
 use std::collections::HashSet;
 
-use proptest::prelude::*;
+use pins_prng::SplitMix64;
 
 use pins::ir::{parse_program, run, ExternEnv, Store, Value};
 use pins::logic::Sort;
-use pins::smt::{check_formulas, SmtConfig, SmtResult};
+use pins::smt::{SmtConfig, SmtResult, SmtSession};
 use pins::symexec::{EmptyFiller, ExploreConfig, Explorer, SymCtx};
 
 /// The symbolic executor and the concrete interpreter agree: a concrete run
@@ -25,11 +25,15 @@ proc clampsum(in a: int, in b: int, out s: int) {
 "#;
     let p = parse_program(src).unwrap();
     let mut ctx = SymCtx::new(&p);
-    let cfg = ExploreConfig { check_feasibility: false, ..ExploreConfig::default() };
+    let cfg = ExploreConfig {
+        check_feasibility: false,
+        ..ExploreConfig::default()
+    };
     let mut ex = Explorer::new(&p, cfg);
     let paths = ex.enumerate(&mut ctx, &EmptyFiller, 100);
     assert_eq!(paths.len(), 2);
 
+    let mut session = SmtSession::new(SmtConfig::default());
     for (a, b) in [(3i64, 4i64), (-5, 2), (0, 0), (7, -9)] {
         // concrete run
         let mut inputs = Store::new();
@@ -50,7 +54,7 @@ proc clampsum(in a: int, in b: int, out s: int) {
             let mut fs = path.conjuncts.clone();
             fs.push(ea);
             fs.push(eb);
-            if let SmtResult::Sat(model) = check_formulas(&mut ctx.arena, &fs, &[], SmtConfig::default()) {
+            if let SmtResult::Sat(model) = session.check_under(&mut ctx.arena, &fs) {
                 matching += 1;
                 let sv = p.var_by_name("s").unwrap();
                 let s_final = ctx.var_at(sv, &path.final_vmap);
@@ -77,13 +81,12 @@ proc steps(in n: int, out c: int) {
     let p = parse_program(src).unwrap();
     let mut ctx = SymCtx::new(&p);
     let mut avoid = HashSet::new();
+    let mut session = SmtSession::new(SmtConfig::default());
     for expected_iters in 0..4i64 {
         let mut ex = Explorer::new(&p, ExploreConfig::default());
         let path = ex.explore_one(&mut ctx, &EmptyFiller, &avoid).unwrap();
         avoid.insert(path.key);
-        let SmtResult::Sat(model) =
-            check_formulas(&mut ctx.arena, &path.conjuncts, &[], SmtConfig::default())
-        else {
+        let SmtResult::Sat(model) = session.check_under(&mut ctx.arena, &path.conjuncts) else {
             panic!("explored path must be satisfiable");
         };
         let n = ctx.var_term(p.var_by_name("n").unwrap(), 0);
@@ -95,12 +98,20 @@ proc steps(in n: int, out c: int) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    /// Random straight-line programs: the final path condition's model
-    /// agrees with concrete interpretation.
-    #[test]
-    fn straightline_symbolic_concrete_agreement(ops in prop::collection::vec((0..3u8, -5i64..5), 1..8)) {
+/// Random straight-line programs: the final path condition's model
+/// agrees with concrete interpretation.
+#[test]
+fn straightline_symbolic_concrete_agreement() {
+    let mut rng = SplitMix64::new(0x57AC_0001);
+    let cases = if cfg!(feature = "heavy-tests") {
+        128
+    } else {
+        24
+    };
+    for _ in 0..cases {
+        let ops: Vec<(u8, i64)> = (0..rng.gen_index(7) + 1)
+            .map(|_| (rng.gen_index(3) as u8, rng.gen_range(-5..5)))
+            .collect();
         let mut body = String::new();
         for (op, c) in &ops {
             match op {
@@ -113,7 +124,9 @@ proptest! {
         let p = parse_program(&src).unwrap();
         let mut ctx = SymCtx::new(&p);
         let mut ex = Explorer::new(&p, ExploreConfig::default());
-        let path = ex.explore_one(&mut ctx, &EmptyFiller, &HashSet::new()).unwrap();
+        let path = ex
+            .explore_one(&mut ctx, &EmptyFiller, &HashSet::new())
+            .unwrap();
 
         let x0 = 3i64;
         let mut inputs = Store::new();
@@ -126,12 +139,13 @@ proptest! {
         let eq = ctx.arena.mk_eq(tx0, c);
         let mut fs = path.conjuncts.clone();
         fs.push(eq);
-        let SmtResult::Sat(model) = check_formulas(&mut ctx.arena, &fs, &[], SmtConfig::default()) else {
+        let mut session = SmtSession::new(SmtConfig::default());
+        let SmtResult::Sat(model) = session.check_under(&mut ctx.arena, &fs) else {
             panic!("path must be satisfiable")
         };
         let xv = p.var_by_name("x").unwrap();
         let x_final = ctx.var_at(xv, &path.final_vmap);
-        prop_assert_eq!(model.eval_int(&ctx.arena, x_final), expect);
+        assert_eq!(model.eval_int(&ctx.arena, x_final), expect);
     }
 }
 
@@ -152,7 +166,9 @@ proc swap2(inout A: int[], in i: int, in j: int) {
     let p = parse_program(src).unwrap();
     let mut ctx = SymCtx::new(&p);
     let mut ex = Explorer::new(&p, ExploreConfig::default());
-    let path = ex.explore_one(&mut ctx, &EmptyFiller, &HashSet::new()).unwrap();
+    let path = ex
+        .explore_one(&mut ctx, &EmptyFiller, &HashSet::new())
+        .unwrap();
     // goal: forall k. A_final[k] = A_0[k]
     let av = p.var_by_name("A").unwrap();
     let a0 = ctx.var_term(av, 0);
@@ -163,11 +179,6 @@ proc swap2(inout A: int[], in i: int, in j: int) {
     let sf = ctx.arena.mk_sel(af, bk);
     let eq = ctx.arena.mk_eq(s0, sf);
     let goal = ctx.arena.mk_forall(vec![(k, Sort::Int)], eq);
-    assert!(pins::smt::is_valid(
-        &mut ctx.arena,
-        &path.conjuncts,
-        goal,
-        &[],
-        SmtConfig::default()
-    ));
+    let mut session = SmtSession::new(SmtConfig::default());
+    assert!(session.entails(&mut ctx.arena, &path.conjuncts, goal));
 }
