@@ -49,6 +49,28 @@ fn main() {
                     },
                     s.sessions_reused,
                 );
+                let degradations = s.unknown_deadline
+                    + s.unknown_cancelled
+                    + s.unknown_step_limit
+                    + s.unknown_overflow
+                    + s.worker_panics
+                    + s.sat_interrupts;
+                if degradations > 0 || s.smt_retries > 0 {
+                    println!(
+                        "{:<14} degraded: {} deadline / {} cancelled / {} step-limit / \
+                         {} overflow unknowns, {} worker panics, {} sat interrupts; \
+                         {} retries ({} cache upgrades)",
+                        "",
+                        s.unknown_deadline,
+                        s.unknown_cancelled,
+                        s.unknown_step_limit,
+                        s.unknown_overflow,
+                        s.worker_panics,
+                        s.sat_interrupts,
+                        s.smt_retries,
+                        s.smt_cache_upgrades,
+                    );
+                }
             }
             Err(e) => println!("{:<14} {e}   ({paper_str})", b.name()),
         }

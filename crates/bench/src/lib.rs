@@ -32,19 +32,29 @@ pub struct HarnessArgs {
     pub fast: bool,
     /// Verification worker-thread override (default: the engine's choice).
     pub workers: Option<usize>,
+    /// Per-SMT-query wall-clock limit.
+    pub query_ms: Option<u64>,
+    /// Per-SMT-query step limit (conflicts + pivots + instantiation rounds).
+    pub query_steps: Option<u64>,
+    /// Disable the one-shot retry-at-doubled-budgets on `Unknown`.
+    pub no_retry: bool,
 }
 
-/// Parses `[--fast] [--budget SECS] [--workers N] [name...]` from
-/// `std::env::args`.
+/// Parses `[--fast] [--budget SECS] [--workers N] [--query-ms MS]
+/// [--query-steps N] [--no-retry] [name...]` from `std::env::args`.
 pub fn parse_args() -> HarnessArgs {
     let mut benchmarks = Vec::new();
     let mut budget = None;
     let mut fast = false;
     let mut workers = None;
+    let mut query_ms = None;
+    let mut query_steps = None;
+    let mut no_retry = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fast" => fast = true,
+            "--no-retry" => no_retry = true,
             "--budget" => {
                 let secs: u64 = args
                     .next()
@@ -57,6 +67,20 @@ pub fn parse_args() -> HarnessArgs {
                     args.next()
                         .and_then(|s| s.parse().ok())
                         .expect("--workers takes a count"),
+                );
+            }
+            "--query-ms" => {
+                query_ms = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--query-ms takes milliseconds"),
+                );
+            }
+            "--query-steps" => {
+                query_steps = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--query-steps takes a count"),
                 );
             }
             name => {
@@ -80,6 +104,9 @@ pub fn parse_args() -> HarnessArgs {
         budget,
         fast,
         workers,
+        query_ms,
+        query_steps,
+        no_retry,
     }
 }
 
@@ -103,6 +130,20 @@ pub fn run_pins(b: &Benchmark, args: &HarnessArgs) -> Result<PinsOutcome, PinsEr
     }
     if let Some(w) = args.workers {
         config.verify_workers = w;
+    }
+    // per-query solver budgets apply to both the verification session and
+    // the symbolic executor's feasibility session
+    if let Some(ms) = args.query_ms {
+        config.smt.time_limit = Some(Duration::from_millis(ms));
+        config.explore.smt.time_limit = Some(Duration::from_millis(ms));
+    }
+    if let Some(steps) = args.query_steps {
+        config.smt.step_limit = Some(steps);
+        config.explore.smt.step_limit = Some(steps);
+    }
+    if args.no_retry {
+        config.smt.retry_unknown = false;
+        config.explore.smt.retry_unknown = false;
     }
     Pins::new(config).run(&mut session)
 }

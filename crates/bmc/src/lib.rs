@@ -19,8 +19,9 @@
 //! assert!(report.verified);
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use pins_budget::{Budget, StopReason};
 use pins_core::Session;
 use pins_ir::{Program, Type};
 use pins_logic::TermId;
@@ -39,6 +40,10 @@ pub struct BmcConfig {
     pub smt: SmtConfig,
     /// Safety cap on enumerated paths.
     pub max_paths: usize,
+    /// Wall-clock budget for the whole run (unrolling + discharge); on
+    /// expiry the report comes back unverified with
+    /// [`BmcReport::stopped`] set instead of hanging.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for BmcConfig {
@@ -48,6 +53,7 @@ impl Default for BmcConfig {
             input_bound: 4,
             smt: SmtConfig::default(),
             max_paths: 100_000,
+            time_budget: None,
         }
     }
 }
@@ -61,6 +67,10 @@ pub struct BmcReport {
     pub paths: usize,
     /// Description of the first violating path, if any.
     pub counterexample: Option<String>,
+    /// Set when the run was cut short by the budget (or degraded on an
+    /// arithmetic overflow) rather than refuted: the bounded claim is then
+    /// *unestablished*, not falsified.
+    pub stopped: Option<StopReason>,
     /// Wall-clock time.
     pub time: std::time::Duration,
 }
@@ -113,14 +123,26 @@ pub fn check_inverse(session: &Session, inverse: &Program, config: BmcConfig) ->
         axioms: axioms.clone(),
         smt: config.smt,
     };
+    let budget = Budget::with_limits(config.time_budget, None);
     let mut explorer = Explorer::new(&composed, explore);
+    explorer.set_budget(budget.clone());
     let paths = explorer.enumerate(&mut ctx, &EmptyFiller, config.max_paths);
     let total = paths.len();
+    if let Some(reason) = explorer.stop_reason {
+        return BmcReport {
+            verified: false,
+            paths: total,
+            counterexample: None,
+            stopped: Some(reason),
+            time: start.elapsed(),
+        };
+    }
 
     // one session for the whole run: axioms and input bounds are asserted
     // persistently; each path contributes only its conjuncts + negated spec
     // as assumptions, so repeated path prefixes hit the query cache
     let mut smt = SmtSession::new(config.smt);
+    smt.set_budget(budget);
     for &ax in &axioms {
         smt.assert_axiom(ax);
     }
@@ -135,7 +157,18 @@ pub fn check_inverse(session: &Session, inverse: &Program, config: BmcConfig) ->
         assumptions.push(neg);
         match smt.verdict_under(&mut ctx.arena, &assumptions) {
             Verdict::Unsat => {}
-            Verdict::Sat { .. } | Verdict::Unknown => {
+            Verdict::Unknown { reason } => {
+                // the solver was stopped, not refuted: report the budget
+                // trip rather than a (nonexistent) counterexample
+                return BmcReport {
+                    verified: false,
+                    paths: total,
+                    counterexample: None,
+                    stopped: Some(reason),
+                    time: start.elapsed(),
+                };
+            }
+            Verdict::Sat { .. } => {
                 let mut shown = String::new();
                 for &c in path.conjuncts.iter().take(12) {
                     shown.push_str(&format!("{}\n", ctx.arena.display(c)));
@@ -144,6 +177,7 @@ pub fn check_inverse(session: &Session, inverse: &Program, config: BmcConfig) ->
                     verified: false,
                     paths: total,
                     counterexample: Some(shown),
+                    stopped: None,
                     time: start.elapsed(),
                 };
             }
@@ -153,6 +187,7 @@ pub fn check_inverse(session: &Session, inverse: &Program, config: BmcConfig) ->
         verified: true,
         paths: total,
         counterexample: None,
+        stopped: None,
         time: start.elapsed(),
     }
 }

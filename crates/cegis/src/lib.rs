@@ -21,6 +21,7 @@
 
 use std::time::{Duration, Instant};
 
+use pins_budget::Budget;
 use pins_core::{build_domains, resolve_solution, DomainConfig, Session, Solution, SpecItem};
 use pins_ir::{run, ExternEnv, Program, Store, Value};
 use pins_sat::{Lit, SolveResult, Solver as SatSolver, Var};
@@ -109,6 +110,9 @@ pub fn synthesize(
     // synthetic rank/invariant holes exist in the domain table: fix them to
     // their first candidate, since termination is enforced by fuel here)
     let mut sat = SatSolver::new();
+    // the wall-clock budget also interrupts a runaway SAT solve mid-search,
+    // not just between candidates
+    sat.set_budget(Budget::with_limits(config.time_budget, None));
     let evars: Vec<Vec<Var>> = domains
         .exprs
         .iter()
@@ -168,6 +172,16 @@ pub fn synthesize(
             }
         }
         match sat.solve() {
+            SolveResult::Interrupted(reason) => {
+                return report(
+                    start,
+                    None,
+                    tried,
+                    active.len(),
+                    &sat,
+                    Some(format!("interrupted: {reason}")),
+                );
+            }
             SolveResult::Unsat => {
                 return report(
                     start,

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
+use pins_budget::Budget;
 use pins_ir::{Expr, Pred, Program, Stmt, Value};
 use pins_logic::{collect_subterms, Term, TermId};
 use pins_prng::SplitMix64;
@@ -102,6 +103,23 @@ pub struct PinsStats {
     pub verify_workers: usize,
     /// SMT queries issued per parallel worker slot (empty when serial).
     pub worker_queries: Vec<u64>,
+    /// Verification queries that panicked and were degraded to "constraint
+    /// unverified" instead of aborting the run.
+    pub worker_panics: u64,
+    /// Candidate-enumeration SAT solves interrupted by the shared budget.
+    pub sat_interrupts: u64,
+    /// Budget-limited `Unknown` SMT answers retried at doubled budgets.
+    pub smt_retries: u64,
+    /// Cached `Unknown` entries upgraded to a definitive verdict by a retry.
+    pub smt_cache_upgrades: u64,
+    /// Final SMT `Unknown` answers that hit the wall-clock deadline.
+    pub unknown_deadline: u64,
+    /// Final SMT `Unknown` answers caused by an external cancellation.
+    pub unknown_cancelled: u64,
+    /// Final SMT `Unknown` answers that exhausted a step or round limit.
+    pub unknown_step_limit: u64,
+    /// Final SMT `Unknown` answers degraded from exact-rational overflow.
+    pub unknown_overflow: u64,
 }
 
 /// A concrete test input generated from an explored path (§2.5).
@@ -193,6 +211,21 @@ impl Pins {
     /// candidate; [`PinsError::BudgetExhausted`] when iteration or time
     /// budgets run out before any candidate survives.
     pub fn run(&self, session: &mut Session) -> Result<PinsOutcome, PinsError> {
+        // the engine-level time budget becomes the root of the shared budget
+        // tree, so SAT, simplex, instantiation, and exploration all observe
+        // the same deadline instead of only the between-iteration check
+        self.run_with_budget(session, Budget::with_limits(self.config.time_budget, None))
+    }
+
+    /// Runs Algorithm 1 under an externally owned [`Budget`]: cancelling the
+    /// budget (from any thread) makes the run return
+    /// [`PinsError::BudgetExhausted`] at the next poll point instead of
+    /// running to completion.
+    pub fn run_with_budget(
+        &self,
+        session: &mut Session,
+        budget: Budget,
+    ) -> Result<PinsOutcome, PinsError> {
         let start = Instant::now();
         let mut stats = PinsStats::default();
         let mut rng = SplitMix64::new(self.config.seed);
@@ -203,6 +236,7 @@ impl Pins {
         // axioms and the normalized-query cache shared with the verification
         // workers forked inside `solve`
         let mut smt = SmtSession::new(self.config.smt);
+        smt.set_budget(budget.clone());
         for &ax in &axioms {
             smt.assert_axiom(ax);
         }
@@ -227,10 +261,13 @@ impl Pins {
             if iterations >= self.config.max_iterations {
                 return Err(PinsError::BudgetExhausted);
             }
-            if let Some(budget) = self.config.time_budget {
-                if start.elapsed() > budget {
+            if let Some(limit) = self.config.time_budget {
+                if start.elapsed() > limit {
                     return Err(PinsError::BudgetExhausted);
                 }
+            }
+            if budget.check().is_err() {
+                return Err(PinsError::BudgetExhausted);
             }
             let sols = solver.solve(
                 &mut ctx,
@@ -248,7 +285,15 @@ impl Pins {
             stats.sessions_reused = solver.stats.sessions_reused;
             stats.verify_workers = solver.stats.workers;
             stats.worker_queries = solver.stats.worker_queries.clone();
+            stats.worker_panics = solver.stats.worker_panics;
+            stats.sat_interrupts = solver.stats.sat_interrupts;
             if sols.is_empty() {
+                // an empty solution set means "every candidate refuted" only
+                // when the search actually ran to completion; a budget trip
+                // mid-enumeration is exhaustion, not a refutation
+                if solver.stats.last_stop.is_some() || budget.check().is_err() {
+                    return Err(PinsError::BudgetExhausted);
+                }
                 return Err(PinsError::NoSolution {
                     iterations,
                     paths_explored: explored.len(),
@@ -299,6 +344,7 @@ impl Pins {
                 let mut cfg = self.config.explore.clone();
                 cfg.axioms = axioms.clone();
                 let mut explorer = Explorer::new(&session.composed, cfg);
+                explorer.set_budget(budget.clone());
                 path = explorer.explore_one(&mut ctx, &f, &explored);
                 stats.feasibility_queries += explorer.feasibility_queries;
                 any_budget_hit |= explorer.budget_hit;
@@ -432,6 +478,12 @@ impl Pins {
         };
         stats.smt_cache_hits = smt.stats.cache_hits;
         stats.smt_cache_misses = smt.stats.cache_misses;
+        stats.smt_retries = smt.stats.retries;
+        stats.smt_cache_upgrades = smt.stats.cache_upgrades;
+        stats.unknown_deadline = smt.stats.unknown_deadline;
+        stats.unknown_cancelled = smt.stats.unknown_cancelled;
+        stats.unknown_step_limit = smt.stats.unknown_step_limit;
+        stats.unknown_overflow = smt.stats.unknown_overflow;
         stats.total_time = start.elapsed();
         PinsOutcome {
             solutions,

@@ -20,7 +20,10 @@
 //! run.
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+use pins_budget::StopReason;
 
 use pins_ir::{EHoleId, PHoleId};
 use pins_logic::{collect_subterms, Term, TermId};
@@ -96,6 +99,30 @@ pub struct SolveStats {
     pub workers: usize,
     /// SMT queries issued by each parallel worker slot.
     pub worker_queries: Vec<u64>,
+    /// Verification queries that panicked and were degraded to "constraint
+    /// unverified" instead of aborting the search (serial and parallel).
+    pub worker_panics: u64,
+    /// Candidate-enumeration SAT solves interrupted by the shared budget.
+    pub sat_interrupts: u64,
+    /// The budget stop that ended the most recent `solve` call early, if any.
+    pub last_stop: Option<StopReason>,
+}
+
+/// Runs [`verify_one`] with panic isolation: a query that panics (e.g. a
+/// poisoned constraint hitting an encoder `panic!`) degrades to `None`
+/// ("unverified") instead of tearing down the solve. Used by BOTH the serial
+/// and the parallel path so the two produce identical verdicts.
+fn verify_one_isolated(
+    ctx: &mut SymCtx,
+    program: &pins_ir::Program,
+    smt: &mut SmtSession,
+    constraint: &Constraint,
+    filler: &MapFiller,
+) -> Option<bool> {
+    catch_unwind(AssertUnwindSafe(|| {
+        verify_one(ctx, program, smt, constraint, filler)
+    }))
+    .ok()
 }
 
 /// Verifies a single constraint under a filled-in candidate: substitutes the
@@ -236,7 +263,14 @@ impl HoleSolver {
         }
         let filler = solution.to_filler(domains);
         let t0 = Instant::now();
-        let valid = verify_one(ctx, &session.composed, smt, &constraints[c], &filler);
+        let valid = match verify_one_isolated(ctx, &session.composed, smt, &constraints[c], &filler)
+        {
+            Some(v) => v,
+            None => {
+                self.stats.worker_panics += 1;
+                false
+            }
+        };
         self.stats.smt_time += t0.elapsed();
         self.stats.smt_queries += 1;
         self.cache.insert((c, key), valid);
@@ -324,46 +358,69 @@ impl HoleSolver {
                 let chunks: Vec<Vec<usize>> = (0..workers)
                     .map(|w| pending.iter().copied().skip(w).step_by(workers).collect())
                     .collect();
-                let outcomes: Vec<(Vec<(usize, bool)>, pins_smt::SessionStats)> =
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = chunks
-                            .into_iter()
-                            .map(|chunk| {
-                                let mut wctx = ctx.clone();
-                                let mut wsmt = smt.fork();
-                                let filler = &filler;
-                                scope.spawn(move || {
-                                    let out: Vec<(usize, bool)> = chunk
-                                        .into_iter()
-                                        .map(|c| {
-                                            let ok = verify_one(
-                                                &mut wctx,
-                                                program,
-                                                &mut wsmt,
-                                                &constraints[c],
-                                                filler,
-                                            );
-                                            (c, ok)
-                                        })
-                                        .collect();
-                                    (out, wsmt.stats)
-                                })
+                type WorkerOutcome = (Vec<(usize, bool)>, u64, pins_smt::SessionStats);
+                let outcomes: Vec<Result<WorkerOutcome, ()>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .iter()
+                        .map(|chunk| {
+                            let chunk = chunk.clone();
+                            let mut wctx = ctx.clone();
+                            let mut wsmt = smt.fork();
+                            let filler = &filler;
+                            scope.spawn(move || {
+                                // per-query panic isolation, mirroring the
+                                // serial path: a poisoned query counts as
+                                // unverified and the worker moves on
+                                let mut panics = 0u64;
+                                let out: Vec<(usize, bool)> = chunk
+                                    .into_iter()
+                                    .map(|c| {
+                                        let ok = verify_one_isolated(
+                                            &mut wctx,
+                                            program,
+                                            &mut wsmt,
+                                            &constraints[c],
+                                            filler,
+                                        )
+                                        .unwrap_or_else(|| {
+                                            panics += 1;
+                                            false
+                                        });
+                                        (c, ok)
+                                    })
+                                    .collect();
+                                (out, panics, wsmt.stats)
                             })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("verification worker panicked"))
-                            .collect()
-                    });
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().map_err(|_| ()))
+                        .collect()
+                });
                 self.stats.smt_time += t0.elapsed();
-                for (w, (pairs, wstats)) in outcomes.into_iter().enumerate() {
-                    self.stats.smt_queries += wstats.queries;
-                    self.stats.worker_queries[w] += wstats.queries;
-                    // fold worker traffic into the parent session so its
-                    // counters stay the single source of truth
-                    smt.stats.absorb(&wstats);
-                    for (c, ok) in pairs {
-                        results.insert(c, ok);
+                for (w, outcome) in outcomes.into_iter().enumerate() {
+                    match outcome {
+                        Ok((pairs, panics, wstats)) => {
+                            self.stats.smt_queries += wstats.queries;
+                            self.stats.worker_queries[w] += wstats.queries;
+                            self.stats.worker_panics += panics;
+                            // fold worker traffic into the parent session so
+                            // its counters stay the single source of truth
+                            smt.stats.absorb(&wstats);
+                            for (c, ok) in pairs {
+                                results.insert(c, ok);
+                            }
+                        }
+                        Err(()) => {
+                            // the whole worker died (a panic that escaped
+                            // catch_unwind, e.g. a double panic): degrade its
+                            // entire chunk to unverified rather than abort
+                            self.stats.worker_panics += 1;
+                            for &c in &chunks[w] {
+                                results.insert(c, false);
+                            }
+                        }
                     }
                 }
             }
@@ -432,7 +489,11 @@ impl HoleSolver {
             self.register_constraint(ctx, idx, constraint);
         }
         let mut found = Vec::new();
+        self.stats.last_stop = None;
         let mut snapshot = self.sat.clone();
+        // candidate enumeration runs under the session's shared budget, so a
+        // deadline or cancellation interrupts SAT search too, not just SMT
+        snapshot.set_budget(smt.budget().clone());
         loop {
             let t0 = Instant::now();
             let res = snapshot.solve();
@@ -440,6 +501,11 @@ impl HoleSolver {
             self.stats.sat_size = self.stats.sat_size.max(snapshot.formula_size());
             match res {
                 SolveResult::Unsat => break,
+                SolveResult::Interrupted(reason) => {
+                    self.stats.sat_interrupts += 1;
+                    self.stats.last_stop = Some(reason);
+                    break;
+                }
                 SolveResult::Sat => {
                     let s = Self::extract_solution(&snapshot, &self.evars, &self.pvars);
                     self.stats.candidates_proposed += 1;

@@ -1,3 +1,5 @@
+use pins_budget::{Budget, StopReason};
+
 use crate::heap::ActivityHeap;
 
 /// A propositional variable.
@@ -73,6 +75,10 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The attached [`Budget`] ran out before a verdict was reached. The
+    /// solver state stays valid: clauses persist and `solve` may be called
+    /// again (e.g. with a larger budget).
+    Interrupted(StopReason),
 }
 
 const L_UNDEF: i8 = 0;
@@ -112,6 +118,8 @@ pub struct Solver {
     seen: Vec<bool>,
     ok: bool,
     max_learnts: f64,
+    /// Work budget charged per conflict and per decision.
+    budget: Budget,
     /// Statistics: total conflicts encountered.
     pub conflicts: u64,
     /// Statistics: total decisions made.
@@ -147,10 +155,17 @@ impl Solver {
             seen: Vec::new(),
             ok: true,
             max_learnts: 1000.0,
+            budget: Budget::unlimited(),
             conflicts: 0,
             decisions: 0,
             propagations: 0,
         }
+    }
+
+    /// Attaches the work budget polled during search. The default budget is
+    /// unlimited.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Allocates a fresh variable.
@@ -581,6 +596,9 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.conflicts += 1;
                 conflicts_this_restart += 1;
+                if let Err(reason) = self.budget.charge(1) {
+                    return SolveResult::Interrupted(reason);
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SolveResult::Unsat;
@@ -626,6 +644,11 @@ impl Solver {
                         }
                     }
                 } else {
+                    // poll before popping the heap so an interrupt cannot
+                    // lose an unassigned variable from the decision order
+                    if let Err(reason) = self.budget.charge(1) {
+                        return SolveResult::Interrupted(reason);
+                    }
                     match self.pick_branch_var() {
                         None => return SolveResult::Sat,
                         Some(v) => {

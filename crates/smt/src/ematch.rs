@@ -11,6 +11,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use pins_budget::Budget;
 use pins_logic::{collect_subterms, Sort, Term, TermArena, TermId, BOUND_VERSION};
 
 use crate::euf::Euf;
@@ -36,7 +37,10 @@ impl Default for EmatchConfig {
 type Subst = HashMap<TermId, TermId>;
 
 /// Runs one e-matching round of `axioms` against the e-graph in `euf`.
-/// Returns ground instances not seen before (tracked in `done`).
+/// Returns ground instances not seen before (tracked in `done`). Polls
+/// `budget` between axioms and bails out early (with the instances gathered
+/// so far) when it is exhausted; the caller detects the stop at its own
+/// loop head.
 pub fn ematch_round(
     arena: &mut TermArena,
     euf: &mut Euf,
@@ -44,6 +48,7 @@ pub fn ematch_round(
     done: &mut HashSet<(TermId, Vec<TermId>)>,
     instances_so_far: usize,
     config: EmatchConfig,
+    budget: &Budget,
 ) -> Vec<TermId> {
     // group registered terms by class
     let class_terms = euf.class_of_terms();
@@ -73,6 +78,9 @@ pub fn ematch_round(
 
     let mut out = Vec::new();
     for &ax in axioms {
+        if budget.charge(1).is_err() {
+            return out;
+        }
         let Term::Forall(vars, body) = arena.term(ax).clone() else {
             continue;
         };

@@ -10,6 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use pins_budget::{Budget, StopReason};
 use pins_logic::{collect_subterms, Sort, Term, TermArena, TermId, BOUND_VERSION};
 
 /// Budget for instantiation.
@@ -37,15 +38,19 @@ pub struct InstOutcome {
     pub instances: Vec<TermId>,
     /// Whether the instance cap was hit (the solver reports incompleteness).
     pub truncated: bool,
+    /// Set when the budget stopped instantiation mid-run; the instances
+    /// gathered so far are still valid (sound) but incomplete.
+    pub stopped: Option<StopReason>,
 }
 
 /// Instantiates `axioms` (each a `Forall` term) against the ground terms of
-/// `roots`.
+/// `roots`, charging `budget` one step per round and per generated instance.
 pub fn instantiate(
     arena: &mut TermArena,
     axioms: &[TermId],
     roots: &[TermId],
     config: InstConfig,
+    budget: &Budget,
 ) -> InstOutcome {
     let mut outcome = InstOutcome::default();
     let mut universe: HashSet<TermId> = HashSet::new();
@@ -54,9 +59,18 @@ pub fn instantiate(
     }
     let mut done: HashSet<(TermId, Vec<TermId>)> = HashSet::new();
 
-    for _round in 0..config.max_rounds {
+    'rounds: for _round in 0..config.max_rounds {
+        if let Err(reason) = budget.charge(1) {
+            outcome.stopped = Some(reason);
+            break;
+        }
         let mut new_instances: Vec<TermId> = Vec::new();
         for &ax in axioms {
+            if let Err(reason) = budget.check() {
+                outcome.stopped = Some(reason);
+                outcome.instances.extend(new_instances);
+                break 'rounds;
+            }
             let Term::Forall(vars, body) = arena.term(ax).clone() else {
                 continue;
             };
@@ -81,6 +95,7 @@ pub fn instantiate(
                 }
                 let inst = arena.substitute(body, &subst);
                 new_instances.push(inst);
+                let _ = budget.charge(1); // polled at the next loop head
             }
         }
         if new_instances.is_empty() || outcome.truncated {
@@ -275,7 +290,13 @@ mod tests {
         let len = arena.mk_app(strlen, vec![appended]);
         let five = arena.mk_int(5);
         let root = arena.mk_eq(len, five);
-        let out = instantiate(&mut arena, &[ax], &[root], InstConfig::default());
+        let out = instantiate(
+            &mut arena,
+            &[ax],
+            &[root],
+            InstConfig::default(),
+            &Budget::unlimited(),
+        );
         assert_eq!(out.instances.len(), 1);
         // The instance should be strlen(append(w,d)) = strlen(w) + 1.
         let shown = arena.display(out.instances[0]).to_string();
@@ -291,7 +312,13 @@ mod tests {
         let vx = arena.mk_var(x, 0, Sort::Int);
         let one = arena.mk_int(1);
         let root = arena.mk_le(vx, one);
-        let out = instantiate(&mut arena, &[ax], &[root], InstConfig::default());
+        let out = instantiate(
+            &mut arena,
+            &[ax],
+            &[root],
+            InstConfig::default(),
+            &Budget::unlimited(),
+        );
         assert!(out.instances.is_empty());
     }
 
@@ -318,7 +345,13 @@ mod tests {
         let len = arena.mk_app(strlen, vec![outer]);
         let five = arena.mk_int(5);
         let root = arena.mk_eq(len, five);
-        let out = instantiate(&mut arena, &[ax], &[root], InstConfig::default());
+        let out = instantiate(
+            &mut arena,
+            &[ax],
+            &[root],
+            InstConfig::default(),
+            &Budget::unlimited(),
+        );
         assert_eq!(out.instances.len(), 2, "expected chained instantiation");
     }
 
@@ -351,6 +384,7 @@ mod tests {
                 max_rounds: 10,
                 max_instances: 3,
             },
+            &Budget::unlimited(),
         );
         assert!(out.truncated);
         assert!(out.instances.len() <= 3);

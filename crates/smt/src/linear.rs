@@ -8,35 +8,63 @@ use std::collections::HashMap;
 use pins_logic::{Term, TermArena, TermId};
 
 /// `constant + sum coeffs[t] * t` over opaque integer terms `t`.
+///
+/// All arithmetic is checked: a coefficient or constant that escapes `i64`
+/// sets [`overflowed`](Self::overflowed) instead of panicking (or silently
+/// wrapping under `overflow-checks = false`), and the solver degrades such
+/// an expression to an `Unknown(Overflow)` verdict.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinExpr {
     /// Coefficients of opaque terms.
     pub coeffs: HashMap<TermId, i64>,
     /// The constant offset.
     pub constant: i64,
+    /// Set when any step of building the expression overflowed `i64`; the
+    /// numeric fields are then unreliable and must not be asserted.
+    pub overflowed: bool,
 }
 
 impl LinExpr {
+    fn checked(&mut self, v: Option<i64>) -> i64 {
+        v.unwrap_or_else(|| {
+            self.overflowed = true;
+            0
+        })
+    }
+
     fn add_term(&mut self, t: TermId, c: i64) {
-        let e = self.coeffs.entry(t).or_insert(0);
-        *e += c;
-        if *e == 0 {
+        let cur = self.coeffs.get(&t).copied().unwrap_or(0);
+        let e = self.checked(cur.checked_add(c));
+        if e == 0 {
             self.coeffs.remove(&t);
+        } else {
+            self.coeffs.insert(t, e);
         }
     }
 
     fn scale(&mut self, k: i64) {
-        self.constant *= k;
+        self.constant = self.checked(self.constant.checked_mul(k));
+        let mut overflow = false;
         self.coeffs.retain(|_, c| {
-            *c *= k;
+            match c.checked_mul(k) {
+                Some(v) => *c = v,
+                None => {
+                    overflow = true;
+                    *c = 0;
+                }
+            }
             *c != 0
         });
+        self.overflowed |= overflow;
     }
 
     fn merge(&mut self, other: LinExpr, sign: i64) {
-        self.constant += sign * other.constant;
+        self.overflowed |= other.overflowed;
+        let scaled = self.checked(other.constant.checked_mul(sign));
+        self.constant = self.checked(self.constant.checked_add(scaled));
         for (t, c) in other.coeffs {
-            self.add_term(t, sign * c);
+            let c = self.checked(c.checked_mul(sign));
+            self.add_term(t, c);
         }
     }
 
@@ -67,7 +95,10 @@ pub fn linearize(arena: &TermArena, t: TermId) -> LinExpr {
 
 fn lin_rec(arena: &TermArena, t: TermId, sign: i64, out: &mut LinExpr) {
     match arena.term(t) {
-        Term::IntConst(v) => out.constant += sign * v,
+        Term::IntConst(v) => {
+            let sv = out.checked(v.checked_mul(sign));
+            out.constant = out.checked(out.constant.checked_add(sv));
+        }
         Term::Add(a, b) => {
             lin_rec(arena, *a, sign, out);
             lin_rec(arena, *b, sign, out);
@@ -82,13 +113,19 @@ fn lin_rec(arena: &TermArena, t: TermId, sign: i64, out: &mut LinExpr) {
                 (Term::IntConst(k), _) => {
                     let mut inner = LinExpr::default();
                     lin_rec(arena, b, 1, &mut inner);
-                    inner.scale(sign * k);
+                    inner.scale(*k);
+                    if sign < 0 {
+                        inner.scale(-1);
+                    }
                     out.merge(inner, 1);
                 }
                 (_, Term::IntConst(k)) => {
                     let mut inner = LinExpr::default();
                     lin_rec(arena, a, 1, &mut inner);
-                    inner.scale(sign * k);
+                    inner.scale(*k);
+                    if sign < 0 {
+                        inner.scale(-1);
+                    }
                     out.merge(inner, 1);
                 }
                 _ => out.add_term(t, sign), // non-linear: opaque

@@ -2,8 +2,12 @@
 //!
 //! Coefficients in PINS constraints are tiny (±1, ±2, small constants), so an
 //! `i128` numerator/denominator pair with eager GCD normalisation has ample
-//! headroom. All operations use checked arithmetic and panic on overflow —
-//! which would indicate a bug, not a data-dependent condition.
+//! headroom. Every operation has a checked (`Option`-returning) form; the
+//! simplex layer uses those and degrades an overflow to a recoverable
+//! `Unknown(Overflow)` verdict instead of panicking. The operator impls
+//! (`+`, `-`, `*`, `/`) remain panicking conveniences for contexts where
+//! overflow would indicate a bug rather than a data-dependent condition.
+//! Comparison (`Ord`) is total and overflow-free.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -16,14 +20,30 @@ pub struct Rat {
     den: i128, // always > 0
 }
 
-fn gcd(a: i128, b: i128) -> i128 {
-    let (mut a, mut b) = (a.abs(), b.abs());
+/// Greatest common divisor over unsigned magnitudes. Using `unsigned_abs`
+/// instead of `abs` keeps `i128::MIN` (magnitude `2^127`) in range.
+fn gcd_mag(a: u128, b: u128) -> u128 {
+    let (mut a, mut b) = (a, b);
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
     a
+}
+
+/// Reassembles a signed integer from magnitude + sign, `None` if out of
+/// range for `i128`.
+fn to_signed(mag: u128, negative: bool) -> Option<i128> {
+    if negative {
+        if mag > i128::MIN.unsigned_abs() {
+            None
+        } else {
+            Some((mag as i128).wrapping_neg())
+        }
+    } else {
+        i128::try_from(mag).ok()
+    }
 }
 
 impl Rat {
@@ -36,19 +56,29 @@ impl Rat {
     ///
     /// # Panics
     ///
-    /// Panics if `den == 0`.
+    /// Panics if `den == 0` or if the normalised numerator is out of range
+    /// (only possible for `i128::MIN` inputs). Use [`Rat::checked_new`]
+    /// where overflow must be recoverable.
     pub fn new(num: i128, den: i128) -> Rat {
-        assert!(den != 0, "zero denominator");
-        let g = gcd(num, den);
-        let (num, den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
-        if den < 0 {
-            Rat {
-                num: -num,
-                den: -den,
-            }
-        } else {
-            Rat { num, den }
+        Rat::checked_new(num, den).expect("rational overflow in new")
+    }
+
+    /// Constructs `num / den`, normalised; `None` on a zero denominator or
+    /// when the normalised representation is out of `i128` range (e.g.
+    /// `i128::MIN / -1` territory).
+    pub fn checked_new(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            return None;
         }
+        if num == 0 {
+            return Some(Rat::ZERO);
+        }
+        let negative = (num < 0) != (den < 0);
+        let (nm, dm) = (num.unsigned_abs(), den.unsigned_abs());
+        let g = gcd_mag(nm, dm);
+        let num = to_signed(nm / g, negative)?;
+        let den = to_signed(dm / g, false)?;
+        Some(Rat { num, den })
     }
 
     /// The integer `v` as a rational.
@@ -57,6 +87,12 @@ impl Rat {
             num: v as i128,
             den: 1,
         }
+    }
+
+    /// The integer `v` as a rational (full `i128` range, including
+    /// `i128::MIN`).
+    pub fn from_int128(v: i128) -> Rat {
+        Rat { num: v, den: 1 }
     }
 
     /// Numerator (after normalisation; sign lives here).
@@ -79,23 +115,75 @@ impl Rat {
         self.num == 0
     }
 
-    /// Truncation toward negative infinity.
+    /// Rounds toward negative infinity (largest integer `<= self`).
     pub fn floor(self) -> i128 {
         self.num.div_euclid(self.den)
     }
 
-    /// Truncation toward positive infinity.
+    /// Rounds toward positive infinity (smallest integer `>= self`).
+    ///
+    /// Exact for every normalised value except `i128::MIN` itself (whose
+    /// negation is out of range); that case cannot arise from checked
+    /// constructors with `den > 1`.
     pub fn ceil(self) -> i128 {
-        -((-self.num).div_euclid(self.den))
+        if self.den == 1 {
+            self.num
+        } else {
+            // den > 1 implies |num| < i128::MAX after normalisation headroom;
+            // compute as floor + 1 for non-integers to avoid negating MIN.
+            self.num.div_euclid(self.den) + 1
+        }
     }
 
     /// Multiplicative inverse.
     ///
     /// # Panics
     ///
-    /// Panics if zero.
+    /// Panics if zero or unrepresentable. Use [`Rat::checked_recip`] where
+    /// overflow must be recoverable.
     pub fn recip(self) -> Rat {
-        Rat::new(self.den, self.num)
+        self.checked_recip().expect("rational overflow in recip")
+    }
+
+    /// Multiplicative inverse; `None` if zero or out of range.
+    pub fn checked_recip(self) -> Option<Rat> {
+        Rat::checked_new(self.den, self.num)
+    }
+
+    /// Checked negation; `None` only for `num == i128::MIN`.
+    pub fn checked_neg(self) -> Option<Rat> {
+        Some(Rat {
+            num: self.num.checked_neg()?,
+            den: self.den,
+        })
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        let a = self.num.checked_mul(rhs.den)?;
+        let b = rhs.num.checked_mul(self.den)?;
+        let num = a.checked_add(b)?;
+        let den = self.den.checked_mul(rhs.den)?;
+        Rat::checked_new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Rat) -> Option<Rat> {
+        self.checked_add(rhs.checked_neg()?)
+    }
+
+    /// Checked multiplication (cross-reduced to keep magnitudes small).
+    pub fn checked_mul(self, rhs: Rat) -> Option<Rat> {
+        let g1 = gcd_mag(self.num.unsigned_abs(), rhs.den.unsigned_abs()).max(1) as i128;
+        let g2 = gcd_mag(rhs.num.unsigned_abs(), self.den.unsigned_abs()).max(1) as i128;
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Rat::checked_new(num, den)
+    }
+
+    /// Checked division; `None` on division by zero or overflow.
+    pub fn checked_div(self, rhs: Rat) -> Option<Rat> {
+        self.checked_mul(rhs.checked_recip()?)
     }
 
     /// Converts to `i64` when integral and in range.
@@ -121,57 +209,35 @@ impl fmt::Display for Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
-        let num = self
-            .num
-            .checked_mul(rhs.den)
-            .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
-            .expect("rational overflow in add");
-        let den = self
-            .den
-            .checked_mul(rhs.den)
-            .expect("rational overflow in add");
-        Rat::new(num, den)
+        self.checked_add(rhs).expect("rational overflow in add")
     }
 }
 
 impl Sub for Rat {
     type Output = Rat;
     fn sub(self, rhs: Rat) -> Rat {
-        self + (-rhs)
+        self.checked_sub(rhs).expect("rational overflow in sub")
     }
 }
 
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat {
-            num: -self.num,
-            den: self.den,
-        }
+        self.checked_neg().expect("rational overflow in neg")
     }
 }
 
 impl Mul for Rat {
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
-        // cross-reduce first to keep magnitudes small
-        let g1 = gcd(self.num, rhs.den).max(1);
-        let g2 = gcd(rhs.num, self.den).max(1);
-        let num = (self.num / g1)
-            .checked_mul(rhs.num / g2)
-            .expect("rational overflow in mul");
-        let den = (self.den / g2)
-            .checked_mul(rhs.den / g1)
-            .expect("rational overflow in mul");
-        Rat::new(num, den)
+        self.checked_mul(rhs).expect("rational overflow in mul")
     }
 }
 
 impl Div for Rat {
     type Output = Rat;
-    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a * b^-1
     fn div(self, rhs: Rat) -> Rat {
-        self * rhs.recip()
+        self.checked_div(rhs).expect("rational overflow in div")
     }
 }
 
@@ -181,17 +247,42 @@ impl PartialOrd for Rat {
     }
 }
 
+/// Compares `a/b` with `c/d` for positive `b`, `d` and non-negative `a`,
+/// `c`, without overflow, by comparing continued-fraction expansions.
+fn cmp_frac_mag(a: u128, b: u128, c: u128, d: u128) -> Ordering {
+    // invariant: b, d > 0
+    let (q1, r1) = (a / b, a % b);
+    let (q2, r2) = (c / d, c % d);
+    match q1.cmp(&q2) {
+        Ordering::Equal => match (r1, r2) {
+            (0, 0) => Ordering::Equal,
+            (0, _) => Ordering::Less,
+            (_, 0) => Ordering::Greater,
+            // a/b <=> c/d  iff  d/r2 <=> b/r1 (reciprocal flips)
+            _ => cmp_frac_mag(d, r2, b, r1),
+        },
+        ord => ord,
+    }
+}
+
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
-        let lhs = self
-            .num
-            .checked_mul(other.den)
-            .expect("rational overflow in cmp");
-        let rhs = other
-            .num
-            .checked_mul(self.den)
-            .expect("rational overflow in cmp");
-        lhs.cmp(&rhs)
+        match (self.num >= 0, other.num >= 0) {
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (true, true) => cmp_frac_mag(
+                self.num.unsigned_abs(),
+                self.den.unsigned_abs(),
+                other.num.unsigned_abs(),
+                other.den.unsigned_abs(),
+            ),
+            (false, false) => cmp_frac_mag(
+                other.num.unsigned_abs(),
+                other.den.unsigned_abs(),
+                self.num.unsigned_abs(),
+                self.den.unsigned_abs(),
+            ),
+        }
     }
 }
 
@@ -229,9 +320,96 @@ mod tests {
     }
 
     #[test]
+    fn floor_ceil_negative_non_integral_boundaries() {
+        // floor rounds toward -inf, ceil toward +inf — NOT truncation
+        assert_eq!(Rat::new(-1, 2).floor(), -1);
+        assert_eq!(Rat::new(-1, 2).ceil(), 0);
+        assert_eq!(Rat::new(-1, 1_000_000).floor(), -1);
+        assert_eq!(Rat::new(-1, 1_000_000).ceil(), 0);
+        assert_eq!(Rat::new(-999_999, 1_000_000).floor(), -1);
+        assert_eq!(Rat::new(-999_999, 1_000_000).ceil(), 0);
+        assert_eq!(Rat::new(-1_000_001, 1_000_000).floor(), -2);
+        assert_eq!(Rat::new(-1_000_001, 1_000_000).ceil(), -1);
+        assert_eq!(Rat::from_int(-5).floor(), -5);
+        assert_eq!(Rat::from_int(-5).ceil(), -5);
+    }
+
+    #[test]
     fn ordering() {
         assert!(Rat::new(1, 3) < Rat::new(1, 2));
         assert!(Rat::new(-1, 2) < Rat::ZERO);
         assert!(Rat::from_int(2) > Rat::new(3, 2));
+    }
+
+    #[test]
+    fn gcd_handles_i128_min_magnitudes() {
+        // regression: gcd via .abs() panicked on i128::MIN
+        assert_eq!(
+            Rat::checked_new(i128::MIN, 2),
+            Some(Rat::new(i128::MIN / 2, 1))
+        );
+        assert_eq!(Rat::checked_new(2, i128::MIN), Some(Rat::new(-1, 1 << 126)));
+        assert_eq!(
+            Rat::checked_new(i128::MIN, i128::MIN),
+            Some(Rat::ONE),
+            "MIN/MIN normalises to 1"
+        );
+        // MIN / -1 has magnitude 2^127 with positive sign: unrepresentable
+        assert_eq!(Rat::checked_new(i128::MIN, -1), None);
+        assert_eq!(
+            Rat::checked_new(i128::MIN, 1),
+            Some(Rat::from_int128(i128::MIN))
+        );
+        assert_eq!(Rat::checked_new(i128::MAX, i128::MAX), Some(Rat::ONE));
+        assert_eq!(Rat::checked_new(5, 0), None);
+    }
+
+    #[test]
+    fn extreme_value_ordering_is_overflow_free() {
+        let min = Rat::from_int128(i128::MIN);
+        let max = Rat::from_int128(i128::MAX);
+        assert!(min < max);
+        assert!(min < Rat::ZERO);
+        assert!(max > Rat::ZERO);
+        // cross-multiplication here would overflow i128
+        let a = Rat::new(i128::MAX, 3);
+        let b = Rat::new(i128::MAX - 2, 3);
+        assert!(a > b);
+        let c = Rat::new(-(i128::MAX / 2), 5);
+        let d = Rat::new(-(i128::MAX / 2) + 1, 5);
+        assert!(c < d);
+        // distinct huge fractions with equal integer parts
+        let e = Rat::new(i128::MAX, i128::MAX - 1);
+        let f = Rat::new(i128::MAX - 1, i128::MAX - 2);
+        assert_eq!(e.cmp(&e), Ordering::Equal);
+        assert_ne!(
+            e.cmp(&f),
+            std::cmp::Ordering::Equal,
+            "total order on distinct values"
+        );
+    }
+
+    #[test]
+    fn checked_ops_surface_overflow_as_none() {
+        let max = Rat::from_int128(i128::MAX);
+        assert_eq!(max.checked_add(Rat::ONE), None);
+        assert_eq!(max.checked_mul(Rat::from_int(2)), None);
+        assert_eq!(Rat::from_int128(i128::MIN).checked_neg(), None);
+        assert_eq!(Rat::ONE.checked_div(Rat::ZERO), None);
+        assert_eq!(Rat::ZERO.checked_recip(), None);
+        // non-overflowing cases still work
+        assert_eq!(
+            Rat::new(1, 2).checked_add(Rat::new(1, 3)),
+            Some(Rat::new(5, 6))
+        );
+        assert_eq!(max.checked_sub(max), Some(Rat::ZERO));
+    }
+
+    #[test]
+    fn ceil_of_extreme_negative_fraction() {
+        let r = Rat::checked_new(i128::MIN, 3).unwrap();
+        assert_eq!(r.ceil(), r.floor() + 1);
+        assert_eq!(Rat::from_int128(i128::MIN).ceil(), i128::MIN);
+        assert_eq!(Rat::from_int128(i128::MIN).floor(), i128::MIN);
     }
 }

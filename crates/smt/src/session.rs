@@ -51,6 +51,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use pins_budget::{Budget, StopReason};
 use pins_logic::{Sort, SymbolTable, Term, TermArena, TermId};
 
 use crate::solver::{Smt, SmtConfig, SmtResult};
@@ -202,8 +203,12 @@ pub enum Verdict {
         /// Whether the answer is exact rather than budget-limited.
         complete: bool,
     },
-    /// The solver gave up within its budgets.
-    Unknown,
+    /// The solver gave up within its budgets; `reason` records which budget
+    /// tripped (deadline, cancellation, step limit, or arithmetic overflow).
+    Unknown {
+        /// Why the solver stopped short of a definitive verdict.
+        reason: StopReason,
+    },
 }
 
 impl Verdict {
@@ -214,7 +219,7 @@ impl Verdict {
             SmtResult::Sat(m) => Verdict::Sat {
                 complete: m.complete,
             },
-            SmtResult::Unknown => Verdict::Unknown,
+            SmtResult::Unknown(reason) => Verdict::Unknown { reason: *reason },
         }
     }
 
@@ -320,6 +325,21 @@ pub struct SessionStats {
     /// Model-producing checks whose verdict was cached as satisfiable and
     /// therefore had to re-solve to recover a model for this arena.
     pub sat_resolves: u64,
+    /// Budget-limited `Unknown` results retried once at doubled budgets.
+    pub retries: u64,
+    /// Cached budget-limited `Unknown` entries replaced in place because a
+    /// retry at larger budgets reached a definitive verdict.
+    pub cache_upgrades: u64,
+    /// Final `Unknown` answers (after any retry) that hit the wall-clock
+    /// deadline.
+    pub unknown_deadline: u64,
+    /// Final `Unknown` answers caused by an external cancellation.
+    pub unknown_cancelled: u64,
+    /// Final `Unknown` answers that exhausted a step or round limit.
+    pub unknown_step_limit: u64,
+    /// Final `Unknown` answers degraded from an arithmetic overflow in the
+    /// exact rational LIA core.
+    pub unknown_overflow: u64,
 }
 
 impl SessionStats {
@@ -330,7 +350,43 @@ impl SessionStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.sat_resolves += other.sat_resolves;
+        self.retries += other.retries;
+        self.cache_upgrades += other.cache_upgrades;
+        self.unknown_deadline += other.unknown_deadline;
+        self.unknown_cancelled += other.unknown_cancelled;
+        self.unknown_step_limit += other.unknown_step_limit;
+        self.unknown_overflow += other.unknown_overflow;
     }
+
+    /// Bumps the per-reason counter for a final `Unknown` answer.
+    fn note_unknown(&mut self, reason: StopReason) {
+        match reason {
+            StopReason::Deadline => self.unknown_deadline += 1,
+            StopReason::Cancelled => self.unknown_cancelled += 1,
+            StopReason::StepLimit => self.unknown_step_limit += 1,
+            StopReason::Overflow => self.unknown_overflow += 1,
+        }
+    }
+}
+
+/// Explicit fingerprint of every [`SmtConfig`] field. The configuration
+/// changes what a verdict means (budgets can turn `Unsat` into `Unknown`),
+/// so it is part of every cache key. Each field is hashed individually —
+/// hashing a `Debug` rendering instead would quietly merge configs whenever
+/// a field (e.g. a budget knob) was missing from the derived output.
+fn config_fingerprint(config: &SmtConfig) -> u128 {
+    let mut h = mix_u64(FP_SEED, 0xc0f1);
+    h = mix_u64(h, config.inst.max_rounds as u64);
+    h = mix_u64(h, config.inst.max_instances as u64);
+    h = mix_u64(h, config.max_theory_rounds as u64);
+    h = mix_u64(h, config.bb_depth as u64);
+    // Options hash a presence tag before the value so `None` and
+    // `Some(0)` stay distinct.
+    h = mix_u64(h, config.time_limit.is_some() as u64);
+    h = mix_u64(h, config.time_limit.map_or(0, |d| d.as_nanos() as u64));
+    h = mix_u64(h, config.step_limit.is_some() as u64);
+    h = mix_u64(h, config.step_limit.unwrap_or(0));
+    mix_u64(h, config.retry_unknown as u64)
 }
 
 /// A persistent solver session: scoped assertions, assumption-based checks,
@@ -349,6 +405,10 @@ pub struct SmtSession {
     /// with (term ids are append-only, so the memo survives arena growth).
     fp_memo: HashMap<TermId, u128>,
     cache: Arc<QueryCache>,
+    /// Shared cancellation/deadline budget every solve runs under. Not part
+    /// of the cache key: it is external state (a caller-owned kill switch),
+    /// not part of what the query *means*.
+    budget: Budget,
     /// Counters for this session's traffic.
     pub stats: SessionStats,
 }
@@ -362,10 +422,7 @@ impl SmtSession {
     /// A session over an explicit cache — tests use a private cache for
     /// isolation; workers share their parent's.
     pub fn with_cache(config: SmtConfig, cache: Arc<QueryCache>) -> SmtSession {
-        // the configuration changes what a verdict means (budgets can turn
-        // Unsat into Unknown), so it is part of every cache key; Debug
-        // formatting is a cheap stable encoding of the config's contents
-        let config_fp = mix_str(mix_u64(FP_SEED, 0xc0f1), &format!("{config:?}"));
+        let config_fp = config_fingerprint(&config);
         SmtSession {
             config,
             config_fp,
@@ -374,8 +431,21 @@ impl SmtSession {
             frames: Vec::new(),
             fp_memo: HashMap::new(),
             cache,
+            budget: Budget::unlimited(),
             stats: SessionStats::default(),
         }
+    }
+
+    /// Installs the shared budget every subsequent solve runs under.
+    /// Cancelling it (from any clone, any thread) makes in-flight and future
+    /// queries return `Unknown(Cancelled)`.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The shared budget this session's solves run under.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// The solver configuration used for every check.
@@ -447,12 +517,14 @@ impl SmtSession {
             frames: self.frames.clone(),
             fp_memo: self.fp_memo.clone(),
             cache: Arc::clone(&self.cache),
+            budget: self.budget.clone(),
             stats: SessionStats::default(),
         }
     }
 
-    /// The normalized cache key of the current scope plus `assumptions`.
-    fn query_key(&mut self, arena: &TermArena, assumptions: &[TermId]) -> u128 {
+    /// The normalized cache key of the current scope plus `assumptions`,
+    /// under the configuration fingerprinted by `config_fp`.
+    fn query_key(&mut self, arena: &TermArena, assumptions: &[TermId], config_fp: u128) -> u128 {
         let mut fps: Vec<u128> = Vec::with_capacity(self.assertions.len() + assumptions.len());
         for i in 0..self.assertions.len() {
             let t = self.assertions[i];
@@ -471,7 +543,7 @@ impl SmtSession {
         }
         ax.sort_unstable();
         ax.dedup();
-        let mut key = self.config_fp;
+        let mut key = config_fp;
         key = mix_u64(key, ax.len() as u64);
         for h in ax {
             key = mix(key, h);
@@ -483,9 +555,16 @@ impl SmtSession {
         key
     }
 
-    /// Runs the underlying solver on the current scope plus `assumptions`.
-    fn solve(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> SmtResult {
-        let mut smt = Smt::new(self.config);
+    /// Runs the underlying solver on the current scope plus `assumptions`,
+    /// under `config` and the session's shared budget.
+    fn solve(
+        &mut self,
+        arena: &mut TermArena,
+        assumptions: &[TermId],
+        config: SmtConfig,
+    ) -> SmtResult {
+        let mut smt = Smt::new(config);
+        smt.set_budget(self.budget.clone());
         for i in 0..self.axioms.len() {
             let ax = self.axioms[i];
             smt.assert_term(arena, ax);
@@ -498,6 +577,44 @@ impl SmtSession {
             smt.assert_term(arena, t);
         }
         smt.check(arena)
+    }
+
+    /// Solves on a cache miss: one attempt at the session config, plus (when
+    /// [`SmtConfig::retry_unknown`] is set) one retry at doubled budgets if
+    /// the first attempt was stopped by a recoverable budget. The final
+    /// result is cached at `key`; a definitive retry result is additionally
+    /// cached at the escalated config's own key, and its write to `key`
+    /// upgrades the would-be `Unknown` entry in place
+    /// ([`SessionStats::cache_upgrades`]).
+    fn solve_and_cache(
+        &mut self,
+        arena: &mut TermArena,
+        assumptions: &[TermId],
+        key: u128,
+    ) -> SmtResult {
+        let mut result = self.solve(arena, assumptions, self.config);
+        if let SmtResult::Unknown(reason) = result {
+            // a cancellation is a caller's kill switch, not a budget the
+            // query outgrew: never retry it
+            if self.config.retry_unknown && reason != StopReason::Cancelled {
+                self.stats.retries += 1;
+                let escalated = self.config.escalate();
+                let retried = self.solve(arena, assumptions, escalated);
+                let esc_key = self.query_key(arena, assumptions, config_fingerprint(&escalated));
+                self.cache.insert(esc_key, Verdict::of(&retried));
+                if !matches!(retried, SmtResult::Unknown(_)) {
+                    // the larger budget settled it: upgrade the entry the
+                    // original key would otherwise pin to Unknown
+                    self.stats.cache_upgrades += 1;
+                }
+                result = retried;
+            }
+        }
+        if let SmtResult::Unknown(reason) = result {
+            self.stats.note_unknown(reason);
+        }
+        self.cache.insert(key, Verdict::of(&result));
+        result
     }
 
     /// Checks the current scope, producing a model on `Sat`.
@@ -513,15 +630,15 @@ impl SmtSession {
     /// across arenas (counted in [`SessionStats::sat_resolves`]).
     pub fn check_under(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> SmtResult {
         self.stats.queries += 1;
-        let key = self.query_key(arena, assumptions);
+        let key = self.query_key(arena, assumptions, self.config_fp);
         match self.cache.lookup(key) {
             Some(Verdict::Unsat) => {
                 self.stats.cache_hits += 1;
                 return SmtResult::Unsat;
             }
-            Some(Verdict::Unknown) => {
+            Some(Verdict::Unknown { reason }) => {
                 self.stats.cache_hits += 1;
-                return SmtResult::Unknown;
+                return SmtResult::Unknown(reason);
             }
             Some(Verdict::Sat { .. }) => {
                 self.stats.cache_hits += 1;
@@ -529,25 +646,20 @@ impl SmtSession {
             }
             None => self.stats.cache_misses += 1,
         }
-        let result = self.solve(arena, assumptions);
-        self.cache.insert(key, Verdict::of(&result));
-        result
+        self.solve_and_cache(arena, assumptions, key)
     }
 
     /// The verdict of the current scope plus `assumptions`, without a model.
     /// Any cached verdict short-circuits the solver entirely.
     pub fn verdict_under(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> Verdict {
         self.stats.queries += 1;
-        let key = self.query_key(arena, assumptions);
+        let key = self.query_key(arena, assumptions, self.config_fp);
         if let Some(v) = self.cache.lookup(key) {
             self.stats.cache_hits += 1;
             return v;
         }
         self.stats.cache_misses += 1;
-        let result = self.solve(arena, assumptions);
-        let v = Verdict::of(&result);
-        self.cache.insert(key, v);
-        v
+        Verdict::of(&self.solve_and_cache(arena, assumptions, key))
     }
 
     /// Whether the current scope plus `assumptions` is provably

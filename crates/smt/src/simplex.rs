@@ -6,8 +6,15 @@
 //! delta-rationals are needed. Rational relaxation is solved with the
 //! classic bounds-aware simplex; integrality is restored by branch-and-bound
 //! with explanation propagation.
+//!
+//! Every pivot and every branch-and-bound node charges the attached
+//! [`Budget`], and all rational arithmetic is checked: a deadline, step
+//! limit, cancellation, or overflow surfaces as [`Conflict::Stopped`]
+//! rather than a hang or a panic.
 
 use std::collections::HashMap;
+
+use pins_budget::{Budget, StopReason};
 
 use crate::rational::Rat;
 
@@ -18,8 +25,47 @@ pub type Reason = u32;
 
 const MARKER_BASE: Reason = u32::MAX / 2;
 
-fn gcd_i128(a: i128, b: i128) -> i128 {
-    let (mut a, mut b) = (a.abs(), b.abs());
+/// Why a theory operation failed to make progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Conflict {
+    /// The asserted bounds are jointly infeasible; the payload is an
+    /// explanation over the caller's reason tags.
+    Infeasible(Vec<Reason>),
+    /// Work was cut short — budget exhaustion, cancellation, or rational
+    /// overflow. No verdict; the caller degrades to `Unknown`.
+    Stopped(StopReason),
+}
+
+impl Conflict {
+    /// The infeasibility explanation; panics on `Stopped` (test helper).
+    pub fn reasons(self) -> Vec<Reason> {
+        match self {
+            Conflict::Infeasible(r) => r,
+            Conflict::Stopped(s) => panic!("expected infeasibility, got stop: {s}"),
+        }
+    }
+}
+
+const OVERFLOW: Conflict = Conflict::Stopped(StopReason::Overflow);
+
+fn add(a: Rat, b: Rat) -> Result<Rat, Conflict> {
+    a.checked_add(b).ok_or(OVERFLOW)
+}
+
+fn sub(a: Rat, b: Rat) -> Result<Rat, Conflict> {
+    a.checked_sub(b).ok_or(OVERFLOW)
+}
+
+fn mul(a: Rat, b: Rat) -> Result<Rat, Conflict> {
+    a.checked_mul(b).ok_or(OVERFLOW)
+}
+
+fn div(a: Rat, b: Rat) -> Result<Rat, Conflict> {
+    a.checked_div(b).ok_or(OVERFLOW)
+}
+
+fn gcd_u128(a: u128, b: u128) -> u128 {
+    let (mut a, mut b) = (a, b);
     while b != 0 {
         let t = a % b;
         a = b;
@@ -45,9 +91,9 @@ struct Row {
 ///
 /// Usage: create variables, assert bounds on linear expressions (a slack
 /// variable is introduced per distinct expression), then call
-/// [`Lia::check_int`]. Bound assertions and checks return conflict
-/// *explanations*: sets of reason tags whose bounds are jointly
-/// integer-infeasible.
+/// [`Lia::check_int`]. Bound assertions and checks return [`Conflict`]s:
+/// either infeasibility *explanations* (sets of reason tags whose bounds
+/// are jointly integer-infeasible) or an early stop.
 #[derive(Debug, Clone, Default)]
 pub struct Lia {
     values: Vec<Rat>,
@@ -61,6 +107,9 @@ pub struct Lia {
     /// inverse of `slack_of`, used for GCD bound tightening
     expr_of_slack: HashMap<usize, Vec<(usize, i64)>>,
     next_marker: Reason,
+    /// Work budget charged per pivot and per branch-and-bound node. Clones
+    /// (including branch-and-bound's) share the same counters.
+    budget: Budget,
     /// Set when branch-and-bound hit its depth budget and answered "sat"
     /// without restoring integrality; the SMT layer reports `Unknown`.
     pub int_incomplete: bool,
@@ -73,6 +122,11 @@ impl Lia {
             next_marker: MARKER_BASE,
             ..Default::default()
         }
+    }
+
+    /// Attaches the work budget charged by pivots and branching.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Allocates a fresh integer variable.
@@ -98,11 +152,11 @@ impl Lia {
     /// Returns the slack variable standing for the linear expression, creating
     /// its defining row on first use. `expr` maps variables to coefficients;
     /// it must be non-empty and is normalised by sorting.
-    pub fn slack_for(&mut self, expr: &[(usize, i64)]) -> usize {
+    pub fn slack_for(&mut self, expr: &[(usize, i64)]) -> Result<usize, Conflict> {
         let mut key: Vec<(usize, i64)> = expr.to_vec();
         key.sort_unstable();
         if let Some(&s) = self.slack_of.get(&key) {
-            return s;
+            return Ok(s);
         }
         let s = self.new_var();
         // express the row over non-basic variables only
@@ -112,18 +166,18 @@ impl Lia {
             if let Some(r) = self.row_of[v] {
                 for (&u, &cu) in &self.rows[r].coeffs {
                     let e = coeffs.entry(u).or_insert(Rat::ZERO);
-                    *e = *e + c * cu;
+                    *e = add(*e, mul(c, cu)?)?;
                 }
             } else {
                 let e = coeffs.entry(v).or_insert(Rat::ZERO);
-                *e = *e + c;
+                *e = add(*e, c)?;
             }
         }
         coeffs.retain(|_, c| !c.is_zero());
         // value of the slack = current value of the expression
         let mut val = Rat::ZERO;
         for (&u, &cu) in &coeffs {
-            val = val + cu * self.values[u];
+            val = add(val, mul(cu, self.values[u])?)?;
         }
         self.values[s] = val;
         let row_idx = self.rows.len();
@@ -131,21 +185,21 @@ impl Lia {
         self.row_of[s] = Some(row_idx);
         self.slack_of.insert(key.clone(), s);
         self.expr_of_slack.insert(s, key);
-        s
+        Ok(s)
     }
 
     /// GCD-based bound tightening: a slack `s = sum c_i * x_i` over integer
     /// variables is always a multiple of `g = gcd(c_i)`, so its bounds can be
     /// rounded inward to multiples of `g`. Detects e.g. `2x - 2y = 1`
     /// directly, which plain branch-and-bound diverges on.
-    fn gcd_tighten(&mut self) -> Result<(), Vec<Reason>> {
-        let slacks: Vec<(usize, i128)> = self
+    fn gcd_tighten(&mut self) -> Result<(), Conflict> {
+        let slacks: Vec<(usize, u128)> = self
             .expr_of_slack
             .iter()
             .map(|(&s, expr)| {
-                let mut g: i128 = 0;
+                let mut g: u128 = 0;
                 for &(_, c) in expr {
-                    g = gcd_i128(g, c as i128);
+                    g = gcd_u128(g, (c as i128).unsigned_abs());
                 }
                 (s, g)
             })
@@ -154,18 +208,18 @@ impl Lia {
             if g <= 1 {
                 continue;
             }
-            let gr = Rat::new(g, 1);
+            let gr = Rat::from_int128(g as i128);
             if let Some(lb) = self.lower[s] {
                 // round up to the next multiple of g
-                let q = (lb.value / gr).ceil();
-                let tight = gr * Rat::new(q, 1);
+                let q = div(lb.value, gr)?.ceil();
+                let tight = mul(gr, Rat::from_int128(q))?;
                 if tight > lb.value {
                     self.assert_lower(s, tight, lb.reason)?;
                 }
             }
             if let Some(ub) = self.upper[s] {
-                let q = (ub.value / gr).floor();
-                let tight = gr * Rat::new(q, 1);
+                let q = div(ub.value, gr)?.floor();
+                let tight = mul(gr, Rat::from_int128(q))?;
                 if tight < ub.value {
                     self.assert_upper(s, tight, ub.reason)?;
                 }
@@ -176,7 +230,7 @@ impl Lia {
 
     /// Asserts `v >= c`. On immediate conflict with the existing upper bound,
     /// returns the two reasons.
-    pub fn assert_lower(&mut self, v: usize, c: Rat, reason: Reason) -> Result<(), Vec<Reason>> {
+    pub fn assert_lower(&mut self, v: usize, c: Rat, reason: Reason) -> Result<(), Conflict> {
         if let Some(lb) = self.lower[v] {
             if c <= lb.value {
                 return Ok(());
@@ -184,18 +238,18 @@ impl Lia {
         }
         if let Some(ub) = self.upper[v] {
             if c > ub.value {
-                return Err(vec![reason, ub.reason]);
+                return Err(Conflict::Infeasible(vec![reason, ub.reason]));
             }
         }
         self.lower[v] = Some(Bound { value: c, reason });
         if self.row_of[v].is_none() && self.values[v] < c {
-            self.update_nonbasic(v, c);
+            self.update_nonbasic(v, c)?;
         }
         Ok(())
     }
 
     /// Asserts `v <= c`.
-    pub fn assert_upper(&mut self, v: usize, c: Rat, reason: Reason) -> Result<(), Vec<Reason>> {
+    pub fn assert_upper(&mut self, v: usize, c: Rat, reason: Reason) -> Result<(), Conflict> {
         if let Some(ub) = self.upper[v] {
             if c >= ub.value {
                 return Ok(());
@@ -203,24 +257,26 @@ impl Lia {
         }
         if let Some(lb) = self.lower[v] {
             if c < lb.value {
-                return Err(vec![reason, lb.reason]);
+                return Err(Conflict::Infeasible(vec![reason, lb.reason]));
             }
         }
         self.upper[v] = Some(Bound { value: c, reason });
         if self.row_of[v].is_none() && self.values[v] > c {
-            self.update_nonbasic(v, c);
+            self.update_nonbasic(v, c)?;
         }
         Ok(())
     }
 
-    fn update_nonbasic(&mut self, v: usize, c: Rat) {
-        let delta = c - self.values[v];
+    fn update_nonbasic(&mut self, v: usize, c: Rat) -> Result<(), Conflict> {
+        let delta = sub(c, self.values[v])?;
         self.values[v] = c;
-        for row in &self.rows {
-            if let Some(&coeff) = row.coeffs.get(&v) {
-                self.values[row.basic] = self.values[row.basic] + coeff * delta;
+        for i in 0..self.rows.len() {
+            if let Some(&coeff) = self.rows[i].coeffs.get(&v) {
+                let b = self.rows[i].basic;
+                self.values[b] = add(self.values[b], mul(coeff, delta)?)?;
             }
         }
+        Ok(())
     }
 
     fn violation(&self) -> Option<(usize, bool)> {
@@ -247,8 +303,9 @@ impl Lia {
 
     /// Restores the rational feasibility invariant. On infeasibility, returns
     /// an explanation (set of bound reasons).
-    pub fn check(&mut self) -> Result<(), Vec<Reason>> {
+    pub fn check(&mut self) -> Result<(), Conflict> {
         loop {
+            self.budget.charge(1).map_err(Conflict::Stopped)?;
             let Some((xi, below)) = self.violation() else {
                 return Ok(());
             };
@@ -282,7 +339,7 @@ impl Lia {
                 }
             }
             match pivot {
-                Some(xj) => self.pivot_and_update(r, xi, xj, target),
+                Some(xj) => self.pivot_and_update(r, xi, xj, target)?,
                 None => {
                     // infeasible: collect the explanation from the row
                     let mut expl = Vec::new();
@@ -307,34 +364,41 @@ impl Lia {
                     }
                     expl.sort_unstable();
                     expl.dedup();
-                    return Err(expl);
+                    return Err(Conflict::Infeasible(expl));
                 }
             }
         }
     }
 
     /// Pivot basic `xi` (row `r`) with non-basic `xj`, setting `xi` to `target`.
-    fn pivot_and_update(&mut self, r: usize, xi: usize, xj: usize, target: Rat) {
+    fn pivot_and_update(
+        &mut self,
+        r: usize,
+        xi: usize,
+        xj: usize,
+        target: Rat,
+    ) -> Result<(), Conflict> {
         let a_ij = self.rows[r].coeffs[&xj];
-        let theta = (target - self.values[xi]) / a_ij;
+        let theta = div(sub(target, self.values[xi])?, a_ij)?;
         self.values[xi] = target;
         let old_xj = self.values[xj];
-        self.values[xj] = old_xj + theta;
-        for row in &self.rows {
-            if row.basic != xi {
-                if let Some(&c) = row.coeffs.get(&xj) {
-                    self.values[row.basic] = self.values[row.basic] + c * theta;
+        self.values[xj] = add(old_xj, theta)?;
+        for i in 0..self.rows.len() {
+            let b = self.rows[i].basic;
+            if b != xi {
+                if let Some(&c) = self.rows[i].coeffs.get(&xj) {
+                    self.values[b] = add(self.values[b], mul(c, theta)?)?;
                 }
             }
         }
         // rewrite row r: xi = a_ij * xj + rest  =>  xj = (xi - rest) / a_ij
         let mut new_coeffs: HashMap<usize, Rat> = HashMap::new();
-        let inv = a_ij.recip();
+        let inv = a_ij.checked_recip().ok_or(OVERFLOW)?;
         new_coeffs.insert(xi, inv);
         let old = self.rows[r].coeffs.clone();
         for (&k, &c) in &old {
             if k != xj {
-                new_coeffs.insert(k, -(c / a_ij));
+                new_coeffs.insert(k, div(c, a_ij)?.checked_neg().ok_or(OVERFLOW)?);
             }
         }
         new_coeffs.retain(|_, c| !c.is_zero());
@@ -353,19 +417,21 @@ impl Lia {
             if let Some(c) = self.rows[i].coeffs.remove(&xj) {
                 for (&k, &ck) in &subst {
                     let e = self.rows[i].coeffs.entry(k).or_insert(Rat::ZERO);
-                    *e = *e + c * ck;
+                    *e = add(*e, mul(c, ck)?)?;
                 }
                 self.rows[i].coeffs.retain(|_, v| !v.is_zero());
             }
         }
+        Ok(())
     }
 
     /// Checks satisfiability over the *integers* via branch-and-bound.
     ///
     /// On success the internal assignment is integral (unless the depth
     /// budget ran out, flagged by `int_incomplete`). On failure returns an
-    /// explanation over the caller's reason tags.
-    pub fn check_int(&mut self, max_depth: u32) -> Result<(), Vec<Reason>> {
+    /// explanation over the caller's reason tags, or an early stop.
+    pub fn check_int(&mut self, max_depth: u32) -> Result<(), Conflict> {
+        self.budget.charge(1).map_err(Conflict::Stopped)?;
         self.gcd_tighten()?;
         self.check()?;
         let frac = (0..self.values.len()).find(|&v| !self.values[v].is_integer());
@@ -382,35 +448,37 @@ impl Lia {
 
         let mut left = self.clone();
         let left_result = left
-            .assert_upper(x, Rat::from_int(val.floor() as i64), marker)
+            .assert_upper(x, Rat::from_int128(val.floor()), marker)
             .and_then(|()| left.check_int(max_depth - 1));
         match left_result {
             Ok(()) => {
                 *self = left;
                 Ok(())
             }
-            Err(e1) => {
+            Err(Conflict::Stopped(s)) => Err(Conflict::Stopped(s)),
+            Err(Conflict::Infeasible(e1)) => {
                 if !e1.contains(&marker) {
-                    return Err(e1); // independent of the branch: lift directly
+                    return Err(Conflict::Infeasible(e1)); // independent of the branch
                 }
                 let mut right = self.clone();
                 let right_result = right
-                    .assert_lower(x, Rat::from_int(val.ceil() as i64), marker)
+                    .assert_lower(x, Rat::from_int128(val.ceil()), marker)
                     .and_then(|()| right.check_int(max_depth - 1));
                 match right_result {
                     Ok(()) => {
                         *self = right;
                         Ok(())
                     }
-                    Err(e2) => {
+                    Err(Conflict::Stopped(s)) => Err(Conflict::Stopped(s)),
+                    Err(Conflict::Infeasible(e2)) => {
                         if !e2.contains(&marker) {
-                            return Err(e2);
+                            return Err(Conflict::Infeasible(e2));
                         }
                         let mut expl: Vec<Reason> =
                             e1.into_iter().chain(e2).filter(|&t| t != marker).collect();
                         expl.sort_unstable();
                         expl.dedup();
-                        Err(expl)
+                        Err(Conflict::Infeasible(expl))
                     }
                 }
             }
@@ -445,7 +513,7 @@ mod tests {
         let mut lia = Lia::new();
         let x = lia.new_var();
         lia.assert_lower(x, r(5), 7).unwrap();
-        let e = lia.assert_upper(x, r(4), 9).unwrap_err();
+        let e = lia.assert_upper(x, r(4), 9).unwrap_err().reasons();
         assert!(e.contains(&7) && e.contains(&9));
     }
 
@@ -455,11 +523,11 @@ mod tests {
         let mut lia = Lia::new();
         let x = lia.new_var();
         let y = lia.new_var();
-        let s = lia.slack_for(&[(x, 1), (y, 1)]);
+        let s = lia.slack_for(&[(x, 1), (y, 1)]).unwrap();
         lia.assert_lower(s, r(10), 0).unwrap();
         lia.assert_upper(x, r(3), 1).unwrap();
         lia.assert_upper(y, r(3), 2).unwrap();
-        let e = lia.check_int(20).unwrap_err();
+        let e = lia.check_int(20).unwrap_err().reasons();
         assert_eq!(e, vec![0, 1, 2]);
     }
 
@@ -468,7 +536,7 @@ mod tests {
         let mut lia = Lia::new();
         let x = lia.new_var();
         let y = lia.new_var();
-        let s = lia.slack_for(&[(x, 1), (y, 1)]);
+        let s = lia.slack_for(&[(x, 1), (y, 1)]).unwrap();
         lia.assert_lower(s, r(10), 0).unwrap();
         lia.assert_upper(x, r(7), 1).unwrap();
         lia.assert_upper(y, r(7), 2).unwrap();
@@ -484,10 +552,10 @@ mod tests {
         // 2x = 1 has a rational solution but no integer one.
         let mut lia = Lia::new();
         let x = lia.new_var();
-        let s = lia.slack_for(&[(x, 2)]);
+        let s = lia.slack_for(&[(x, 2)]).unwrap();
         lia.assert_lower(s, r(1), 0).unwrap();
         lia.assert_upper(s, r(1), 1).unwrap();
-        let e = lia.check_int(20).unwrap_err();
+        let e = lia.check_int(20).unwrap_err().reasons();
         assert!(!e.is_empty());
         assert!(
             e.iter().all(|&t| t < MARKER_BASE),
@@ -501,7 +569,7 @@ mod tests {
         let mut lia = Lia::new();
         let x = lia.new_var();
         let y = lia.new_var();
-        let s = lia.slack_for(&[(x, 2), (y, 3)]);
+        let s = lia.slack_for(&[(x, 2), (y, 3)]).unwrap();
         lia.assert_lower(s, r(7), 0).unwrap();
         lia.assert_upper(s, r(7), 1).unwrap();
         for (v, lo_r, hi_r) in [(x, 2, 3), (y, 4, 5)] {
@@ -521,8 +589,8 @@ mod tests {
         let mut lia = Lia::new();
         let x = lia.new_var();
         let y = lia.new_var();
-        let s1 = lia.slack_for(&[(x, 1), (y, -1)]);
-        let s2 = lia.slack_for(&[(y, -1), (x, 1)]);
+        let s1 = lia.slack_for(&[(x, 1), (y, -1)]).unwrap();
+        let s2 = lia.slack_for(&[(y, -1), (x, 1)]).unwrap();
         assert_eq!(s1, s2);
     }
 
@@ -533,8 +601,8 @@ mod tests {
         let x = lia.new_var();
         let y = lia.new_var();
         let z = lia.new_var();
-        let xy = lia.slack_for(&[(x, 1), (y, -1)]);
-        let yz = lia.slack_for(&[(y, 1), (z, -1)]);
+        let xy = lia.slack_for(&[(x, 1), (y, -1)]).unwrap();
+        let yz = lia.slack_for(&[(y, 1), (z, -1)]).unwrap();
         lia.assert_lower(xy, r(0), 0).unwrap();
         lia.assert_upper(xy, r(0), 1).unwrap();
         lia.assert_lower(yz, r(0), 2).unwrap();
@@ -542,5 +610,57 @@ mod tests {
         lia.assert_lower(x, r(3), 4).unwrap();
         lia.assert_upper(z, r(2), 5).unwrap();
         assert!(lia.check_int(20).is_err());
+    }
+
+    #[test]
+    fn step_limit_stops_branching() {
+        let mut lia = Lia::new();
+        lia.set_budget(Budget::with_limits(None, Some(1)));
+        let x = lia.new_var();
+        let s = lia.slack_for(&[(x, 2)]).unwrap();
+        lia.assert_lower(s, r(1), 0).unwrap();
+        lia.assert_upper(s, r(1), 1).unwrap();
+        match lia.check_int(20) {
+            Err(Conflict::Stopped(StopReason::StepLimit)) => {}
+            other => panic!("expected step-limit stop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_degrades_to_stop() {
+        // chain x1 = K*x0, x2 = K*x1, ... with K = 2^62 and x0 >= 3 forces
+        // values past i128 range during bound propagation
+        let mut lia = Lia::new();
+        let k = 1i64 << 62;
+        let mut prev = lia.new_var();
+        lia.assert_lower(prev, r(3), 0).unwrap();
+        let mut tag = 1;
+        let mut stopped = false;
+        for _ in 0..4 {
+            let next = lia.new_var();
+            let s = match lia.slack_for(&[(next, 1), (prev, -k)]) {
+                Ok(s) => s,
+                Err(Conflict::Stopped(StopReason::Overflow)) => {
+                    stopped = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            };
+            let res = lia
+                .assert_lower(s, r(0), tag)
+                .and_then(|()| lia.assert_upper(s, r(0), tag + 1))
+                .and_then(|()| lia.check_int(10));
+            match res {
+                Ok(()) => {}
+                Err(Conflict::Stopped(StopReason::Overflow)) => {
+                    stopped = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+            tag += 2;
+            prev = next;
+        }
+        assert!(stopped, "expected an overflow stop, not a panic");
     }
 }

@@ -4,7 +4,9 @@
 //! conflict-driven refinement.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Duration;
 
+use pins_budget::{Budget, StopReason};
 use pins_logic::{Sort, Term, TermArena, TermId};
 use pins_sat::{Lit, SolveResult, Solver as SatSolver, Var};
 
@@ -15,7 +17,7 @@ use crate::linear::{linearize, LinExpr};
 use crate::model::Model;
 use crate::prep::{preprocess, Prepped};
 use crate::rational::Rat;
-use crate::simplex::Lia;
+use crate::simplex::{Conflict, Lia};
 
 /// Tags above this base index into the synthetic-reason table (explanations
 /// of EUF-propagated equalities); below it they are SAT literal codes.
@@ -30,6 +32,13 @@ pub struct SmtConfig {
     pub max_theory_rounds: usize,
     /// Branch-and-bound depth for integer feasibility.
     pub bb_depth: u32,
+    /// Per-query wall-clock limit (layered over any shared budget).
+    pub time_limit: Option<Duration>,
+    /// Per-query step limit over conflicts + pivots + instantiation rounds.
+    pub step_limit: Option<u64>,
+    /// Whether a session retries a budget-limited `Unknown` once with
+    /// doubled budgets before giving up.
+    pub retry_unknown: bool,
 }
 
 impl Default for SmtConfig {
@@ -38,6 +47,27 @@ impl Default for SmtConfig {
             inst: InstConfig::default(),
             max_theory_rounds: 5000,
             bb_depth: 40,
+            time_limit: None,
+            step_limit: None,
+            retry_unknown: true,
+        }
+    }
+}
+
+impl SmtConfig {
+    /// The escalated configuration a session retries with after a
+    /// budget-limited `Unknown`: every budget knob doubled.
+    pub fn escalate(&self) -> SmtConfig {
+        SmtConfig {
+            inst: InstConfig {
+                max_rounds: self.inst.max_rounds.saturating_mul(2),
+                max_instances: self.inst.max_instances.saturating_mul(2),
+            },
+            max_theory_rounds: self.max_theory_rounds.saturating_mul(2),
+            bb_depth: self.bb_depth.saturating_mul(2),
+            time_limit: self.time_limit.map(|d| d.saturating_mul(2)),
+            step_limit: self.step_limit.map(|s| s.saturating_mul(2)),
+            retry_unknown: false, // one escalation only
         }
     }
 }
@@ -52,8 +82,9 @@ pub enum SmtResult {
     /// Proven unsatisfiable (trustworthy even with axioms: instantiation
     /// only strengthens refutations).
     Unsat,
-    /// Budget exhausted.
-    Unknown,
+    /// No verdict: the budget ran out, the query was cancelled, or theory
+    /// arithmetic overflowed. The payload says which.
+    Unknown(StopReason),
 }
 
 impl SmtResult {
@@ -87,6 +118,7 @@ enum Outcome {
     Ok(Box<Model>),
     Conflict(Vec<u32>),
     Progress(Vec<TermId>, Vec<TermId>),
+    Stopped(StopReason),
 }
 
 /// A one-shot SMT solver instance: assert formulas, then call
@@ -106,6 +138,8 @@ pub struct Smt {
     mbtc_done: HashSet<(TermId, TermId)>,
     ematch_done: HashSet<(TermId, Vec<TermId>)>,
     ematch_count: usize,
+    /// Shared budget; `check` layers the config's per-query limits on top.
+    budget: Budget,
     /// Statistics for the current instance.
     pub stats: SmtStats,
 }
@@ -128,8 +162,15 @@ impl Smt {
             mbtc_done: HashSet::new(),
             ematch_done: HashSet::new(),
             ematch_count: 0,
+            budget: Budget::unlimited(),
             stats: SmtStats::default(),
         }
+    }
+
+    /// Attaches a shared budget. `check` derives a per-query child from it
+    /// using the config's `time_limit`/`step_limit`.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Asserts a formula (conjunction semantics across calls). `Forall`
@@ -246,11 +287,20 @@ impl Smt {
 
     /// Runs the decision procedure.
     pub fn check(&mut self, arena: &mut TermArena) -> SmtResult {
+        // layer the per-query limits over the shared budget
+        let budget = self
+            .budget
+            .child(self.config.time_limit, self.config.step_limit);
+        self.sat.set_budget(budget.clone());
         // ground the axioms against the asserted formulas
         let roots = self.ground.clone();
-        let out = instantiate(arena, &self.axioms, &roots, self.config.inst);
+        let out = instantiate(arena, &self.axioms, &roots, self.config.inst, &budget);
         if out.truncated {
             self.exact = false;
+        }
+        if let Some(reason) = out.stopped {
+            self.stats.formula_size = self.sat.formula_size();
+            return SmtResult::Unknown(reason);
         }
         self.stats.instances = out.instances.len() as u64;
         let mut to_assert = roots;
@@ -268,11 +318,19 @@ impl Smt {
         }
 
         for _round in 0..self.config.max_theory_rounds {
+            if let Err(reason) = budget.charge(1) {
+                self.stats.formula_size = self.sat.formula_size();
+                return SmtResult::Unknown(reason);
+            }
             self.stats.sat_rounds += 1;
             match self.sat.solve() {
                 SolveResult::Unsat => {
                     self.stats.formula_size = self.sat.formula_size();
                     return SmtResult::Unsat;
+                }
+                SolveResult::Interrupted(reason) => {
+                    self.stats.formula_size = self.sat.formula_size();
+                    return SmtResult::Unknown(reason);
                 }
                 SolveResult::Sat => {
                     let assignment: Vec<(TermId, bool, Lit)> = self
@@ -283,7 +341,11 @@ impl Smt {
                             (t, val, Lit::new(v, val))
                         })
                         .collect();
-                    match self.theory_check(arena, &assignment) {
+                    match self.theory_check(arena, &assignment, &budget) {
+                        Outcome::Stopped(reason) => {
+                            self.stats.formula_size = self.sat.formula_size();
+                            return SmtResult::Unknown(reason);
+                        }
                         Outcome::Ok(mut model) => {
                             model.complete = model.complete && self.exact;
                             self.stats.formula_size = self.sat.formula_size();
@@ -312,7 +374,7 @@ impl Smt {
             }
         }
         self.stats.formula_size = self.sat.formula_size();
-        SmtResult::Unknown
+        SmtResult::Unknown(StopReason::StepLimit)
     }
 
     /// Validates one full SAT model against the theories.
@@ -320,6 +382,7 @@ impl Smt {
         &mut self,
         arena: &mut TermArena,
         assignment: &[(TermId, bool, Lit)],
+        budget: &Budget,
     ) -> Outcome {
         let mut euf = Euf::new();
         let mut lemmas: Vec<TermId> = Vec::new();
@@ -421,6 +484,7 @@ impl Smt {
                     max_instances: self.config.inst.max_instances,
                     max_branches: 64,
                 },
+                budget,
             );
             if !new_instances.is_empty() {
                 self.ematch_count += new_instances.len();
@@ -439,6 +503,7 @@ impl Smt {
 
         // ---- LIA pass -------------------------------------------------------
         let mut lia = Lia::new();
+        lia.set_budget(budget.clone());
         let mut lvar: HashMap<TermId, usize> = HashMap::new();
         let mut synth: Vec<Vec<u32>> = Vec::new();
         let expand = |tags: Vec<u32>, synth: &Vec<Vec<u32>>| -> Vec<u32> {
@@ -460,13 +525,18 @@ impl Smt {
                          expr: &LinExpr,
                          rhs: i64,
                          reason: u32|
-         -> Result<(), Vec<u32>> {
+         -> Result<(), Conflict> {
+            // a linearization that overflowed i64 has unreliable numbers:
+            // degrade the whole query rather than assert garbage bounds
+            if expr.overflowed {
+                return Err(Conflict::Stopped(StopReason::Overflow));
+            }
             // expr <= rhs  (expr's own constant is folded into the bound)
             if expr.coeffs.is_empty() {
                 if expr.constant <= rhs {
                     Ok(())
                 } else {
-                    Err(vec![reason])
+                    Err(Conflict::Infeasible(vec![reason]))
                 }
             } else {
                 let terms: Vec<(usize, i64)> = expr
@@ -477,8 +547,9 @@ impl Smt {
                         (v, c)
                     })
                     .collect();
-                let s = lia.slack_for(&terms);
-                lia.assert_upper(s, Rat::from_int(rhs - expr.constant), reason)
+                let s = lia.slack_for(&terms)?;
+                let bound = (rhs as i128) - (expr.constant as i128);
+                lia.assert_upper(s, Rat::from_int128(bound), reason)
             }
         };
 
@@ -522,8 +593,12 @@ impl Smt {
                 }
                 _ => Ok(()),
             };
-            if let Err(tags) = result {
-                return Outcome::Conflict(expand(tags, &synth));
+            match result {
+                Ok(()) => {}
+                Err(Conflict::Infeasible(tags)) => {
+                    return Outcome::Conflict(expand(tags, &synth));
+                }
+                Err(Conflict::Stopped(reason)) => return Outcome::Stopped(reason),
             }
         }
 
@@ -555,14 +630,20 @@ impl Smt {
                     ne.sub_assign(&e);
                     assert_le(&mut lia, &mut lvar, &ne, 0, reason)
                 });
-                if let Err(tags) = r {
-                    return Outcome::Conflict(expand(tags, &synth));
+                match r {
+                    Ok(()) => {}
+                    Err(Conflict::Infeasible(tags)) => {
+                        return Outcome::Conflict(expand(tags, &synth));
+                    }
+                    Err(Conflict::Stopped(reason)) => return Outcome::Stopped(reason),
                 }
             }
         }
 
-        if let Err(tags) = lia.check_int(self.config.bb_depth) {
-            return Outcome::Conflict(expand(tags, &synth));
+        match lia.check_int(self.config.bb_depth) {
+            Ok(()) => {}
+            Err(Conflict::Infeasible(tags)) => return Outcome::Conflict(expand(tags, &synth)),
+            Err(Conflict::Stopped(reason)) => return Outcome::Stopped(reason),
         }
         let int_exact = !lia.int_incomplete;
 
@@ -619,7 +700,10 @@ impl Smt {
             if let Some(val) = lia.value(v).to_i64() {
                 model.ints.insert(t, val);
             } else {
-                model.ints.insert(t, lia.value(v).floor() as i64);
+                // saturate instead of truncating bits on out-of-range values
+                let f = lia.value(v).floor();
+                let clamped = i64::try_from(f).unwrap_or(if f < 0 { i64::MIN } else { i64::MAX });
+                model.ints.insert(t, clamped);
                 model.complete = false;
             }
         }
@@ -658,10 +742,13 @@ impl Smt {
 /// Evaluates an integer term's linear form under the LIA assignment.
 fn eval_lin(arena: &TermArena, t: TermId, lvar: &HashMap<TermId, usize>, lia: &Lia) -> Option<i64> {
     let e = linearize(arena, t);
+    if e.overflowed {
+        return None;
+    }
     let mut acc = Rat::from_int(e.constant);
     for (&term, &c) in &e.coeffs {
         let v = lvar.get(&term)?;
-        acc = acc + Rat::from_int(c) * lia.value(*v);
+        acc = acc.checked_add(Rat::from_int(c).checked_mul(lia.value(*v))?)?;
     }
     acc.to_i64()
 }

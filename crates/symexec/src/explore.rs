@@ -6,6 +6,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use pins_budget::{Budget, StopReason};
 use pins_ir::{EHoleId, Expr, LoopId, PHoleId, Pred, Program, Stmt, VarId};
 use pins_logic::{collect_subterms, Sort, Term, TermId};
 use pins_smt::{SmtConfig, SmtSession};
@@ -127,12 +128,21 @@ pub struct Explorer<'p> {
     /// Persistent solver session for feasibility queries; repeated prefixes
     /// across backtracking hit the shared normalized-query cache.
     session: SmtSession,
+    /// Shared cancellation/deadline budget, polled periodically between
+    /// symbolic steps (feasibility queries poll it inside the solver).
+    budget: Budget,
     /// Count of SMT feasibility queries issued (instrumentation).
     pub feasibility_queries: u64,
     /// Set when the last search stopped on the step budget rather than by
     /// exhausting the (bounded) path space.
     pub budget_hit: bool,
+    /// Why the last search was interrupted by the shared budget, if it was.
+    pub stop_reason: Option<StopReason>,
 }
+
+/// How many symbolic steps pass between budget polls (a power of two so the
+/// modulus folds to a mask).
+const BUDGET_POLL_MASK: u64 = 0x1FF;
 
 impl<'p> Explorer<'p> {
     /// Creates an explorer over `program`.
@@ -146,9 +156,18 @@ impl<'p> Explorer<'p> {
             config,
             steps: 0,
             session,
+            budget: Budget::unlimited(),
             feasibility_queries: 0,
             budget_hit: false,
+            stop_reason: None,
         }
+    }
+
+    /// Installs the shared budget for subsequent searches; the explorer's
+    /// solver session inherits it so feasibility queries stop too.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.session.set_budget(budget.clone());
+        self.budget = budget;
     }
 
     fn initial_state(&self) -> State<'p> {
@@ -173,6 +192,7 @@ impl<'p> Explorer<'p> {
     ) -> Option<PathResult> {
         self.steps = 0;
         self.budget_hit = false;
+        self.stop_reason = None;
         let mut out = Vec::new();
         let state = self.initial_state();
         self.search(ctx, filler, avoid, state, &Mode::FindOne, &mut out);
@@ -189,6 +209,8 @@ impl<'p> Explorer<'p> {
         limit: usize,
     ) -> Vec<PathResult> {
         self.steps = 0;
+        self.budget_hit = false;
+        self.stop_reason = None;
         let mut out = Vec::new();
         let avoid = HashSet::new();
         let state = self.initial_state();
@@ -236,6 +258,13 @@ impl<'p> Explorer<'p> {
             if self.steps >= self.config.max_steps {
                 self.budget_hit = true;
                 return true; // budget exhausted: stop the whole search
+            }
+            if self.steps & BUDGET_POLL_MASK == 0 {
+                if let Err(reason) = self.budget.check() {
+                    self.budget_hit = true;
+                    self.stop_reason = Some(reason);
+                    return true; // shared budget tripped: stop the search
+                }
             }
             self.steps += 1;
             let Some(&(block, idx)) = state.frames.last() else {

@@ -5,6 +5,8 @@
 //!
 //! This facade crate re-exports the whole stack:
 //!
+//! * [`budget`] — shared wall-clock/step/cancellation budgets threaded
+//!   through every solver layer;
 //! * [`logic`] — sorts, symbols and hash-consed terms;
 //! * [`sat`] — a CDCL SAT solver;
 //! * [`smt`] — a DPLL(T) SMT solver (EUF + linear integer arithmetic +
@@ -33,6 +35,7 @@
 //! ```
 
 pub use pins_bmc as bmc;
+pub use pins_budget as budget;
 pub use pins_cegis as cegis;
 pub use pins_core as core;
 pub use pins_ir as ir;
@@ -50,6 +53,7 @@ pub mod prelude {
     //! use pins::prelude::*;
     //! ```
 
+    pub use pins_budget::{Budget, StopReason};
     pub use pins_core::{
         Pins, PinsConfig, PinsError, PinsOutcome, ResolvedSolution, Session, Solution,
     };
