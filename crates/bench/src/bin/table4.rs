@@ -1,10 +1,19 @@
 //! Regenerates Table 4: breakdown of PINS running time.
+//!
+//! With `--profile`, additionally prints a per-benchmark phase breakdown
+//! (milliseconds + percentages, read back from the run's metrics registry)
+//! and writes the machine-readable `BENCH_pins.json`; with `--trace-out
+//! FILE`, streams every structured trace event of the run as JSON Lines.
 
-use pins_bench::{paper, parse_args, run_pins, secs, slug};
+use pins_bench::{paper, parse_args, profile, run_pins_with, secs, slug};
+use pins_core::PinsError;
 use pins_suite::benchmark;
+use pins_trace::MetricsRegistry;
 
 fn main() {
     let args = parse_args();
+    let _trace_guard = pins_bench::install_tracing(&args);
+    let mut rows: Vec<profile::ProfileRow> = Vec::new();
     println!(
         "{:<14} {:>8} {:>8} {:>6} {:>8} {:>10}   (paper %: sym/smt/sat/pick)",
         "Benchmark", "Sym.Exe", "SMT Red.", "SAT", "pickOne", "Total(s)"
@@ -15,9 +24,23 @@ fn main() {
         let paper_str = paper_row
             .map(|r| format!("{}/{}/{}/{}", r.1, r.2, r.3, r.4))
             .unwrap_or_default();
-        match run_pins(&b, &args) {
+        let metrics = MetricsRegistry::new();
+        let result = run_pins_with(&b, &args, &metrics);
+        if args.profile {
+            let verdict = match &result {
+                Ok(_) => "solved",
+                Err(PinsError::NoSolution { .. }) => "no-solution",
+                Err(PinsError::BudgetExhausted) => "budget-exhausted",
+            };
+            rows.push(profile::ProfileRow::from_registry(
+                b.name(),
+                verdict,
+                &metrics,
+            ));
+        }
+        match result {
             Ok(outcome) => {
-                let s = outcome.stats;
+                let s = outcome.stats();
                 let total = s.total_time.as_secs_f64().max(1e-9);
                 let pct =
                     |d: std::time::Duration| format!("{:.0}%", 100.0 * d.as_secs_f64() / total);
@@ -74,5 +97,12 @@ fn main() {
             }
             Err(e) => println!("{:<14} {e}   ({paper_str})", b.name()),
         }
+    }
+    if args.profile {
+        println!("\n--- profile (per-phase wall clock) ---");
+        for row in &rows {
+            row.print();
+        }
+        profile::write_json(&args.bench_json, &rows);
     }
 }

@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use pins_core::{Pins, PinsError, PinsOutcome};
 use pins_suite::{benchmark, Benchmark, BenchmarkId, ALL};
+use pins_trace::MetricsRegistry;
 
 /// Command-line options shared by the table binaries.
 #[derive(Debug, Clone)]
@@ -38,10 +39,18 @@ pub struct HarnessArgs {
     pub query_steps: Option<u64>,
     /// Disable the one-shot retry-at-doubled-budgets on `Unknown`.
     pub no_retry: bool,
+    /// Print a per-benchmark phase breakdown and emit `BENCH_pins.json`
+    /// (see [`profile`]).
+    pub profile: bool,
+    /// Path for the profile report (default `BENCH_pins.json`).
+    pub bench_json: String,
+    /// Stream structured trace events (JSON Lines) to this file.
+    pub trace_out: Option<String>,
 }
 
 /// Parses `[--fast] [--budget SECS] [--workers N] [--query-ms MS]
-/// [--query-steps N] [--no-retry] [name...]` from `std::env::args`.
+/// [--query-steps N] [--no-retry] [--profile] [--bench-json FILE]
+/// [--trace-out FILE] [name...]` from `std::env::args`.
 pub fn parse_args() -> HarnessArgs {
     let mut benchmarks = Vec::new();
     let mut budget = None;
@@ -50,11 +59,21 @@ pub fn parse_args() -> HarnessArgs {
     let mut query_ms = None;
     let mut query_steps = None;
     let mut no_retry = false;
+    let mut profile = false;
+    let mut bench_json = "BENCH_pins.json".to_string();
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fast" => fast = true,
             "--no-retry" => no_retry = true,
+            "--profile" => profile = true,
+            "--bench-json" => {
+                bench_json = args.next().expect("--bench-json takes a path");
+            }
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out takes a path"));
+            }
             "--budget" => {
                 let secs: u64 = args
                     .next()
@@ -107,7 +126,20 @@ pub fn parse_args() -> HarnessArgs {
         query_ms,
         query_steps,
         no_retry,
+        profile,
+        bench_json,
+        trace_out,
     }
+}
+
+/// Installs a JSONL trace recorder when `--trace-out` was given. Keep the
+/// returned guard alive for the duration of the run; dropping it flushes and
+/// uninstalls the recorder.
+pub fn install_tracing(args: &HarnessArgs) -> Option<pins_trace::InstallGuard> {
+    let path = args.trace_out.as_deref()?;
+    let recorder = pins_trace::Recorder::jsonl_file(path)
+        .unwrap_or_else(|e| panic!("--trace-out {path}: {e}"));
+    Some(pins_trace::install(recorder))
 }
 
 /// Lower-cases and strips non-alphanumerics for lenient name matching.
@@ -121,6 +153,17 @@ pub fn slug(s: &str) -> String {
 /// Runs PINS on a benchmark with its recommended configuration, applying
 /// harness overrides.
 pub fn run_pins(b: &Benchmark, args: &HarnessArgs) -> Result<PinsOutcome, PinsError> {
+    run_pins_with(b, args, &MetricsRegistry::new())
+}
+
+/// Like [`run_pins`] but records into a caller-owned [`MetricsRegistry`],
+/// which keeps the phase timings and query counters readable even when the
+/// run fails (the profile report needs them for unsolved rows too).
+pub fn run_pins_with(
+    b: &Benchmark,
+    args: &HarnessArgs,
+    metrics: &MetricsRegistry,
+) -> Result<PinsOutcome, PinsError> {
     let mut session = b.session();
     let mut config = b.recommended_config();
     if let Some(budget) = args.budget {
@@ -145,12 +188,147 @@ pub fn run_pins(b: &Benchmark, args: &HarnessArgs) -> Result<PinsOutcome, PinsEr
         config.smt.retry_unknown = false;
         config.explore.smt.retry_unknown = false;
     }
-    Pins::new(config).run(&mut session)
+    let budget = pins_budget::Budget::with_limits(config.time_budget, None);
+    Pins::new(config).run_with(&mut session, budget, metrics)
 }
 
 /// Formats a duration in seconds with two decimals.
 pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
+}
+
+/// The `--profile` report: per-benchmark phase breakdown plus a
+/// machine-readable `BENCH_pins.json`.
+pub mod profile {
+    use std::fmt::Write as _;
+    use std::time::Duration;
+
+    use pins_core::PinsStats;
+    use pins_trace::MetricsRegistry;
+
+    /// One benchmark's profile: everything `BENCH_pins.json` records.
+    #[derive(Debug, Clone)]
+    pub struct ProfileRow {
+        /// Benchmark display name.
+        pub benchmark: String,
+        /// `"solved"`, `"no-solution"`, or `"budget-exhausted"`.
+        pub verdict: String,
+        /// Total wall-clock milliseconds.
+        pub wall_ms: f64,
+        /// Phase name → milliseconds (`symexec`, `smt_reduction`, `sat`,
+        /// `pickone`).
+        pub phase_ms: Vec<(String, f64)>,
+        /// Query counters: SMT validity queries, feasibility queries, cache
+        /// hits, and cache misses.
+        pub smt_queries: u64,
+        /// SMT feasibility queries issued by symbolic execution.
+        pub feasibility_queries: u64,
+        /// Normalized-query cache hits on the engine session.
+        pub cache_hits: u64,
+        /// Normalized-query cache misses on the engine session.
+        pub cache_misses: u64,
+    }
+
+    fn ms(d: Duration) -> f64 {
+        d.as_secs_f64() * 1e3
+    }
+
+    impl ProfileRow {
+        /// Builds a row from the registry a run recorded into. Works for
+        /// failed runs too: the registry holds everything up to the stop.
+        pub fn from_registry(
+            benchmark: &str,
+            verdict: &str,
+            registry: &MetricsRegistry,
+        ) -> ProfileRow {
+            let s = PinsStats::from_registry(registry);
+            ProfileRow {
+                benchmark: benchmark.to_string(),
+                verdict: verdict.to_string(),
+                wall_ms: ms(s.total_time),
+                phase_ms: vec![
+                    ("symexec".to_string(), ms(s.symexec_time)),
+                    ("smt_reduction".to_string(), ms(s.smt_reduction_time)),
+                    ("sat".to_string(), ms(s.sat_time)),
+                    ("pickone".to_string(), ms(s.pickone_time)),
+                ],
+                smt_queries: s.smt_queries,
+                feasibility_queries: s.feasibility_queries,
+                cache_hits: s.smt_cache_hits,
+                cache_misses: s.smt_cache_misses,
+            }
+        }
+
+        /// One human-readable breakdown line per phase.
+        pub fn print(&self) {
+            let pct = |v: f64| {
+                if self.wall_ms > 0.0 {
+                    format!("{:.0}%", 100.0 * v / self.wall_ms)
+                } else {
+                    "-".to_string()
+                }
+            };
+            print!("{:<14} [{}]", self.benchmark, self.verdict);
+            for (name, v) in &self.phase_ms {
+                print!("  {name} {:.1}ms ({})", v, pct(*v));
+            }
+            println!(
+                "  wall {:.1}ms  queries {} smt / {} feas, cache {}/{}",
+                self.wall_ms,
+                self.smt_queries,
+                self.feasibility_queries,
+                self.cache_hits,
+                self.cache_misses
+            );
+        }
+
+        fn to_json(&self) -> String {
+            let mut s = String::new();
+            let esc = |v: &str| v.replace('\\', "\\\\").replace('"', "\\\"");
+            write!(
+                s,
+                "{{\"benchmark\":\"{}\",\"verdict\":\"{}\",\"wall_ms\":{:.3},\"phase_ms\":{{",
+                esc(&self.benchmark),
+                esc(&self.verdict),
+                self.wall_ms
+            )
+            .unwrap();
+            for (i, (name, v)) in self.phase_ms.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                write!(s, "\"{}\":{:.3}", esc(name), v).unwrap();
+            }
+            write!(
+                s,
+                "}},\"smt_queries\":{},\"feasibility_queries\":{},\
+                 \"cache_hits\":{},\"cache_misses\":{}}}",
+                self.smt_queries, self.feasibility_queries, self.cache_hits, self.cache_misses
+            )
+            .unwrap();
+            s
+        }
+    }
+
+    /// Serializes the rows as a JSON array (the `BENCH_pins.json` schema).
+    pub fn to_json(rows: &[ProfileRow]) -> String {
+        let mut s = String::from("[");
+        for (i, row) in rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            s.push_str(&row.to_json());
+        }
+        s.push_str("\n]\n");
+        s
+    }
+
+    /// Writes `BENCH_pins.json` and announces the path.
+    pub fn write_json(path: &str, rows: &[ProfileRow]) {
+        std::fs::write(path, to_json(rows)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("profile: wrote {path} ({} rows)", rows.len());
+    }
 }
 
 /// Minimal std-only micro-benchmark timer. The `benches/` targets used to be

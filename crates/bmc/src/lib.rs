@@ -82,6 +82,22 @@ pub struct BmcReport {
 ///
 /// Panics if `inverse` still contains holes (verify resolved solutions).
 pub fn check_inverse(session: &Session, inverse: &Program, config: BmcConfig) -> BmcReport {
+    let mut span = pins_trace::span("bmc.check_inverse");
+    let report = check_inverse_inner(session, inverse, &config);
+    if span.is_active() {
+        span.record_str("program", &inverse.name);
+        span.record("verified", report.verified);
+        span.record_u64("paths", report.paths as u64);
+        span.record_u64("unroll_bound", config.unroll as u64);
+        if let Some(reason) = report.stopped {
+            span.record_str("stop_reason", &reason.to_string());
+        }
+    }
+    report
+}
+
+fn check_inverse_inner(session: &Session, inverse: &Program, config: &BmcConfig) -> BmcReport {
+    let config = *config;
     let start = Instant::now();
     // `inverse` shares the composed program's variable table (it is the
     // template part with holes substituted), so the checked program is the
@@ -126,7 +142,12 @@ pub fn check_inverse(session: &Session, inverse: &Program, config: BmcConfig) ->
     let budget = Budget::with_limits(config.time_budget, None);
     let mut explorer = Explorer::new(&composed, explore);
     explorer.set_budget(budget.clone());
-    let paths = explorer.enumerate(&mut ctx, &EmptyFiller, config.max_paths);
+    let paths = {
+        let mut unroll_span = pins_trace::span("bmc.unroll");
+        let paths = explorer.enumerate(&mut ctx, &EmptyFiller, config.max_paths);
+        unroll_span.record_u64("paths", paths.len() as u64);
+        paths
+    };
     let total = paths.len();
     if let Some(reason) = explorer.stop_reason {
         return BmcReport {
@@ -150,6 +171,7 @@ pub fn check_inverse(session: &Session, inverse: &Program, config: BmcConfig) ->
         smt.assert(b);
     }
 
+    let _discharge_span = pins_trace::span("bmc.discharge");
     for path in paths {
         let spec = session.spec.to_term(&mut ctx, &path.final_vmap);
         let mut assumptions = path.conjuncts.clone();

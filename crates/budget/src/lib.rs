@@ -162,6 +162,15 @@ impl Budget {
             .deadline
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
+
+    /// Remaining step allowance (this budget only), if a step limit is set.
+    pub fn steps_left(&self) -> Option<u64> {
+        if self.inner.step_limit == u64::MAX {
+            None
+        } else {
+            Some(self.inner.step_limit.saturating_sub(self.steps()))
+        }
+    }
 }
 
 impl Default for Budget {

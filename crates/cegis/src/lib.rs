@@ -78,6 +78,26 @@ pub fn synthesize(
     battery: &[Store],
     config: CegisConfig,
 ) -> CegisReport {
+    let mut span = pins_trace::span("cegis.synthesize");
+    let report = synthesize_inner(session, env, battery, config);
+    if span.is_active() {
+        span.record("solved", report.solution.is_some());
+        span.record_u64("candidates", report.candidates_tried);
+        span.record_u64("counterexamples", report.counterexamples as u64);
+        span.record_u64("sat_size", report.sat_size as u64);
+        if let Some(f) = &report.failure {
+            span.record_str("failure", f);
+        }
+    }
+    report
+}
+
+fn synthesize_inner(
+    session: &Session,
+    env: &ExternEnv,
+    battery: &[Store],
+    config: CegisConfig,
+) -> CegisReport {
     let start = Instant::now();
     let domains = build_domains(
         session,

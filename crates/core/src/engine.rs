@@ -11,6 +11,7 @@ use pins_smt::{SmtConfig, SmtResult, SmtSession};
 use pins_symexec::{
     apply_filler_term, ExploreConfig, Explorer, HoleKind, MapFiller, PathResult, SymCtx,
 };
+use pins_trace::MetricsRegistry;
 
 use crate::constraints::{
     init_constraints, safepath_constraint, terminate_constraints, Constraint,
@@ -122,6 +123,40 @@ pub struct PinsStats {
     pub unknown_overflow: u64,
 }
 
+impl PinsStats {
+    /// Reconstructs the Table-4 view from a [`MetricsRegistry`] the engine
+    /// was run against (see [`Pins::run_with`]). Durations come from the
+    /// `phase.*` cells, counts from the `smt.*`, `solve.*`, and `explore.*`
+    /// cells; the result matches the typed stats carried on a successful
+    /// [`PinsOutcome`], and is the only view available when the run failed.
+    pub fn from_registry(registry: &MetricsRegistry) -> PinsStats {
+        let solve = crate::solve::SolveStats::from_registry(registry);
+        PinsStats {
+            symexec_time: registry.duration("phase.symexec"),
+            smt_reduction_time: solve.smt_time,
+            sat_time: solve.sat_time,
+            pickone_time: registry.duration("phase.pickone"),
+            total_time: registry.duration("phase.total"),
+            sat_size: solve.sat_size,
+            smt_queries: solve.smt_queries,
+            feasibility_queries: registry.get("explore.feasibility_queries"),
+            smt_cache_hits: registry.get("smt.cache_hits"),
+            smt_cache_misses: registry.get("smt.cache_misses"),
+            sessions_reused: solve.sessions_reused,
+            verify_workers: solve.workers,
+            worker_queries: solve.worker_queries,
+            worker_panics: solve.worker_panics,
+            sat_interrupts: solve.sat_interrupts,
+            smt_retries: registry.get("smt.retries"),
+            smt_cache_upgrades: registry.get("smt.cache_upgrades"),
+            unknown_deadline: registry.get("smt.unknown.deadline"),
+            unknown_cancelled: registry.get("smt.unknown.cancelled"),
+            unknown_step_limit: registry.get("smt.unknown.step_limit"),
+            unknown_overflow: registry.get("smt.unknown.overflow"),
+        }
+    }
+}
+
 /// A concrete test input generated from an explored path (§2.5).
 #[derive(Debug, Clone)]
 pub struct ConcreteTest {
@@ -139,6 +174,12 @@ pub struct ResolvedSolution {
 }
 
 /// The result of a successful PINS run.
+///
+/// Statistics are exposed through [`stats`](PinsOutcome::stats) (the typed
+/// Table-4 view) and [`metrics`](PinsOutcome::metrics) (the raw
+/// [`MetricsRegistry`] the run was instrumented against). For back
+/// compatibility the outcome also derefs to [`PinsStats`], so
+/// `outcome.total_time` keeps working.
 #[derive(Debug, Clone)]
 pub struct PinsOutcome {
     /// The surviving solutions (1–4 on the paper's benchmarks).
@@ -149,12 +190,38 @@ pub struct PinsOutcome {
     pub paths_explored: usize,
     /// Whether the run stabilized (vs. hitting a budget with candidates).
     pub converged: bool,
-    /// Timing and counting statistics.
-    pub stats: PinsStats,
+    /// Timing and counting statistics (private: read through
+    /// [`stats`](PinsOutcome::stats) or the `Deref` impl).
+    stats: PinsStats,
+    /// The registry every subsystem counter of this run was routed through.
+    metrics: MetricsRegistry,
     /// Concrete tests generated from the explored paths.
     pub tests: Vec<ConcreteTest>,
     /// log2 of the paper-comparable search space.
     pub search_space_log2: f64,
+}
+
+impl PinsOutcome {
+    /// The typed per-phase statistics (the paper's Table 4 columns).
+    pub fn stats(&self) -> &PinsStats {
+        &self.stats
+    }
+
+    /// The metrics registry the run recorded into: every `smt.*`,
+    /// `solve.*`, `explore.*`, and `phase.*` cell, including keys the typed
+    /// view does not surface. Shares cells with the registry passed to
+    /// [`Pins::run_with`], if any.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+impl std::ops::Deref for PinsOutcome {
+    type Target = PinsStats;
+
+    fn deref(&self) -> &PinsStats {
+        &self.stats
+    }
 }
 
 /// Failure modes of a PINS run.
@@ -226,6 +293,52 @@ impl Pins {
         session: &mut Session,
         budget: Budget,
     ) -> Result<PinsOutcome, PinsError> {
+        self.run_with(session, budget, &MetricsRegistry::new())
+    }
+
+    /// Runs Algorithm 1 routing every subsystem counter and phase duration
+    /// through a caller-owned [`MetricsRegistry`].
+    ///
+    /// Unlike the stats carried on a [`PinsOutcome`], the registry survives
+    /// *failed* runs: on `Err` it still holds everything recorded up to the
+    /// stop, and [`PinsStats::from_registry`] reconstructs the Table-4 view
+    /// from it. Passing the same registry to several runs accumulates their
+    /// counters.
+    pub fn run_with(
+        &self,
+        session: &mut Session,
+        budget: Budget,
+        metrics: &MetricsRegistry,
+    ) -> Result<PinsOutcome, PinsError> {
+        let mut span = pins_trace::span("pins.run");
+        let t0 = Instant::now();
+        let result = self.run_inner(session, budget, metrics);
+        metrics.add_duration("phase.total", t0.elapsed());
+        if span.is_active() {
+            span.record_str("program", &session.original.name);
+            match &result {
+                Ok(o) => {
+                    span.record("solved", true);
+                    span.record("converged", o.converged);
+                    span.record_u64("iterations", o.iterations as u64);
+                    span.record_u64("solutions", o.solutions.len() as u64);
+                    span.record_u64("paths", o.paths_explored as u64);
+                }
+                Err(e) => {
+                    span.record("solved", false);
+                    span.record_str("error", &e.to_string());
+                }
+            }
+        }
+        result
+    }
+
+    fn run_inner(
+        &self,
+        session: &mut Session,
+        budget: Budget,
+        metrics: &MetricsRegistry,
+    ) -> Result<PinsOutcome, PinsError> {
         let start = Instant::now();
         let mut stats = PinsStats::default();
         let mut rng = SplitMix64::new(self.config.seed);
@@ -237,6 +350,7 @@ impl Pins {
         // workers forked inside `solve`
         let mut smt = SmtSession::new(self.config.smt);
         smt.set_budget(budget.clone());
+        smt.bind_metrics(metrics, "smt");
         for &ax in &axioms {
             smt.assert_axiom(ax);
         }
@@ -249,6 +363,7 @@ impl Pins {
         );
         let mut constraints: Vec<Constraint> = terminate_constraints(session, &domains, &mut ctx);
         let mut solver = HoleSolver::new(&domains);
+        solver.bind_metrics(metrics);
 
         let mut explored: HashSet<TermId> = HashSet::new();
         let mut paths: Vec<PathResult> = Vec::new();
@@ -268,6 +383,12 @@ impl Pins {
             }
             if budget.check().is_err() {
                 return Err(PinsError::BudgetExhausted);
+            }
+            let mut iter_span = pins_trace::span("pins.iteration");
+            if iter_span.is_active() {
+                iter_span.record_u64("iteration", iterations as u64);
+                iter_span.record_u64("constraints", constraints.len() as u64);
+                iter_span.record_u64("paths", paths.len() as u64);
             }
             let sols = solver.solve(
                 &mut ctx,
@@ -299,10 +420,13 @@ impl Pins {
                     paths_explored: explored.len(),
                 });
             }
+            if iter_span.is_active() {
+                iter_span.record_u64("solutions", sols.len() as u64);
+            }
             if sols.len() == last_size && sols.len() < self.config.m {
                 return Ok(self.finalize(
-                    session, &mut ctx, &domains, &mut smt, sols, iterations, &paths, stats, start,
-                    true,
+                    session, &mut ctx, &domains, &mut smt, metrics, sols, iterations, &paths,
+                    stats, start, true,
                 ));
             }
             last_size = sols.len();
@@ -324,7 +448,9 @@ impl Pins {
                     &mut rng,
                 )
             };
-            stats.pickone_time += t0.elapsed();
+            let dt = t0.elapsed();
+            stats.pickone_time += dt;
+            metrics.add_duration("phase.pickone", dt);
             let filler = sols[pick].to_filler(&domains);
 
             // symbolic execution guided by the chosen solution; if a bad
@@ -345,6 +471,7 @@ impl Pins {
                 cfg.axioms = axioms.clone();
                 let mut explorer = Explorer::new(&session.composed, cfg);
                 explorer.set_budget(budget.clone());
+                explorer.bind_metrics(metrics, "feas");
                 path = explorer.explore_one(&mut ctx, &f, &explored);
                 stats.feasibility_queries += explorer.feasibility_queries;
                 any_budget_hit |= explorer.budget_hit;
@@ -357,7 +484,9 @@ impl Pins {
                     }
                 }
             }
-            stats.symexec_time += t0.elapsed();
+            let dt = t0.elapsed();
+            stats.symexec_time += dt;
+            metrics.add_duration("phase.symexec", dt);
 
             let Some(path) = path else {
                 // every feasible path within bounds is covered (or the step
@@ -368,6 +497,7 @@ impl Pins {
                     &mut ctx,
                     &domains,
                     &mut smt,
+                    metrics,
                     sols,
                     iterations,
                     &paths,
@@ -460,6 +590,7 @@ impl Pins {
         ctx: &mut SymCtx,
         domains: &HoleDomains,
         smt: &mut SmtSession,
+        metrics: &MetricsRegistry,
         sols: Vec<Solution>,
         iterations: usize,
         paths: &[PathResult],
@@ -491,6 +622,7 @@ impl Pins {
             paths_explored: paths.len(),
             converged,
             stats,
+            metrics: metrics.clone(),
             tests,
             search_space_log2: domains.paper_search_space_log2,
         }

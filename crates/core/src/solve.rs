@@ -30,6 +30,7 @@ use pins_logic::{collect_subterms, Term, TermId};
 use pins_sat::{Lit, SolveResult, Solver as SatSolver, Var};
 use pins_smt::SmtSession;
 use pins_symexec::{apply_filler_term, HoleKind, MapFiller, SymCtx};
+use pins_trace::{Counter, MetricsRegistry};
 
 use crate::constraints::Constraint;
 use crate::domains::HoleDomains;
@@ -108,6 +109,93 @@ pub struct SolveStats {
     pub last_stop: Option<StopReason>,
 }
 
+impl SolveStats {
+    /// Reconstructs the `solve`-attributable statistics from a
+    /// [`MetricsRegistry`] that a [`HoleSolver`] was bound to with
+    /// [`HoleSolver::bind_metrics`]. `last_stop` is not a counter and comes
+    /// back `None`; everything else mirrors the live struct.
+    pub fn from_registry(registry: &MetricsRegistry) -> SolveStats {
+        let worker_queries: Vec<u64> = {
+            // `snapshot_prefixed` strips the prefix: keys are `{slot}.queries`
+            let per_slot = registry.snapshot_prefixed("solve.worker.");
+            let mut v = vec![0u64; per_slot.len()];
+            for (key, n) in per_slot {
+                if let Some(slot) = key
+                    .strip_suffix(".queries")
+                    .and_then(|idx| idx.parse::<usize>().ok())
+                {
+                    if slot < v.len() {
+                        v[slot] = n;
+                    }
+                }
+            }
+            v
+        };
+        SolveStats {
+            sat_time: registry.duration("phase.sat"),
+            smt_time: registry.duration("phase.smt_reduction"),
+            smt_queries: registry.get("solve.smt_queries"),
+            candidates_proposed: registry.get("solve.candidates"),
+            sat_size: registry.get("solve.sat_size") as usize,
+            cache_hits: registry.get("solve.cache_hits"),
+            cache_misses: registry.get("solve.cache_misses"),
+            sessions_reused: registry.get("solve.sessions_reused"),
+            workers: registry.get("solve.workers") as usize,
+            worker_queries,
+            worker_panics: registry.get("solve.worker_panics"),
+            sat_interrupts: registry.get("solve.sat_interrupts"),
+            last_stop: None,
+        }
+    }
+}
+
+/// Registry handles for the counters `solve` maintains. Detached by default
+/// (every operation is a plain atomic bump on a private cell); bound to
+/// shared registry cells by [`HoleSolver::bind_metrics`].
+#[derive(Default)]
+struct SolveMetrics {
+    sat_time: Counter,
+    smt_time: Counter,
+    smt_queries: Counter,
+    candidates: Counter,
+    sat_size: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    sessions_reused: Counter,
+    workers: Counter,
+    worker_panics: Counter,
+    sat_interrupts: Counter,
+    /// Kept to mint per-worker-slot counters (`solve.worker.{w}.queries`)
+    /// lazily, since the pool size is only known at `solve` time.
+    registry: Option<MetricsRegistry>,
+}
+
+impl SolveMetrics {
+    fn bind(registry: &MetricsRegistry) -> SolveMetrics {
+        SolveMetrics {
+            sat_time: registry.counter("phase.sat"),
+            smt_time: registry.counter("phase.smt_reduction"),
+            smt_queries: registry.counter("solve.smt_queries"),
+            candidates: registry.counter("solve.candidates"),
+            sat_size: registry.counter("solve.sat_size"),
+            cache_hits: registry.counter("solve.cache_hits"),
+            cache_misses: registry.counter("solve.cache_misses"),
+            sessions_reused: registry.counter("solve.sessions_reused"),
+            workers: registry.counter("solve.workers"),
+            worker_panics: registry.counter("solve.worker_panics"),
+            sat_interrupts: registry.counter("solve.sat_interrupts"),
+            registry: Some(registry.clone()),
+        }
+    }
+
+    fn worker_slot(&self, w: usize) -> Counter {
+        match &self.registry {
+            Some(r) => r.counter(&format!("solve.worker.{w}.queries")),
+            None => Counter::detached(),
+        }
+    }
+}
+
 /// Runs [`verify_one`] with panic isolation: a query that panics (e.g. a
 /// poisoned constraint hitting an encoder `panic!`) degrades to `None`
 /// ("unverified") instead of tearing down the solve. Used by BOTH the serial
@@ -159,6 +247,9 @@ pub struct HoleSolver {
     holes_of: Vec<ConstraintHoles>,
     /// Statistics accumulated across calls.
     pub stats: SolveStats,
+    /// Registry handles mirroring `stats`; detached until
+    /// [`bind_metrics`](HoleSolver::bind_metrics) is called.
+    metrics: SolveMetrics,
 }
 
 impl HoleSolver {
@@ -184,7 +275,18 @@ impl HoleSolver {
             cache: HashMap::new(),
             holes_of: Vec::new(),
             stats: SolveStats::default(),
+            metrics: SolveMetrics::default(),
         }
+    }
+
+    /// Binds the solver's counters to shared cells in `registry` (keys
+    /// `phase.sat`, `phase.smt_reduction`, `solve.*`). Subsequent `solve`
+    /// calls bump those cells at event time — including the per-worker query
+    /// counts folded back from the parallel verification pool — so the
+    /// registry and the typed [`SolveStats`] stay consistent whether
+    /// verification runs serial or parallel.
+    pub fn bind_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = SolveMetrics::bind(registry);
     }
 
     /// Registers the holes occurring in constraint `idx` (call once per new
@@ -268,11 +370,15 @@ impl HoleSolver {
             Some(v) => v,
             None => {
                 self.stats.worker_panics += 1;
+                self.metrics.worker_panics.inc();
                 false
             }
         };
-        self.stats.smt_time += t0.elapsed();
+        let dt = t0.elapsed();
+        self.stats.smt_time += dt;
+        self.metrics.smt_time.add_duration(dt);
         self.stats.smt_queries += 1;
+        self.metrics.smt_queries.inc();
         self.cache.insert((c, key), valid);
         valid
     }
@@ -398,13 +504,18 @@ impl HoleSolver {
                         .map(|h| h.join().map_err(|_| ()))
                         .collect()
                 });
-                self.stats.smt_time += t0.elapsed();
+                let dt = t0.elapsed();
+                self.stats.smt_time += dt;
+                self.metrics.smt_time.add_duration(dt);
                 for (w, outcome) in outcomes.into_iter().enumerate() {
                     match outcome {
                         Ok((pairs, panics, wstats)) => {
                             self.stats.smt_queries += wstats.queries;
+                            self.metrics.smt_queries.add(wstats.queries);
                             self.stats.worker_queries[w] += wstats.queries;
+                            self.metrics.worker_slot(w).add(wstats.queries);
                             self.stats.worker_panics += panics;
+                            self.metrics.worker_panics.add(panics);
                             // fold worker traffic into the parent session so
                             // its counters stay the single source of truth
                             smt.stats.absorb(&wstats);
@@ -417,6 +528,7 @@ impl HoleSolver {
                             // catch_unwind, e.g. a double panic): degrade its
                             // entire chunk to unverified rather than abort
                             self.stats.worker_panics += 1;
+                            self.metrics.worker_panics.inc();
                             for &c in &chunks[w] {
                                 results.insert(c, false);
                             }
@@ -481,8 +593,10 @@ impl HoleSolver {
     ) -> Vec<Solution> {
         if self.stats.smt_queries > 0 || self.stats.candidates_proposed > 0 {
             self.stats.sessions_reused += 1;
+            self.metrics.sessions_reused.inc();
         }
         self.stats.workers = self.stats.workers.max(workers.max(1));
+        self.metrics.workers.record_max(workers.max(1) as u64);
         let before = smt.stats;
         // register any new constraints
         for (idx, constraint) in constraints.iter().enumerate().skip(self.holes_of.len()) {
@@ -497,18 +611,25 @@ impl HoleSolver {
         loop {
             let t0 = Instant::now();
             let res = snapshot.solve();
-            self.stats.sat_time += t0.elapsed();
+            let dt = t0.elapsed();
+            self.stats.sat_time += dt;
+            self.metrics.sat_time.add_duration(dt);
             self.stats.sat_size = self.stats.sat_size.max(snapshot.formula_size());
+            self.metrics
+                .sat_size
+                .record_max(snapshot.formula_size() as u64);
             match res {
                 SolveResult::Unsat => break,
                 SolveResult::Interrupted(reason) => {
                     self.stats.sat_interrupts += 1;
+                    self.metrics.sat_interrupts.inc();
                     self.stats.last_stop = Some(reason);
                     break;
                 }
                 SolveResult::Sat => {
                     let s = Self::extract_solution(&snapshot, &self.evars, &self.pvars);
                     self.stats.candidates_proposed += 1;
+                    self.metrics.candidates.inc();
                     if let Some(c) =
                         self.first_failing(ctx, session, domains, constraints, &s, smt, workers)
                     {
@@ -536,8 +657,16 @@ impl HoleSolver {
                 }
             }
         }
-        self.stats.cache_hits += smt.stats.cache_hits - before.cache_hits;
-        self.stats.cache_misses += smt.stats.cache_misses - before.cache_misses;
+        // the session's own counters already include the worker traffic that
+        // `absorb` folded back in, so this delta is identical whether
+        // verification ran serial or parallel — and the registry mirror
+        // therefore is too
+        let hits = smt.stats.cache_hits - before.cache_hits;
+        let misses = smt.stats.cache_misses - before.cache_misses;
+        self.stats.cache_hits += hits;
+        self.metrics.cache_hits.add(hits);
+        self.stats.cache_misses += misses;
+        self.metrics.cache_misses.add(misses);
         found
     }
 }

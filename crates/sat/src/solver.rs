@@ -97,6 +97,12 @@ struct Watcher {
     blocker: Lit,
 }
 
+/// Minimum conflicts before a solve call earns a `sat.solve` trace event.
+/// Keeps tracing overhead bounded: trivial calls (the overwhelming majority
+/// in a CEGIS loop) stay silent, while the calls that dominate wall-clock
+/// time are always visible.
+const SAT_TRACE_MIN_CONFLICTS: u64 = 64;
+
 /// A CDCL SAT solver. See the crate docs for an overview.
 #[derive(Debug, Clone)]
 pub struct Solver {
@@ -126,6 +132,8 @@ pub struct Solver {
     pub decisions: u64,
     /// Statistics: total propagations performed.
     pub propagations: u64,
+    /// Statistics: total Luby restarts taken.
+    pub restarts: u64,
 }
 
 impl Default for Solver {
@@ -159,6 +167,7 @@ impl Solver {
             conflicts: 0,
             decisions: 0,
             propagations: 0,
+            restarts: 0,
         }
     }
 
@@ -581,6 +590,45 @@ impl Solver {
     /// Solves under the given assumption literals. The assumptions only hold
     /// for this call; the learnt clauses persist.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !pins_trace::is_enabled() {
+            return self.search(assumptions);
+        }
+        // Tracing path: the engine makes thousands of SAT calls per query,
+        // so per-call events are sampled — only calls that did real search
+        // work are recorded. Exact counters still accumulate on the solver
+        // and surface through the enclosing query's registry cells.
+        let (c0, d0, p0, r0) = (
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.restarts,
+        );
+        let start = std::time::Instant::now();
+        let result = self.search(assumptions);
+        let conflicts = self.conflicts - c0;
+        if conflicts >= SAT_TRACE_MIN_CONFLICTS {
+            let verdict = match result {
+                SolveResult::Sat => "sat",
+                SolveResult::Unsat => "unsat",
+                SolveResult::Interrupted(_) => "interrupted",
+            };
+            pins_trace::point("sat.solve", || {
+                vec![
+                    ("dur_us", (start.elapsed().as_micros() as u64).into()),
+                    ("conflicts", conflicts.into()),
+                    ("decisions", (self.decisions - d0).into()),
+                    ("propagations", (self.propagations - p0).into()),
+                    ("restarts", (self.restarts - r0).into()),
+                    ("vars", (self.num_vars() as u64).into()),
+                    ("verdict", verdict.into()),
+                ]
+            });
+        }
+        result
+    }
+
+    /// The CDCL search loop behind [`Solver::solve_with_assumptions`].
+    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.cancel_until(0);
         if !self.ok {
             return SolveResult::Unsat;
@@ -622,6 +670,7 @@ impl Solver {
             } else {
                 if conflicts_this_restart >= conflicts_until_restart {
                     restart_count += 1;
+                    self.restarts += 1;
                     conflicts_until_restart = 100 * Self::luby(restart_count);
                     conflicts_this_restart = 0;
                     self.cancel_until(0);

@@ -25,8 +25,10 @@
 //! The public entry point is the incremental [`SmtSession`]: persistent
 //! assertions with `push`/`pop` scopes, assumption-based checks, and a
 //! process-wide normalized-query cache (see [`session`] for the design).
-//! The historical free functions (`check_formulas`, `is_unsat`, `is_valid`)
-//! remain as deprecated shims over a session.
+//! Sessions bind their counters into a shared
+//! [`MetricsRegistry`](pins_trace::MetricsRegistry) via
+//! [`SmtSession::bind_metrics`], and each solve is traced as an `smt.query`
+//! span when a [`pins_trace`] recorder is installed.
 //!
 //! # Example
 //!
@@ -75,8 +77,6 @@ pub use prep::{preprocess, Prepped};
 pub use rational::Rat;
 pub use session::{global_cache, QueryCache, SessionStats, SmtSession, Verdict};
 pub use simplex::Lia;
-#[allow(deprecated)]
-pub use solver::{check_formulas, is_unsat, is_valid};
 pub use solver::{Smt, SmtConfig, SmtResult, SmtStats};
 
 #[cfg(test)]

@@ -4,9 +4,9 @@
 //! queries per synthesis run, and the vast majority are repeats: the same
 //! path condition re-checked under a slightly different candidate, the same
 //! infeasibility probe issued by `pickOne` across iterations, the same axiom
-//! set asserted before every query. The historical entry points
-//! ([`check_formulas`](crate::check_formulas), [`is_unsat`](crate::is_unsat),
-//! [`is_valid`](crate::is_valid)) rebuilt everything from scratch each call.
+//! set asserted before every query. The historical free-function entry
+//! points (`check_formulas`, `is_unsat`, `is_valid`, removed in 0.2) rebuilt
+//! everything from scratch each call.
 //!
 //! [`SmtSession`] replaces them. A session holds
 //!
@@ -53,6 +53,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use pins_budget::{Budget, StopReason};
 use pins_logic::{Sort, SymbolTable, Term, TermArena, TermId};
+use pins_trace::{Counter, MetricsRegistry};
 
 use crate::solver::{Smt, SmtConfig, SmtResult};
 
@@ -367,6 +368,73 @@ impl SessionStats {
             StopReason::Overflow => self.unknown_overflow += 1,
         }
     }
+
+    /// Reconstructs the counters from `registry` cells under `prefix`
+    /// (e.g. `"smt"`) — the typed view over what sessions bound with
+    /// [`SmtSession::bind_metrics`] wrote through at event time.
+    pub fn from_registry(registry: &MetricsRegistry, prefix: &str) -> SessionStats {
+        let g = |name: &str| registry.get(&format!("{prefix}.{name}"));
+        SessionStats {
+            queries: g("queries"),
+            cache_hits: g("cache_hits"),
+            cache_misses: g("cache_misses"),
+            sat_resolves: g("sat_resolves"),
+            retries: g("retries"),
+            cache_upgrades: g("cache_upgrades"),
+            unknown_deadline: g("unknown.deadline"),
+            unknown_cancelled: g("unknown.cancelled"),
+            unknown_step_limit: g("unknown.step_limit"),
+            unknown_overflow: g("unknown.overflow"),
+        }
+    }
+}
+
+/// Registry counter handles a session writes through *at event time*, so
+/// queries issued by forked worker sessions land in the same cells their
+/// parent reads — serial and parallel runs report identical totals by
+/// construction, instead of summing per-worker structs after the fact.
+///
+/// The default handles are detached (not in any registry): sessions always
+/// write through them, and binding just swaps in shared cells.
+#[derive(Debug, Clone, Default)]
+struct SessionMetrics {
+    queries: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    sat_resolves: Counter,
+    retries: Counter,
+    cache_upgrades: Counter,
+    unknown_deadline: Counter,
+    unknown_cancelled: Counter,
+    unknown_step_limit: Counter,
+    unknown_overflow: Counter,
+}
+
+impl SessionMetrics {
+    fn bind(registry: &MetricsRegistry, prefix: &str) -> SessionMetrics {
+        let c = |name: &str| registry.counter(&format!("{prefix}.{name}"));
+        SessionMetrics {
+            queries: c("queries"),
+            cache_hits: c("cache_hits"),
+            cache_misses: c("cache_misses"),
+            sat_resolves: c("sat_resolves"),
+            retries: c("retries"),
+            cache_upgrades: c("cache_upgrades"),
+            unknown_deadline: c("unknown.deadline"),
+            unknown_cancelled: c("unknown.cancelled"),
+            unknown_step_limit: c("unknown.step_limit"),
+            unknown_overflow: c("unknown.overflow"),
+        }
+    }
+
+    fn note_unknown(&self, reason: StopReason) {
+        match reason {
+            StopReason::Deadline => self.unknown_deadline.inc(),
+            StopReason::Cancelled => self.unknown_cancelled.inc(),
+            StopReason::StepLimit => self.unknown_step_limit.inc(),
+            StopReason::Overflow => self.unknown_overflow.inc(),
+        }
+    }
 }
 
 /// Explicit fingerprint of every [`SmtConfig`] field. The configuration
@@ -411,6 +479,8 @@ pub struct SmtSession {
     budget: Budget,
     /// Counters for this session's traffic.
     pub stats: SessionStats,
+    /// Registry write-through handles (detached until [`bind_metrics`](Self::bind_metrics)).
+    metrics: SessionMetrics,
 }
 
 impl SmtSession {
@@ -433,7 +503,17 @@ impl SmtSession {
             cache,
             budget: Budget::unlimited(),
             stats: SessionStats::default(),
+            metrics: SessionMetrics::default(),
         }
+    }
+
+    /// Binds this session's counters to `registry` cells under `prefix`
+    /// (e.g. `"smt"` yields `smt.queries`, `smt.cache_hits`, ...). Forked
+    /// worker sessions inherit the binding, so their traffic lands in the
+    /// same cells at event time; read the totals back with
+    /// [`SessionStats::from_registry`].
+    pub fn bind_metrics(&mut self, registry: &MetricsRegistry, prefix: &str) {
+        self.metrics = SessionMetrics::bind(registry, prefix);
     }
 
     /// Installs the shared budget every subsequent solve runs under.
@@ -519,6 +599,9 @@ impl SmtSession {
             cache: Arc::clone(&self.cache),
             budget: self.budget.clone(),
             stats: SessionStats::default(),
+            // shares the parent's registry cells: worker traffic is counted
+            // where the parent (and the harness) reads it
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -598,6 +681,7 @@ impl SmtSession {
             // query outgrew: never retry it
             if self.config.retry_unknown && reason != StopReason::Cancelled {
                 self.stats.retries += 1;
+                self.metrics.retries.inc();
                 let escalated = self.config.escalate();
                 let retried = self.solve(arena, assumptions, escalated);
                 let esc_key = self.query_key(arena, assumptions, config_fingerprint(&escalated));
@@ -606,12 +690,14 @@ impl SmtSession {
                     // the larger budget settled it: upgrade the entry the
                     // original key would otherwise pin to Unknown
                     self.stats.cache_upgrades += 1;
+                    self.metrics.cache_upgrades.inc();
                 }
                 result = retried;
             }
         }
         if let SmtResult::Unknown(reason) = result {
             self.stats.note_unknown(reason);
+            self.metrics.note_unknown(reason);
         }
         self.cache.insert(key, Verdict::of(&result));
         result
@@ -630,36 +716,100 @@ impl SmtSession {
     /// across arenas (counted in [`SessionStats::sat_resolves`]).
     pub fn check_under(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> SmtResult {
         self.stats.queries += 1;
+        self.metrics.queries.inc();
+        let mut span = self.query_span(assumptions.len());
         let key = self.query_key(arena, assumptions, self.config_fp);
         match self.cache.lookup(key) {
             Some(Verdict::Unsat) => {
                 self.stats.cache_hits += 1;
+                self.metrics.cache_hits.inc();
+                span.record("cached", true);
+                span.record_str("verdict", "unsat");
                 return SmtResult::Unsat;
             }
             Some(Verdict::Unknown { reason }) => {
                 self.stats.cache_hits += 1;
+                self.metrics.cache_hits.inc();
+                span.record("cached", true);
+                span.record_str("verdict", "unknown");
                 return SmtResult::Unknown(reason);
             }
             Some(Verdict::Sat { .. }) => {
                 self.stats.cache_hits += 1;
                 self.stats.sat_resolves += 1;
+                self.metrics.cache_hits.inc();
+                self.metrics.sat_resolves.inc();
             }
-            None => self.stats.cache_misses += 1,
+            None => {
+                self.stats.cache_misses += 1;
+                self.metrics.cache_misses.inc();
+            }
         }
-        self.solve_and_cache(arena, assumptions, key)
+        let result = self.solve_and_cache(arena, assumptions, key);
+        if span.is_active() {
+            span.record("cached", false);
+            span.record_str(
+                "verdict",
+                match &result {
+                    SmtResult::Sat(_) => "sat",
+                    SmtResult::Unsat => "unsat",
+                    SmtResult::Unknown(_) => "unknown",
+                },
+            );
+        }
+        result
+    }
+
+    /// Opens the per-query trace span, stamping the shared budget's
+    /// remaining allowance. Inert (no allocation) when tracing is off.
+    fn query_span(&self, assumptions: usize) -> pins_trace::Span {
+        let mut span = pins_trace::span("smt.query");
+        if span.is_active() {
+            span.record_u64("assumptions", assumptions as u64);
+            if let Some(t) = self.budget.time_left() {
+                span.record_u64("budget_ms_left", t.as_millis() as u64);
+            }
+            if let Some(s) = self.budget.steps_left() {
+                span.record_u64("budget_steps_left", s);
+            }
+        }
+        span
     }
 
     /// The verdict of the current scope plus `assumptions`, without a model.
     /// Any cached verdict short-circuits the solver entirely.
     pub fn verdict_under(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> Verdict {
         self.stats.queries += 1;
+        self.metrics.queries.inc();
+        let mut span = self.query_span(assumptions.len());
         let key = self.query_key(arena, assumptions, self.config_fp);
-        if let Some(v) = self.cache.lookup(key) {
-            self.stats.cache_hits += 1;
-            return v;
+        let (verdict, cached) = match self.cache.lookup(key) {
+            Some(v) => {
+                self.stats.cache_hits += 1;
+                self.metrics.cache_hits.inc();
+                (v, true)
+            }
+            None => {
+                self.stats.cache_misses += 1;
+                self.metrics.cache_misses.inc();
+                (
+                    Verdict::of(&self.solve_and_cache(arena, assumptions, key)),
+                    false,
+                )
+            }
+        };
+        if span.is_active() {
+            span.record("cached", cached);
+            span.record_str(
+                "verdict",
+                match verdict {
+                    Verdict::Sat { .. } => "sat",
+                    Verdict::Unsat => "unsat",
+                    Verdict::Unknown { .. } => "unknown",
+                },
+            );
         }
-        self.stats.cache_misses += 1;
-        Verdict::of(&self.solve_and_cache(arena, assumptions, key))
+        verdict
     }
 
     /// Whether the current scope plus `assumptions` is provably
@@ -669,8 +819,7 @@ impl SmtSession {
     }
 
     /// Whether `hyps |= goal` modulo the session's assertions and axioms,
-    /// proven by refuting `hyps ∧ ¬goal`. The successor of the deprecated
-    /// free function [`is_valid`](crate::is_valid).
+    /// proven by refuting `hyps ∧ ¬goal`.
     pub fn entails(&mut self, arena: &mut TermArena, hyps: &[TermId], goal: TermId) -> bool {
         let neg = arena.mk_not(goal);
         let mut assumptions = Vec::with_capacity(hyps.len() + 1);

@@ -4,7 +4,7 @@
 //! conflict-driven refinement.
 
 use std::collections::{HashMap, HashSet};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pins_budget::{Budget, StopReason};
 use pins_logic::{Sort, Term, TermArena, TermId};
@@ -112,6 +112,18 @@ pub struct SmtStats {
     pub instances: u64,
     /// Final SAT formula size (vars + literal occurrences).
     pub formula_size: usize,
+    /// Time in CNF preparation: quantifier grounding, preprocessing and
+    /// Tseitin encoding of the asserted formulas.
+    pub prep_time: Duration,
+    /// Time inside the SAT core across all rounds.
+    pub sat_time: Duration,
+    /// Time in the EUF engine (congruence closure + array lemma scan).
+    pub euf_time: Duration,
+    /// Time in the simplex/branch-and-bound LIA engine (including
+    /// model-based theory combination, which reads LIA values).
+    pub lia_time: Duration,
+    /// Time in congruence-aware e-matching rounds.
+    pub ematch_time: Duration,
 }
 
 enum Outcome {
@@ -291,14 +303,55 @@ impl Smt {
         let budget = self
             .budget
             .child(self.config.time_limit, self.config.step_limit);
+        let mut span = pins_trace::span("smt.check");
+        if span.is_active() {
+            if let Some(t) = budget.time_left() {
+                span.record_u64("budget_ms_left", t.as_millis() as u64);
+            }
+            if let Some(s) = budget.steps_left() {
+                span.record_u64("budget_steps_left", s);
+            }
+        }
+        let before = self.stats;
+        let result = self.check_inner(arena, &budget);
+        if span.is_active() {
+            span.record_str(
+                "verdict",
+                match &result {
+                    SmtResult::Sat(_) => "sat",
+                    SmtResult::Unsat => "unsat",
+                    SmtResult::Unknown(_) => "unknown",
+                },
+            );
+            if let SmtResult::Unknown(reason) = &result {
+                span.record_str("stop_reason", &reason.to_string());
+            }
+            span.record_u64("sat_rounds", self.stats.sat_rounds - before.sat_rounds);
+            span.record_u64(
+                "theory_conflicts",
+                self.stats.theory_conflicts - before.theory_conflicts,
+            );
+            span.record_u64("lemmas", self.stats.lemmas - before.lemmas);
+            span.record_u64(
+                "instances",
+                self.stats.instances.saturating_sub(before.instances),
+            );
+            span.record_u64("formula_size", self.stats.formula_size as u64);
+        }
+        result
+    }
+
+    fn check_inner(&mut self, arena: &mut TermArena, budget: &Budget) -> SmtResult {
         self.sat.set_budget(budget.clone());
         // ground the axioms against the asserted formulas
+        let t_prep = Instant::now();
         let roots = self.ground.clone();
-        let out = instantiate(arena, &self.axioms, &roots, self.config.inst, &budget);
+        let out = instantiate(arena, &self.axioms, &roots, self.config.inst, budget);
         if out.truncated {
             self.exact = false;
         }
         if let Some(reason) = out.stopped {
+            self.stats.prep_time += t_prep.elapsed();
             self.stats.formula_size = self.sat.formula_size();
             return SmtResult::Unknown(reason);
         }
@@ -316,6 +369,7 @@ impl Smt {
         for g in to_assert {
             self.assert_root(arena, g);
         }
+        self.stats.prep_time += t_prep.elapsed();
 
         for _round in 0..self.config.max_theory_rounds {
             if let Err(reason) = budget.charge(1) {
@@ -323,7 +377,10 @@ impl Smt {
                 return SmtResult::Unknown(reason);
             }
             self.stats.sat_rounds += 1;
-            match self.sat.solve() {
+            let t_sat = Instant::now();
+            let sat_verdict = self.sat.solve();
+            self.stats.sat_time += t_sat.elapsed();
+            match sat_verdict {
                 SolveResult::Unsat => {
                     self.stats.formula_size = self.sat.formula_size();
                     return SmtResult::Unsat;
@@ -341,7 +398,7 @@ impl Smt {
                             (t, val, Lit::new(v, val))
                         })
                         .collect();
-                    match self.theory_check(arena, &assignment, &budget) {
+                    match self.theory_check(arena, &assignment, budget) {
                         Outcome::Stopped(reason) => {
                             self.stats.formula_size = self.sat.formula_size();
                             return SmtResult::Unknown(reason);
@@ -384,6 +441,7 @@ impl Smt {
         assignment: &[(TermId, bool, Lit)],
         budget: &Budget,
     ) -> Outcome {
+        let t_euf = Instant::now();
         let mut euf = Euf::new();
         let mut lemmas: Vec<TermId> = Vec::new();
         // lemmas are marked as emitted only when actually returned; a theory
@@ -428,6 +486,7 @@ impl Smt {
         if let Err(tags) = euf.check() {
             // the pending split lemmas are intentionally NOT marked done:
             // they were not asserted and must be re-generated next time
+            self.stats.euf_time += t_euf.elapsed();
             return Outcome::Conflict(tags);
         }
         self.diseq_split.extend(pending_splits);
@@ -467,12 +526,14 @@ impl Smt {
                 }
             }
         }
+        self.stats.euf_time += t_euf.elapsed();
         if !lemmas.is_empty() {
             return Outcome::Progress(lemmas, vec![]);
         }
 
         // ---- congruence-aware axiom instantiation ---------------------------
         if !self.axioms.is_empty() && self.ematch_count < self.config.inst.max_instances {
+            let t_ematch = Instant::now();
             let axioms = self.axioms.clone();
             let new_instances = ematch_round(
                 arena,
@@ -496,11 +557,31 @@ impl Smt {
                     ground.extend(prep.ground);
                 }
                 if !ground.is_empty() {
+                    self.stats.ematch_time += t_ematch.elapsed();
                     return Outcome::Progress(ground, vec![]);
                 }
             }
+            self.stats.ematch_time += t_ematch.elapsed();
         }
 
+        let t_lia = Instant::now();
+        let out = self.lia_and_model(arena, assignment, &mut euf, &class_terms, &sels, budget);
+        self.stats.lia_time += t_lia.elapsed();
+        out
+    }
+
+    /// The arithmetic back half of [`Smt::theory_check`]: the simplex/LIA
+    /// pass, model-based theory combination, and model construction. Split
+    /// out so the caller can attribute its time to the simplex accumulator.
+    fn lia_and_model(
+        &mut self,
+        arena: &mut TermArena,
+        assignment: &[(TermId, bool, Lit)],
+        euf: &mut Euf,
+        class_terms: &[(TermId, u32)],
+        sels: &[(TermId, TermId, TermId)],
+        budget: &Budget,
+    ) -> Outcome {
         // ---- LIA pass -------------------------------------------------------
         let mut lia = Lia::new();
         lia.set_budget(budget.clone());
@@ -605,7 +686,7 @@ impl Smt {
         // EUF -> LIA equality propagation: merge arithmetic views of
         // congruent integer terms.
         let mut by_root: HashMap<u32, Vec<TermId>> = HashMap::new();
-        for &(t, root) in &class_terms {
+        for &(t, root) in class_terms {
             if arena.sort(t).is_int() {
                 by_root.entry(root).or_default().push(t);
             }
@@ -653,7 +734,7 @@ impl Smt {
         let mut shared: Vec<TermId> = Vec::new();
         {
             let mut seen = HashSet::new();
-            for &(t, _) in &class_terms {
+            for &(t, _) in class_terms {
                 let kids: Vec<TermId> = match arena.term(t) {
                     Term::App(_, args) => args.clone(),
                     Term::Sel(a, i) => vec![*a, *i],
@@ -712,7 +793,7 @@ impl Smt {
         }
         // array contents: group sel values under each array-variable class
         let mut arrays: HashMap<u32, Vec<(i64, i64)>> = HashMap::new();
-        for &(s, a, i) in &sels {
+        for &(s, a, i) in sels {
             if let (Some(root), Some(&sv)) = (euf.root_of(a), lvar.get(&s)) {
                 let idx = eval_lin(arena, i, &lvar, &lia);
                 if let (Some(idx), Some(val)) = (idx, lia.value(sv).to_i64()) {
@@ -720,7 +801,7 @@ impl Smt {
                 }
             }
         }
-        for &(t, root) in &class_terms {
+        for &(t, root) in class_terms {
             if arena.sort(t).is_array() && matches!(arena.term(t), Term::Var { .. }) {
                 if let Some(entries) = arrays.get(&root) {
                     let mut e = entries.clone();
@@ -730,7 +811,7 @@ impl Smt {
                 }
             }
         }
-        for &(t, root) in &class_terms {
+        for &(t, root) in class_terms {
             if matches!(arena.sort(t), Sort::Unint(_)) {
                 model.unints.insert(t, root as u64);
             }
@@ -751,67 +832,4 @@ fn eval_lin(arena: &TermArena, t: TermId, lvar: &HashMap<TermId, usize>, lia: &L
         acc = acc.checked_add(Rat::from_int(c).checked_mul(lia.value(*v))?)?;
     }
     acc.to_i64()
-}
-
-/// Checks the conjunction of `assertions` (with `axioms` available for
-/// instantiation) for satisfiability.
-///
-/// Deprecated shim: builds a throwaway [`SmtSession`](crate::SmtSession)
-/// over the process-wide query cache, so repeated calls still benefit from
-/// verdict caching, but the per-session fingerprint memo is rebuilt every
-/// call. Long-lived callers should hold a session instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "create an `SmtSession` and use `check`/`check_under`"
-)]
-pub fn check_formulas(
-    arena: &mut TermArena,
-    assertions: &[TermId],
-    axioms: &[TermId],
-    config: SmtConfig,
-) -> SmtResult {
-    let mut session = crate::SmtSession::new(config);
-    for &a in axioms {
-        session.assert_axiom(a);
-    }
-    session.check_under(arena, assertions)
-}
-
-/// Whether the conjunction is provably unsatisfiable.
-///
-/// Deprecated shim over [`SmtSession::is_unsat_under`](crate::SmtSession::is_unsat_under).
-#[deprecated(
-    since = "0.2.0",
-    note = "create an `SmtSession` and use `is_unsat_under`"
-)]
-pub fn is_unsat(
-    arena: &mut TermArena,
-    assertions: &[TermId],
-    axioms: &[TermId],
-    config: SmtConfig,
-) -> bool {
-    let mut session = crate::SmtSession::new(config);
-    for &a in axioms {
-        session.assert_axiom(a);
-    }
-    session.is_unsat_under(arena, assertions)
-}
-
-/// Whether `hyps |= goal` (modulo `axioms`), proven by refuting
-/// `hyps and not goal`.
-///
-/// Deprecated shim over [`SmtSession::entails`](crate::SmtSession::entails).
-#[deprecated(since = "0.2.0", note = "create an `SmtSession` and use `entails`")]
-pub fn is_valid(
-    arena: &mut TermArena,
-    hyps: &[TermId],
-    goal: TermId,
-    axioms: &[TermId],
-    config: SmtConfig,
-) -> bool {
-    let mut session = crate::SmtSession::new(config);
-    for &a in axioms {
-        session.assert_axiom(a);
-    }
-    session.entails(arena, hyps, goal)
 }

@@ -1,12 +1,9 @@
-// The free-function entry points are deprecated in favour of `SmtSession`,
-// but the shims must keep working until downstream callers finish migrating,
-// so this suite intentionally keeps exercising them.
-#![allow(deprecated)]
+use std::sync::Arc;
 
 use pins_logic::{Sort, TermArena, TermId};
 use pins_prng::SplitMix64;
 
-use crate::{check_formulas, is_valid, SmtConfig, SmtResult};
+use crate::{QueryCache, SmtConfig, SmtResult, SmtSession};
 
 fn cases(light: usize, heavy: usize) -> usize {
     if cfg!(feature = "heavy-tests") {
@@ -28,6 +25,36 @@ fn int_var(a: &mut TermArena, name: &str) -> TermId {
 fn arr_var(a: &mut TermArena, name: &str) -> TermId {
     let s = a.sym(name);
     a.mk_var(s, 0, Sort::IntArray)
+}
+
+/// One-shot check of a conjunction through a fresh session over a private
+/// cache (so tests stay independent of each other's cached verdicts).
+fn check_formulas(
+    arena: &mut TermArena,
+    assertions: &[TermId],
+    axioms: &[TermId],
+    config: SmtConfig,
+) -> SmtResult {
+    let mut session = SmtSession::with_cache(config, Arc::new(QueryCache::new()));
+    for &ax in axioms {
+        session.assert_axiom(ax);
+    }
+    session.check_under(arena, assertions)
+}
+
+/// Whether `hyps |= goal` modulo `axioms`, via a fresh session's `entails`.
+fn is_valid(
+    arena: &mut TermArena,
+    hyps: &[TermId],
+    goal: TermId,
+    axioms: &[TermId],
+    config: SmtConfig,
+) -> bool {
+    let mut session = SmtSession::with_cache(config, Arc::new(QueryCache::new()));
+    for &ax in axioms {
+        session.assert_axiom(ax);
+    }
+    session.entails(arena, hyps, goal)
 }
 
 fn sat(arena: &mut TermArena, fs: &[TermId]) -> bool {
@@ -1075,7 +1102,7 @@ mod session {
     }
 
     #[test]
-    fn entails_matches_deprecated_is_valid() {
+    fn entails_on_implication_and_converse() {
         let mut a = TermArena::new();
         let x = int_var(&mut a, "x");
         let five = a.mk_int(5);

@@ -10,6 +10,7 @@ use pins_budget::{Budget, StopReason};
 use pins_ir::{EHoleId, Expr, LoopId, PHoleId, Pred, Program, Stmt, VarId};
 use pins_logic::{collect_subterms, Sort, Term, TermId};
 use pins_smt::{SmtConfig, SmtSession};
+use pins_trace::{Counter, MetricsRegistry};
 
 use crate::ctx::{version_of, HoleKind, SymCtx, VersionMap};
 
@@ -133,6 +134,9 @@ pub struct Explorer<'p> {
     budget: Budget,
     /// Count of SMT feasibility queries issued (instrumentation).
     pub feasibility_queries: u64,
+    /// Registry write-through for feasibility queries (detached until
+    /// [`bind_metrics`](Self::bind_metrics)).
+    feas_counter: Counter,
     /// Set when the last search stopped on the step budget rather than by
     /// exhausting the (bounded) path space.
     pub budget_hit: bool,
@@ -158,6 +162,7 @@ impl<'p> Explorer<'p> {
             session,
             budget: Budget::unlimited(),
             feasibility_queries: 0,
+            feas_counter: Counter::detached(),
             budget_hit: false,
             stop_reason: None,
         }
@@ -168,6 +173,15 @@ impl<'p> Explorer<'p> {
     pub fn set_budget(&mut self, budget: Budget) {
         self.session.set_budget(budget.clone());
         self.budget = budget;
+    }
+
+    /// Binds this explorer's counters to `registry`: feasibility queries go
+    /// to `explore.feasibility_queries`, and the internal solver session's
+    /// traffic goes under `session_prefix` (e.g. `"feas"`), kept separate
+    /// from the engine's own `smt.*` cells.
+    pub fn bind_metrics(&mut self, registry: &MetricsRegistry, session_prefix: &str) {
+        self.session.bind_metrics(registry, session_prefix);
+        self.feas_counter = registry.counter("explore.feasibility_queries");
     }
 
     fn initial_state(&self) -> State<'p> {
@@ -193,10 +207,23 @@ impl<'p> Explorer<'p> {
         self.steps = 0;
         self.budget_hit = false;
         self.stop_reason = None;
+        let mut span = pins_trace::span("symexec.explore_one");
+        let queries_before = self.feasibility_queries;
         let mut out = Vec::new();
         let state = self.initial_state();
         self.search(ctx, filler, avoid, state, &Mode::FindOne, &mut out);
-        out.pop()
+        let found = out.pop();
+        if span.is_active() {
+            span.record_u64("steps", self.steps);
+            span.record_u64(
+                "feasibility_queries",
+                self.feasibility_queries - queries_before,
+            );
+            span.record("found", found.is_some());
+            span.record("budget_hit", self.budget_hit);
+            span.record_u64("avoided_paths", avoid.len() as u64);
+        }
+        found
     }
 
     /// Enumerates complete paths (bounded by `max_unroll` and `limit`),
@@ -211,6 +238,8 @@ impl<'p> Explorer<'p> {
         self.steps = 0;
         self.budget_hit = false;
         self.stop_reason = None;
+        let mut span = pins_trace::span("symexec.enumerate");
+        let queries_before = self.feasibility_queries;
         let mut out = Vec::new();
         let avoid = HashSet::new();
         let state = self.initial_state();
@@ -222,6 +251,16 @@ impl<'p> Explorer<'p> {
             &Mode::Collect { limit },
             &mut out,
         );
+        if span.is_active() {
+            span.record_u64("steps", self.steps);
+            span.record_u64(
+                "feasibility_queries",
+                self.feasibility_queries - queries_before,
+            );
+            span.record_u64("paths", out.len() as u64);
+            span.record_u64("limit", limit as u64);
+            span.record("budget_hit", self.budget_hit);
+        }
         out
     }
 
@@ -230,6 +269,7 @@ impl<'p> Explorer<'p> {
             return true;
         }
         self.feasibility_queries += 1;
+        self.feas_counter.inc();
         !self
             .session
             .verdict_under(&mut ctx.arena, substituted)

@@ -19,7 +19,11 @@
 //! * [`mining`] — the semi-automated template mining of Section 3;
 //! * [`suite`] — the 14 inversion benchmarks of Section 4;
 //! * [`bmc`] — a bounded model checker for validating inverses (CBMC stand-in);
-//! * [`cegis`] — a finitized CEGIS baseline (Sketch stand-in).
+//! * [`cegis`] — a finitized CEGIS baseline (Sketch stand-in);
+//! * [`trace`] — the structured tracing and metrics layer: install a
+//!   [`trace::Recorder`] to stream every solver span and counter as JSON
+//!   Lines, or pass a [`trace::MetricsRegistry`] to
+//!   [`core::Pins::run_with`] to collect per-phase statistics.
 //!
 //! # Quickstart
 //!
@@ -45,6 +49,7 @@ pub use pins_sat as sat;
 pub use pins_smt as smt;
 pub use pins_suite as suite;
 pub use pins_symexec as symexec;
+pub use pins_trace as trace;
 
 pub mod prelude {
     //! The types most programs need, in one import.
@@ -58,6 +63,7 @@ pub mod prelude {
         Pins, PinsConfig, PinsError, PinsOutcome, ResolvedSolution, Session, Solution,
     };
     pub use pins_smt::{SmtConfig, SmtSession};
+    pub use pins_trace::{install, span, MetricsRegistry, Recorder};
 
     pub use crate::invert;
 }

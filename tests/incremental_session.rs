@@ -39,8 +39,8 @@ fn assert_parallel_matches_serial(id: BenchmarkId) {
         serial.iterations, parallel.iterations,
         "{id:?}: parallel verification changed the iteration count"
     );
-    assert_eq!(serial.stats.verify_workers, 1);
-    assert_eq!(parallel.stats.verify_workers, 4);
+    assert_eq!(serial.verify_workers, 1);
+    assert_eq!(parallel.verify_workers, 4);
 }
 
 #[test]
@@ -74,11 +74,49 @@ fn repeated_runs_hit_the_query_cache() {
     let second = run_with_workers(BenchmarkId::SumI, 2);
     assert_eq!(rendered(&first), rendered(&second));
     assert!(
-        second.stats.smt_cache_hits > 0,
+        second.smt_cache_hits > 0,
         "second run saw no cache hits: {:?}",
-        second.stats
+        second.stats()
     );
-    assert!(second.stats.smt_cache_misses <= first.stats.smt_cache_misses);
+    assert!(second.smt_cache_misses <= first.smt_cache_misses);
+}
+
+#[test]
+fn registry_totals_match_typed_stats_in_serial_and_parallel() {
+    // the drift check: every counter is bumped at event time through shared
+    // registry cells (workers included, via forked sessions), so the
+    // registry view must agree exactly with the typed stats that were
+    // absorbed from the workers after the fact — in both execution modes
+    for workers in [1usize, 4] {
+        let outcome = run_with_workers(BenchmarkId::SumI, workers);
+        let s = outcome.stats();
+        let r = pins::core::PinsStats::from_registry(outcome.metrics());
+        assert_eq!(r.smt_queries, s.smt_queries, "workers={workers}");
+        assert_eq!(r.smt_cache_hits, s.smt_cache_hits, "workers={workers}");
+        assert_eq!(r.smt_cache_misses, s.smt_cache_misses, "workers={workers}");
+        assert_eq!(
+            r.feasibility_queries, s.feasibility_queries,
+            "workers={workers}"
+        );
+        assert_eq!(r.verify_workers, s.verify_workers, "workers={workers}");
+        assert_eq!(r.worker_panics, s.worker_panics, "workers={workers}");
+        assert_eq!(r.sat_size, s.sat_size, "workers={workers}");
+        assert_eq!(
+            r.worker_queries.iter().sum::<u64>(),
+            s.worker_queries.iter().sum::<u64>(),
+            "workers={workers}"
+        );
+        // session-level invariant: every query is either a hit or a miss,
+        // with no worker traffic lost or double-counted in the merge
+        let sess = pins::smt::SessionStats::from_registry(outcome.metrics(), "smt");
+        assert_eq!(
+            sess.cache_hits + sess.cache_misses,
+            sess.queries,
+            "workers={workers}"
+        );
+        assert_eq!(sess.cache_hits, s.smt_cache_hits, "workers={workers}");
+        assert_eq!(sess.cache_misses, s.smt_cache_misses, "workers={workers}");
+    }
 }
 
 #[test]

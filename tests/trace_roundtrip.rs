@@ -1,0 +1,87 @@
+//! End-to-end trace test: a full synthesis run streamed through the JSONL
+//! recorder must produce a well-formed event log — every line parses, the
+//! sequence numbers are strictly increasing, and the spans of every
+//! instrumented subsystem show up.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use pins::prelude::*;
+use pins::suite::{benchmark, BenchmarkId};
+use pins::trace::json::{self, Json};
+use pins::trace::Recorder;
+
+/// A `Write` sink shared with the test body (the recorder owns its writer).
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn full_run_trace_roundtrips_through_the_parser() {
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let guard = pins::trace::install(Recorder::jsonl(Box::new(buf.clone())));
+
+    let b = benchmark(BenchmarkId::SumI);
+    let mut session = b.session();
+    let outcome = Pins::new(b.recommended_config())
+        .run(&mut session)
+        .expect("Σi synthesizes");
+    assert!(!outcome.solutions.is_empty());
+    drop(guard); // uninstall + flush
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("trace output is UTF-8");
+    let mut last_seq = 0.0;
+    let mut names: Vec<String> = Vec::new();
+    let mut lines = 0usize;
+    for line in text.lines() {
+        lines += 1;
+        let v = json::parse(line).unwrap_or_else(|e| panic!("unparseable event: {e}\n{line}"));
+        let seq = v
+            .get("seq")
+            .and_then(Json::as_num)
+            .unwrap_or_else(|| panic!("event without seq: {line}"));
+        assert!(seq > last_seq, "seq must be strictly increasing: {line}");
+        last_seq = seq;
+        assert!(v.get("t_us").and_then(Json::as_num).is_some(), "{line}");
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("event without kind: {line}"));
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("event without name: {line}"));
+        names.push(name.to_string());
+        if kind == "span_end" {
+            assert!(
+                v.get("dur_us").and_then(Json::as_num).is_some(),
+                "span_end without duration: {line}"
+            );
+        }
+    }
+    assert!(lines > 10, "a full run must emit a real event stream");
+
+    // every instrumented layer of the engine path must appear
+    for expected in [
+        "pins.run",
+        "pins.iteration",
+        "smt.query",
+        "symexec.explore_one",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "no {expected} event in the trace ({lines} events)"
+        );
+    }
+}
