@@ -2,12 +2,13 @@
 //! versus uniformly random selection (the paper reports random is ~20%
 //! slower overall).
 
-use pins_bench::{parse_args, secs};
+use pins_bench::{init, secs};
 use pins_core::Pins;
 use pins_suite::{benchmark, BenchmarkId};
 
 fn main() {
-    let args = parse_args();
+    let harness = init();
+    let args = harness.args.clone();
     let ids = if args.benchmarks.len() == pins_suite::ALL.len() {
         // default: the fast benchmarks, several seeds
         vec![

@@ -1,10 +1,11 @@
 //! Regenerates Table 1: template-mining characteristics.
 
-use pins_bench::{paper, parse_args, slug};
+use pins_bench::{init, paper, slug};
 use pins_suite::benchmark;
 
 fn main() {
-    let args = parse_args();
+    let harness = init();
+    let args = harness.args.clone();
     println!(
         "{:<14} {:>4} {:>6} {:>7} {:>4} {:>8} {:>5}   (paper: mined/subset/mod/axms)",
         "Benchmark", "LoC", "Mined", "Subset", "Mod", "Inv.LoC", "Axms"

@@ -1,11 +1,12 @@
 //! Regenerates Table 2: PINS performance (search space, solutions,
 //! iterations, time, |SAT|).
 
-use pins_bench::{paper, parse_args, run_pins, secs, slug};
+use pins_bench::{init, paper, run_pins, secs, slug};
 use pins_suite::benchmark;
 
 fn main() {
-    let args = parse_args();
+    let harness = init();
+    let args = harness.args.clone();
     println!(
         "{:<14} {:>9} {:>5} {:>6} {:>10} {:>7}   (paper: 2^x/sols/iters/secs/|SAT|)",
         "Benchmark", "Srch.Sp.", "Sols", "Iters", "Time(s)", "|SAT|"

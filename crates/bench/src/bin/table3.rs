@@ -2,13 +2,14 @@
 //! (concrete round-trip) correctness, generated tests, bounded model
 //! checking, and the CEGIS (Sketch stand-in) comparison.
 
-use pins_bench::{parse_args, run_pins, secs};
+use pins_bench::{init, run_pins, secs};
 use pins_bmc::{check_inverse, BmcConfig};
 use pins_cegis::{synthesize, CegisConfig};
 use pins_suite::benchmark;
 
 fn main() {
-    let args = parse_args();
+    let harness = init();
+    let args = harness.args.clone();
     println!(
         "{:<14} {:>9} {:>6} {:>12} {:>14}",
         "Benchmark", "Manual", "Tests", "BMC", "CEGIS"

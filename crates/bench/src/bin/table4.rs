@@ -5,14 +5,13 @@
 //! and writes the machine-readable `BENCH_pins.json`; with `--trace-out
 //! FILE`, streams every structured trace event of the run as JSON Lines.
 
-use pins_bench::{paper, parse_args, profile, run_pins_with, secs, slug};
-use pins_core::PinsError;
+use pins_bench::{init, paper, profile, run_pins_with, secs, slug, verdict_of};
 use pins_suite::benchmark;
 use pins_trace::MetricsRegistry;
 
 fn main() {
-    let args = parse_args();
-    let _trace_guard = pins_bench::install_tracing(&args);
+    let harness = init();
+    let args = harness.args.clone();
     let mut rows: Vec<profile::ProfileRow> = Vec::new();
     println!(
         "{:<14} {:>8} {:>8} {:>6} {:>8} {:>10}   (paper %: sym/smt/sat/pick)",
@@ -27,11 +26,7 @@ fn main() {
         let metrics = MetricsRegistry::new();
         let result = run_pins_with(&b, &args, &metrics);
         if args.profile {
-            let verdict = match &result {
-                Ok(_) => "solved",
-                Err(PinsError::NoSolution { .. }) => "no-solution",
-                Err(PinsError::BudgetExhausted) => "budget-exhausted",
-            };
+            let verdict = verdict_of(&result);
             rows.push(profile::ProfileRow::from_registry(
                 b.name(),
                 verdict,

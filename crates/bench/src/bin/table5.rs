@@ -2,13 +2,14 @@
 //! the BMC (CBMC stand-in) and CEGIS (Sketch stand-in) runs, on the
 //! benchmarks the paper could run them on (the axiom-free ones).
 
-use pins_bench::{parse_args, run_pins, secs};
+use pins_bench::{init, run_pins, secs};
 use pins_bmc::{check_inverse, BmcConfig};
 use pins_cegis::{synthesize, CegisConfig};
 use pins_suite::benchmark;
 
 fn main() {
-    let mut args = parse_args();
+    let harness = init();
+    let mut args = harness.args.clone();
     // the paper ran this table only on the axiom-free benchmarks
     args.benchmarks.retain(|&id| !benchmark(id).uses_axioms());
     println!(

@@ -142,6 +142,41 @@ pub fn install_tracing(args: &HarnessArgs) -> Option<pins_trace::InstallGuard> {
     Some(pins_trace::install(recorder))
 }
 
+/// A fully initialized harness: parsed arguments plus (when `--trace-out`
+/// was given) the installed trace recorder. Every table binary starts with
+/// [`init`]; the guard uninstalls and flushes the recorder when the harness
+/// is dropped at the end of `main`, appending the `trace.summary`
+/// completeness event `pins-report` checks for.
+#[derive(Debug)]
+pub struct Harness {
+    /// The parsed command-line options.
+    pub args: HarnessArgs,
+    _trace: Option<pins_trace::InstallGuard>,
+}
+
+/// Parses the shared command-line flags and wires up `--trace-out` in one
+/// step. This is the single place the `--trace-out`/`--profile`/
+/// `--bench-json` plumbing lives; the table binaries all call it instead of
+/// repeating the recorder setup.
+pub fn init() -> Harness {
+    let args = parse_args();
+    let trace = install_tracing(&args);
+    Harness {
+        args,
+        _trace: trace,
+    }
+}
+
+/// The profile verdict string for a run result (`"solved"`,
+/// `"no-solution"`, or `"budget-exhausted"`).
+pub fn verdict_of(result: &Result<PinsOutcome, PinsError>) -> &'static str {
+    match result {
+        Ok(_) => "solved",
+        Err(PinsError::NoSolution { .. }) => "no-solution",
+        Err(PinsError::BudgetExhausted) => "budget-exhausted",
+    }
+}
+
 /// Lower-cases and strips non-alphanumerics for lenient name matching.
 pub fn slug(s: &str) -> String {
     s.chars()
@@ -227,6 +262,13 @@ pub mod profile {
         pub cache_hits: u64,
         /// Normalized-query cache misses on the engine session.
         pub cache_misses: u64,
+        /// Median SMT validity-query latency in microseconds (log-bucket
+        /// midpoint from the `smt.query_ns` histogram; 0 when no queries).
+        pub query_p50_us: f64,
+        /// 90th-percentile SMT validity-query latency in microseconds.
+        pub query_p90_us: f64,
+        /// 99th-percentile SMT validity-query latency in microseconds.
+        pub query_p99_us: f64,
     }
 
     fn ms(d: Duration) -> f64 {
@@ -242,6 +284,8 @@ pub mod profile {
             registry: &MetricsRegistry,
         ) -> ProfileRow {
             let s = PinsStats::from_registry(registry);
+            let lat = registry.histogram_snapshot("smt.query_ns");
+            let us = |ns: u64| ns as f64 / 1e3;
             ProfileRow {
                 benchmark: benchmark.to_string(),
                 verdict: verdict.to_string(),
@@ -256,6 +300,9 @@ pub mod profile {
                 feasibility_queries: s.feasibility_queries,
                 cache_hits: s.smt_cache_hits,
                 cache_misses: s.smt_cache_misses,
+                query_p50_us: us(lat.p50()),
+                query_p90_us: us(lat.p90()),
+                query_p99_us: us(lat.p99()),
             }
         }
 
@@ -273,12 +320,16 @@ pub mod profile {
                 print!("  {name} {:.1}ms ({})", v, pct(*v));
             }
             println!(
-                "  wall {:.1}ms  queries {} smt / {} feas, cache {}/{}",
+                "  wall {:.1}ms  queries {} smt / {} feas, cache {}/{}, \
+                 query p50/p90/p99 {:.0}/{:.0}/{:.0}us",
                 self.wall_ms,
                 self.smt_queries,
                 self.feasibility_queries,
                 self.cache_hits,
-                self.cache_misses
+                self.cache_misses,
+                self.query_p50_us,
+                self.query_p90_us,
+                self.query_p99_us
             );
         }
 
@@ -302,8 +353,15 @@ pub mod profile {
             write!(
                 s,
                 "}},\"smt_queries\":{},\"feasibility_queries\":{},\
-                 \"cache_hits\":{},\"cache_misses\":{}}}",
-                self.smt_queries, self.feasibility_queries, self.cache_hits, self.cache_misses
+                 \"cache_hits\":{},\"cache_misses\":{},\
+                 \"query_p50_us\":{:.3},\"query_p90_us\":{:.3},\"query_p99_us\":{:.3}}}",
+                self.smt_queries,
+                self.feasibility_queries,
+                self.cache_hits,
+                self.cache_misses,
+                self.query_p50_us,
+                self.query_p90_us,
+                self.query_p99_us
             )
             .unwrap();
             s

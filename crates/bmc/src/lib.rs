@@ -140,8 +140,13 @@ fn check_inverse_inner(session: &Session, inverse: &Program, config: &BmcConfig)
         smt: config.smt,
     };
     let budget = Budget::with_limits(config.time_budget, None);
+    // all BMC solver traffic (unrolling feasibility + discharge) is
+    // attributed to the inverse under check, phase `bmc`
+    let prov = pins_trace::ProvenanceCtx::new(&inverse.name);
+    let _phase = prov.enter_phase(pins_trace::Phase::Bmc);
     let mut explorer = Explorer::new(&composed, explore);
     explorer.set_budget(budget.clone());
+    explorer.set_provenance(prov.clone());
     let paths = {
         let mut unroll_span = pins_trace::span("bmc.unroll");
         let paths = explorer.enumerate(&mut ctx, &EmptyFiller, config.max_paths);
@@ -164,6 +169,7 @@ fn check_inverse_inner(session: &Session, inverse: &Program, config: &BmcConfig)
     // as assumptions, so repeated path prefixes hit the query cache
     let mut smt = SmtSession::new(config.smt);
     smt.set_budget(budget);
+    smt.set_provenance(prov.clone());
     for &ax in &axioms {
         smt.assert_axiom(ax);
     }
@@ -172,7 +178,8 @@ fn check_inverse_inner(session: &Session, inverse: &Program, config: &BmcConfig)
     }
 
     let _discharge_span = pins_trace::span("bmc.discharge");
-    for path in paths {
+    for (i, path) in paths.into_iter().enumerate() {
+        prov.set_path(i as u64 + 1);
         let spec = session.spec.to_term(&mut ctx, &path.final_vmap);
         let mut assumptions = path.conjuncts.clone();
         let neg = ctx.arena.mk_not(spec);

@@ -99,6 +99,11 @@ fn synthesize_inner(
     config: CegisConfig,
 ) -> CegisReport {
     let start = Instant::now();
+    // CEGIS verifies concretely (no SmtSession), but the provenance context
+    // still tags the run's trace points with the benchmark and the
+    // counterexample round, mirroring the engine's attribution scheme.
+    let prov = pins_trace::ProvenanceCtx::new(&session.original.name);
+    let _phase = prov.enter_phase(pins_trace::Phase::Cegis);
     let domains = build_domains(
         session,
         DomainConfig {
@@ -245,6 +250,15 @@ fn synthesize_inner(
                         Some(t) => {
                             if !active.contains(&t) {
                                 active.push(t);
+                                prov.set_cegis_round(active.len() as u64);
+                                pins_trace::point("cegis.cex", || {
+                                    vec![
+                                        ("bench", prov.benchmark().as_ref().into()),
+                                        ("round", (active.len() as u64).into()),
+                                        ("candidate", tried.into()),
+                                        ("battery_index", (t as u64).into()),
+                                    ]
+                                });
                             }
                         }
                     }

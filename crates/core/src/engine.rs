@@ -11,7 +11,7 @@ use pins_smt::{SmtConfig, SmtResult, SmtSession};
 use pins_symexec::{
     apply_filler_term, ExploreConfig, Explorer, HoleKind, MapFiller, PathResult, SymCtx,
 };
-use pins_trace::MetricsRegistry;
+use pins_trace::{MetricsRegistry, Phase, ProvenanceCtx};
 
 use crate::constraints::{
     init_constraints, safepath_constraint, terminate_constraints, Constraint,
@@ -351,6 +351,11 @@ impl Pins {
         let mut smt = SmtSession::new(self.config.smt);
         smt.set_budget(budget.clone());
         smt.bind_metrics(metrics, "smt");
+        // one provenance context for the whole run: the loop below mutates
+        // it (iteration, phase, path) and every query span reads it —
+        // including spans from worker sessions forked inside `solve`
+        let prov = ProvenanceCtx::new(&session.original.name);
+        smt.set_provenance(prov.clone());
         for &ax in &axioms {
             smt.assert_axiom(ax);
         }
@@ -390,15 +395,19 @@ impl Pins {
                 iter_span.record_u64("constraints", constraints.len() as u64);
                 iter_span.record_u64("paths", paths.len() as u64);
             }
-            let sols = solver.solve(
-                &mut ctx,
-                session,
-                &domains,
-                &constraints,
-                self.config.m,
-                &mut smt,
-                self.config.verify_workers,
-            );
+            prov.set_iteration(iterations as u64);
+            let sols = {
+                let _phase = prov.enter_phase(Phase::Solve);
+                solver.solve(
+                    &mut ctx,
+                    session,
+                    &domains,
+                    &constraints,
+                    self.config.m,
+                    &mut smt,
+                    self.config.verify_workers,
+                )
+            };
             stats.smt_reduction_time = solver.stats.smt_time;
             stats.sat_time = solver.stats.sat_time;
             stats.sat_size = solver.stats.sat_size;
@@ -433,6 +442,7 @@ impl Pins {
 
             // pickOne (§2.3): prefer solutions contradicting many explored paths
             let t0 = Instant::now();
+            let pick_phase = prov.enter_phase(Phase::PickOne);
             let pick = if self.config.pick_random {
                 rng.gen_index(sols.len())
             } else {
@@ -448,6 +458,7 @@ impl Pins {
                     &mut rng,
                 )
             };
+            drop(pick_phase);
             let dt = t0.elapsed();
             stats.pickone_time += dt;
             metrics.add_duration("phase.pickone", dt);
@@ -457,6 +468,8 @@ impl Pins {
             // candidate makes the search wander past its step budget, fall
             // back to the other solutions before concluding anything
             let t0 = Instant::now();
+            let symexec_phase = prov.enter_phase(Phase::Symexec);
+            prov.set_path(paths.len() as u64 + 1); // the path about to be found
             let mut path = None;
             let mut any_budget_hit = false;
             let mut order: Vec<usize> = (0..sols.len()).collect();
@@ -472,6 +485,7 @@ impl Pins {
                 let mut explorer = Explorer::new(&session.composed, cfg);
                 explorer.set_budget(budget.clone());
                 explorer.bind_metrics(metrics, "feas");
+                explorer.set_provenance(prov.clone());
                 path = explorer.explore_one(&mut ctx, &f, &explored);
                 stats.feasibility_queries += explorer.feasibility_queries;
                 any_budget_hit |= explorer.budget_hit;
@@ -484,6 +498,8 @@ impl Pins {
                     }
                 }
             }
+            drop(symexec_phase);
+            prov.set_path(0);
             let dt = t0.elapsed();
             stats.symexec_time += dt;
             metrics.add_duration("phase.symexec", dt);
@@ -538,11 +554,13 @@ impl Pins {
         cache: &mut InfeasibleCache,
         rng: &mut SplitMix64,
     ) -> usize {
+        let prov = smt.provenance().clone();
         let mut best: Vec<usize> = Vec::new();
         let mut best_count = -1i64;
         for (i, s) in sols.iter().enumerate() {
             let mut count = 0i64;
             for (p, path) in paths.iter().enumerate() {
+                prov.set_path(p as u64 + 1);
                 let key: Vec<(bool, u32, usize)> = path_holes[p]
                     .iter()
                     .map(|&(is_expr, h)| {
@@ -580,6 +598,7 @@ impl Pins {
                 std::cmp::Ordering::Less => {}
             }
         }
+        prov.set_path(0);
         best[rng.gen_index(best.len())]
     }
 
@@ -603,6 +622,7 @@ impl Pins {
             .map(|s| resolve_solution(session, domains, s))
             .collect();
         let tests = if let Some(first) = sols.first() {
+            let _phase = smt.provenance().clone().enter_phase(Phase::TestGen);
             generate_tests(session, ctx, domains, smt, first, paths)
         } else {
             Vec::new()
@@ -785,8 +805,10 @@ fn generate_tests(
     paths: &[PathResult],
 ) -> Vec<ConcreteTest> {
     let filler = solution.to_filler(domains);
+    let prov = smt.provenance().clone();
     let mut tests = Vec::new();
-    for path in paths {
+    for (i, path) in paths.iter().enumerate() {
+        prov.set_path(i as u64 + 1);
         let subst: Vec<TermId> = path
             .conjuncts
             .iter()
@@ -815,5 +837,6 @@ fn generate_tests(
         }
         tests.push(ConcreteTest { inputs });
     }
+    prov.set_path(0);
     tests
 }

@@ -1,0 +1,229 @@
+//! Baseline-vs-candidate regression comparison over two `BENCH_pins.json`
+//! reports. This is the CI gate: `pins-report --diff OLD NEW` exits
+//! non-zero when any benchmark regressed past the threshold.
+
+use crate::bench::BenchRow;
+
+/// Severity of one observed change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Past the threshold — fails the gate.
+    Regression,
+    /// Got meaningfully better; informational.
+    Improvement,
+    /// Within the threshold, or below the noise floor.
+    Unchanged,
+}
+
+/// One per-benchmark, per-metric comparison.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Metric compared (`wall_ms`, `smt_queries`, `verdict`, ...).
+    pub metric: &'static str,
+    /// Baseline value rendered for display.
+    pub old: String,
+    /// Candidate value rendered for display.
+    pub new: String,
+    /// Relative change in percent (`+25.0` = 25% worse), when numeric.
+    pub delta_pct: Option<f64>,
+    /// How the change is classified.
+    pub severity: Severity,
+}
+
+/// The full comparison: every entry plus overall verdict helpers.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// All compared metrics, benchmark order preserved from the baseline.
+    pub entries: Vec<DiffEntry>,
+    /// Benchmarks present in only one of the two reports.
+    pub unmatched: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when any metric regressed (the gate should fail).
+    pub fn has_regressions(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.severity == Severity::Regression)
+    }
+
+    /// The regression entries only.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.severity == Severity::Regression)
+    }
+}
+
+/// Noise floors: a metric must move by at least this much *absolutely*
+/// before the relative threshold applies. CI machines jitter; a 3 ms → 5 ms
+/// swing on a trivial benchmark is not a 66% regression worth failing on.
+const WALL_MS_FLOOR: f64 = 100.0;
+const QUERY_FLOOR: f64 = 16.0;
+
+/// Compares candidate rows against baseline rows. `threshold_pct` is the
+/// allowed relative growth (e.g. `20.0` = +20%); `wall_ms` and
+/// `smt_queries` past it regress, as does any verdict downgrade
+/// (solved → anything else regresses regardless of timing).
+pub fn diff(old: &[BenchRow], new: &[BenchRow], threshold_pct: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    for o in old {
+        let Some(n) = new.iter().find(|n| n.benchmark == o.benchmark) else {
+            report
+                .unmatched
+                .push(format!("{} (baseline only)", o.benchmark));
+            continue;
+        };
+        compare_verdict(&mut report, o, n);
+        compare_num(
+            &mut report,
+            &o.benchmark,
+            "wall_ms",
+            o.wall_ms,
+            n.wall_ms,
+            threshold_pct,
+            WALL_MS_FLOOR,
+        );
+        compare_num(
+            &mut report,
+            &o.benchmark,
+            "smt_queries",
+            o.smt_queries as f64,
+            n.smt_queries as f64,
+            threshold_pct,
+            QUERY_FLOOR,
+        );
+    }
+    for n in new {
+        if !old.iter().any(|o| o.benchmark == n.benchmark) {
+            report
+                .unmatched
+                .push(format!("{} (candidate only)", n.benchmark));
+        }
+    }
+    report
+}
+
+fn compare_verdict(report: &mut DiffReport, o: &BenchRow, n: &BenchRow) {
+    let severity = if o.verdict == n.verdict {
+        Severity::Unchanged
+    } else if o.verdict == "solved" {
+        Severity::Regression
+    } else if n.verdict == "solved" {
+        Severity::Improvement
+    } else {
+        Severity::Unchanged
+    };
+    report.entries.push(DiffEntry {
+        benchmark: o.benchmark.clone(),
+        metric: "verdict",
+        old: o.verdict.clone(),
+        new: n.verdict.clone(),
+        delta_pct: None,
+        severity,
+    });
+}
+
+fn compare_num(
+    report: &mut DiffReport,
+    benchmark: &str,
+    metric: &'static str,
+    old: f64,
+    new: f64,
+    threshold_pct: f64,
+    floor: f64,
+) {
+    let delta_pct = if old > 0.0 {
+        Some(100.0 * (new - old) / old)
+    } else {
+        None
+    };
+    let past_floor = (new - old).abs() >= floor;
+    let severity = match delta_pct {
+        Some(pct) if past_floor && pct > threshold_pct => Severity::Regression,
+        Some(pct) if past_floor && pct < -threshold_pct => Severity::Improvement,
+        _ => Severity::Unchanged,
+    };
+    report.entries.push(DiffEntry {
+        benchmark: benchmark.to_string(),
+        metric,
+        old: format!("{old:.1}"),
+        new: format!("{new:.1}"),
+        delta_pct,
+        severity,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, verdict: &str, wall_ms: f64, queries: u64) -> BenchRow {
+        BenchRow {
+            benchmark: name.to_string(),
+            verdict: verdict.to_string(),
+            wall_ms,
+            smt_queries: queries,
+            ..BenchRow::default()
+        }
+    }
+
+    #[test]
+    fn identical_runs_have_no_regressions() {
+        let rows = vec![row("Σi", "solved", 900.0, 120)];
+        let report = diff(&rows, &rows.clone(), 20.0);
+        assert!(!report.has_regressions());
+        assert!(report.unmatched.is_empty());
+    }
+
+    #[test]
+    fn wall_time_regression_past_threshold_and_floor_fails() {
+        let old = vec![row("Σi", "solved", 1000.0, 120)];
+        let new = vec![row("Σi", "solved", 1500.0, 120)];
+        let report = diff(&old, &new, 20.0);
+        assert!(report.has_regressions());
+        let r = report.regressions().next().unwrap();
+        assert_eq!(r.metric, "wall_ms");
+        assert!((r.delta_pct.unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_absolute_jitter_is_ignored_even_at_high_percentages() {
+        // 3ms → 5ms is +66% but far below the noise floor
+        let old = vec![row("Σi", "solved", 3.0, 120)];
+        let new = vec![row("Σi", "solved", 5.0, 120)];
+        assert!(!diff(&old, &new, 20.0).has_regressions());
+    }
+
+    #[test]
+    fn query_count_growth_regresses() {
+        let old = vec![row("Σi", "solved", 1000.0, 100)];
+        let new = vec![row("Σi", "solved", 1000.0, 150)];
+        let report = diff(&old, &new, 20.0);
+        assert!(report.has_regressions());
+        assert_eq!(report.regressions().next().unwrap().metric, "smt_queries");
+    }
+
+    #[test]
+    fn verdict_downgrade_always_regresses() {
+        let old = vec![row("Σi", "solved", 1000.0, 100)];
+        let new = vec![row("Σi", "budget-exhausted", 500.0, 50)];
+        let report = diff(&old, &new, 20.0);
+        assert!(report.has_regressions());
+        assert_eq!(report.regressions().next().unwrap().metric, "verdict");
+    }
+
+    #[test]
+    fn improvements_and_unmatched_rows_do_not_fail_the_gate() {
+        let old = vec![row("Σi", "no-solution", 2000.0, 400)];
+        let new = vec![
+            row("Σi", "solved", 800.0, 100),
+            row("Vector shift", "solved", 100.0, 10),
+        ];
+        let report = diff(&old, &new, 20.0);
+        assert!(!report.has_regressions());
+        assert_eq!(report.unmatched, vec!["Vector shift (candidate only)"]);
+    }
+}

@@ -1,0 +1,47 @@
+//! `pins-report` — trace analysis and regression gating for PINS runs.
+//!
+//! The harness binaries stream structured events with `--trace-out` and
+//! write a machine-readable profile with `--profile`; this crate turns
+//! those artifacts into answers:
+//!
+//! * **Cost attribution** — where did solver time go, by benchmark ×
+//!   engine phase, with the top-K most expensive queries and their full
+//!   provenance (iteration, path, CEGIS round)?
+//! * **Latency percentiles** — exact p50/p90/p99 per span layer
+//!   (`smt.query`, `symexec.explore_one`, `bmc.discharge`, ...).
+//! * **Folded stacks** — `a;b;c weight` lines consumable by inferno /
+//!   speedscope flame-graph tooling, weighted by span *self* time.
+//! * **Regression gating** — `--diff OLD NEW` compares two
+//!   `BENCH_pins.json` reports against a relative threshold and exits
+//!   non-zero on regressions; CI runs it against a committed baseline.
+//!
+//! Ingestion is deliberately paranoid: traces from crashed or concurrent
+//! runs are expected, so malformed lines are counted and skipped (see
+//! [`ingest::IngestStats`]) and reports lead with a completeness warning
+//! when anything was lost.
+//!
+//! # Example
+//!
+//! ```
+//! use pins_report::{analyze::Analysis, ingest::Trace};
+//!
+//! let trace = Trace::parse(
+//!     "{\"seq\":1,\"t_us\":5,\"thread\":0,\"kind\":\"span_end\",\
+//!      \"name\":\"smt.query\",\"span\":1,\"dur_us\":42,\
+//!      \"fields\":{\"bench\":\"Σi\",\"phase\":\"solve\"}}",
+//! );
+//! let analysis = Analysis::from_trace(&trace, 10);
+//! let cost = &analysis.attribution[&("Σi".into(), "solve".into())];
+//! assert_eq!((cost.queries, cost.total_us), (1, 42));
+//! ```
+
+pub mod analyze;
+pub mod bench;
+pub mod diff;
+pub mod ingest;
+pub mod render;
+
+pub use analyze::{Analysis, LayerLatency, OriginCost, TopQuery};
+pub use bench::BenchRow;
+pub use diff::{diff, DiffReport, Severity};
+pub use ingest::{IngestStats, Trace, TraceEvent};

@@ -1,0 +1,126 @@
+//! The `pins-report` command-line tool.
+//!
+//! ```text
+//! pins-report TRACE.jsonl...            analyze one or more trace files
+//!   --bench-json FILE                   also summarize a profile report
+//!   --top K                             top-K expensive queries (default 10)
+//!   --folded FILE                       write folded stacks ('-' = stdout)
+//!
+//! pins-report --diff OLD.json NEW.json  regression-gate two profile reports
+//!   --threshold PCT                     allowed growth in % (default 20)
+//! ```
+//!
+//! Exit codes: `0` success / no regressions, `1` regressions found,
+//! `2` usage or IO error.
+
+use pins_report::{analyze::Analysis, bench, diff, ingest::Trace, render};
+
+struct Cli {
+    traces: Vec<String>,
+    bench_json: Option<String>,
+    top: usize,
+    folded: Option<String>,
+    diff: Option<(String, String)>,
+    threshold: f64,
+}
+
+const USAGE: &str = "usage: pins-report [--bench-json FILE] [--top K] [--folded FILE] TRACE.jsonl...\n       pins-report --diff OLD.json NEW.json [--threshold PCT]";
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        traces: Vec::new(),
+        bench_json: None,
+        top: 10,
+        folded: None,
+        diff: None,
+        threshold: 20.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--bench-json" => {
+                cli.bench_json = Some(args.next().ok_or("--bench-json takes a path")?);
+            }
+            "--top" => {
+                cli.top = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--top takes a count")?;
+            }
+            "--folded" => {
+                cli.folded = Some(args.next().ok_or("--folded takes a path (or '-')")?);
+            }
+            "--threshold" => {
+                cli.threshold = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threshold takes a percentage")?;
+            }
+            "--diff" => {
+                let old = args.next().ok_or("--diff takes OLD and NEW paths")?;
+                let new = args.next().ok_or("--diff takes OLD and NEW paths")?;
+                cli.diff = Some((old, new));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}\n{USAGE}"));
+            }
+            path => cli.traces.push(path.to_string()),
+        }
+    }
+    if cli.diff.is_none() && cli.traces.is_empty() && cli.bench_json.is_none() {
+        return Err(USAGE.to_string());
+    }
+    Ok(cli)
+}
+
+fn run(cli: &Cli) -> Result<i32, String> {
+    if let Some((old_path, new_path)) = &cli.diff {
+        let old = bench::read(old_path)?;
+        let new = bench::read(new_path)?;
+        let report = diff::diff(&old, &new, cli.threshold);
+        print!("{}", render::diff_report(&report, cli.threshold));
+        return Ok(if report.has_regressions() { 1 } else { 0 });
+    }
+
+    let mut trace = Trace::default();
+    for path in &cli.traces {
+        trace.absorb(Trace::from_file(path)?);
+    }
+    let bench_rows = match &cli.bench_json {
+        Some(path) => bench::read(path)?,
+        None => Vec::new(),
+    };
+    let analysis = Analysis::from_trace(&trace, cli.top);
+    print!(
+        "{}",
+        render::analysis_report(&analysis, &trace.stats, &bench_rows)
+    );
+    if let Some(path) = &cli.folded {
+        let text = analysis.folded_text();
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote folded stacks to {path}");
+        }
+    }
+    Ok(0)
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match run(&cli) {
+        Ok(code) => std::process::exit(code),
+        Err(msg) => {
+            eprintln!("pins-report: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

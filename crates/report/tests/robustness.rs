@@ -1,0 +1,117 @@
+//! Randomized robustness test: the ingester must survive arbitrary
+//! corruption of a trace stream — truncation, garbage, unknown kinds,
+//! dropped lines — without panicking, and its ledger must account for
+//! every input line.
+
+use pins_prng::SplitMix64;
+use pins_report::{Analysis, Trace};
+
+/// Builds a well-formed synthetic trace of `n` events.
+fn well_formed(rng: &mut SplitMix64, n: usize) -> Vec<String> {
+    let phases = ["solve", "pickone", "symexec", "bmc", "cegis"];
+    let mut lines = Vec::with_capacity(n);
+    for i in 0..n {
+        let seq = i + 1;
+        let line = match rng.gen_index(4) {
+            0 => format!(
+                "{{\"seq\":{seq},\"t_us\":{},\"thread\":0,\"kind\":\"span_start\",\
+                 \"name\":\"smt.query\",\"span\":{seq}}}",
+                i * 10
+            ),
+            1 => format!(
+                "{{\"seq\":{seq},\"t_us\":{},\"thread\":0,\"kind\":\"span_end\",\
+                 \"name\":\"smt.query\",\"span\":{seq},\"dur_us\":{},\
+                 \"fields\":{{\"bench\":\"Σi\",\"phase\":\"{}\",\"iter\":{}}}}}",
+                i * 10,
+                rng.gen_range(1..100_000),
+                phases[rng.gen_index(phases.len())],
+                rng.gen_range(0..20),
+            ),
+            2 => format!(
+                "{{\"seq\":{seq},\"t_us\":{},\"thread\":1,\"kind\":\"count\",\
+                 \"name\":\"smt.cache_hits\",\"fields\":{{\"n\":{}}}}}",
+                i * 10,
+                rng.gen_range(1..5),
+            ),
+            _ => format!(
+                "{{\"seq\":{seq},\"t_us\":{},\"thread\":0,\"kind\":\"point\",\
+                 \"name\":\"cegis.cex\",\"fields\":{{\"bench\":\"Σi\",\"round\":{}}}}}",
+                i * 10,
+                rng.gen_range(1..8),
+            ),
+        };
+        lines.push(line);
+    }
+    lines
+}
+
+/// Truncates a string at a random char boundary.
+fn truncate_random(rng: &mut SplitMix64, s: &str) -> String {
+    let mut cut = rng.gen_index(s.len() + 1);
+    while cut < s.len() && !s.is_char_boundary(cut) {
+        cut += 1;
+    }
+    s[..cut].to_string()
+}
+
+#[test]
+fn corrupted_traces_never_panic_and_every_line_is_accounted_for() {
+    let garbage = [
+        "not json at all",
+        "{\"seq\":",
+        "[1,2,3]",
+        "null",
+        "{}",
+        "{\"seq\":0,\"kind\":\"count\",\"name\":\"bad-seq\"}",
+        "{\"seq\":5,\"kind\":\"count\"}",
+        "\u{1}\u{2}binary\u{3}",
+    ];
+    for trial in 0..50 {
+        let mut rng = SplitMix64::new(0x9e3779b97f4a7c15 ^ trial);
+        let mut lines = well_formed(&mut rng, 40);
+        // corrupt: drop, truncate, garbage-insert, or unknown-kind rewrite
+        let mut corrupted = Vec::new();
+        for line in lines.drain(..) {
+            match rng.gen_index(10) {
+                0 => {} // drop the line entirely (creates a seq gap)
+                1 => corrupted.push(truncate_random(&mut rng, &line)),
+                2 => {
+                    corrupted.push(garbage[rng.gen_index(garbage.len())].to_string());
+                    corrupted.push(line);
+                }
+                3 => corrupted.push(line.replace("\"kind\":\"count\"", "\"kind\":\"mystery\"")),
+                _ => corrupted.push(line),
+            }
+        }
+        // always truncate the final line mid-byte: a crashed writer's tail
+        if let Some(last) = corrupted.pop() {
+            corrupted.push(truncate_random(&mut rng, &last));
+        }
+        let text = corrupted.join("\n");
+
+        let trace = Trace::parse(&text);
+        let s = &trace.stats;
+        assert_eq!(
+            s.parsed + s.skipped_lines + s.unknown_kinds,
+            s.lines,
+            "trial {trial}: every non-empty line must be parsed or counted"
+        );
+        assert_eq!(trace.events.len() as u64, s.parsed);
+        // the analysis must also digest whatever survived without panicking
+        let analysis = Analysis::from_trace(&trace, 5);
+        assert!(analysis.top_queries.len() <= 5);
+        if s.incomplete() {
+            assert!(s.completeness_warning().is_some());
+        }
+    }
+}
+
+#[test]
+fn empty_and_whitespace_only_inputs_are_fine() {
+    for text in ["", "\n\n\n", "   \n\t\n"] {
+        let trace = Trace::parse(text);
+        assert_eq!(trace.stats.lines, 0);
+        assert!(trace.events.is_empty());
+        assert!(!trace.stats.incomplete());
+    }
+}

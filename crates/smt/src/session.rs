@@ -50,10 +50,11 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use pins_budget::{Budget, StopReason};
 use pins_logic::{Sort, SymbolTable, Term, TermArena, TermId};
-use pins_trace::{Counter, MetricsRegistry};
+use pins_trace::{Counter, Histogram, MetricsRegistry, Phase, ProvenanceCtx, PHASES};
 
 use crate::solver::{Smt, SmtConfig, SmtResult};
 
@@ -387,6 +388,19 @@ impl SessionStats {
             unknown_overflow: g("unknown.overflow"),
         }
     }
+
+    /// Queries attributed to `phase` — the `{prefix}.queries.phase.{tag}`
+    /// cell bound sessions write through. The cells over all of
+    /// [`PHASES`] partition `{prefix}.queries`.
+    pub fn phase_queries(registry: &MetricsRegistry, prefix: &str, phase: Phase) -> u64 {
+        registry.get(&format!("{prefix}.queries.phase.{}", phase.as_str()))
+    }
+
+    /// Nanoseconds of solver time attributed to `phase` — the
+    /// `{prefix}.query_ns.phase.{tag}` cell.
+    pub fn phase_query_ns(registry: &MetricsRegistry, prefix: &str, phase: Phase) -> u64 {
+        registry.get(&format!("{prefix}.query_ns.phase.{}", phase.as_str()))
+    }
 }
 
 /// Registry counter handles a session writes through *at event time*, so
@@ -408,6 +422,15 @@ struct SessionMetrics {
     unknown_cancelled: Counter,
     unknown_step_limit: Counter,
     unknown_overflow: Counter,
+    /// Log-scaled end-to-end query latency (nanoseconds, cache hits
+    /// included). Bound as `{prefix}.query_ns`; forked workers share the
+    /// buckets, so serial and parallel runs fill identical cells.
+    query_ns: Histogram,
+    /// Query count per originating [`Phase`] (`{prefix}.queries.phase.{tag}`).
+    queries_by_phase: [Counter; PHASES.len()],
+    /// Summed query nanoseconds per originating phase
+    /// (`{prefix}.query_ns.phase.{tag}`) — the cost-attribution numerator.
+    query_ns_by_phase: [Counter; PHASES.len()],
 }
 
 impl SessionMetrics {
@@ -424,6 +447,13 @@ impl SessionMetrics {
             unknown_cancelled: c("unknown.cancelled"),
             unknown_step_limit: c("unknown.step_limit"),
             unknown_overflow: c("unknown.overflow"),
+            query_ns: registry.histogram(&format!("{prefix}.query_ns")),
+            queries_by_phase: std::array::from_fn(|i| {
+                c(&format!("queries.phase.{}", PHASES[i].as_str()))
+            }),
+            query_ns_by_phase: std::array::from_fn(|i| {
+                c(&format!("query_ns.phase.{}", PHASES[i].as_str()))
+            }),
         }
     }
 
@@ -434,6 +464,19 @@ impl SessionMetrics {
             StopReason::StepLimit => self.unknown_step_limit.inc(),
             StopReason::Overflow => self.unknown_overflow.inc(),
         }
+    }
+
+    /// Bumps the total and per-phase query counters (one query issued).
+    fn note_query(&self, phase: Phase) {
+        self.queries.inc();
+        self.queries_by_phase[phase as usize].inc();
+    }
+
+    /// Records one query's end-to-end latency into the histogram and the
+    /// per-phase attribution cell. Relaxed atomic adds only.
+    fn note_latency(&self, phase: Phase, d: Duration) {
+        self.query_ns.record_duration(d);
+        self.query_ns_by_phase[phase as usize].add_duration(d);
     }
 }
 
@@ -481,6 +524,10 @@ pub struct SmtSession {
     pub stats: SessionStats,
     /// Registry write-through handles (detached until [`bind_metrics`](Self::bind_metrics)).
     metrics: SessionMetrics,
+    /// Where queries come from: the engine mutates this shared context as
+    /// the run moves through iterations/phases/paths, and every query span
+    /// and per-phase counter reads it. Forks share the handle.
+    prov: ProvenanceCtx,
 }
 
 impl SmtSession {
@@ -504,6 +551,7 @@ impl SmtSession {
             budget: Budget::unlimited(),
             stats: SessionStats::default(),
             metrics: SessionMetrics::default(),
+            prov: ProvenanceCtx::default(),
         }
     }
 
@@ -514,6 +562,18 @@ impl SmtSession {
     /// [`SessionStats::from_registry`].
     pub fn bind_metrics(&mut self, registry: &MetricsRegistry, prefix: &str) {
         self.metrics = SessionMetrics::bind(registry, prefix);
+    }
+
+    /// Installs the shared provenance context queries are attributed to.
+    /// Forked worker sessions inherit the handle, so the engine's phase and
+    /// iteration updates are visible to every worker's query spans.
+    pub fn set_provenance(&mut self, prov: ProvenanceCtx) {
+        self.prov = prov;
+    }
+
+    /// The provenance context this session attributes queries to.
+    pub fn provenance(&self) -> &ProvenanceCtx {
+        &self.prov
     }
 
     /// Installs the shared budget every subsequent solve runs under.
@@ -602,6 +662,7 @@ impl SmtSession {
             // shares the parent's registry cells: worker traffic is counted
             // where the parent (and the harness) reads it
             metrics: self.metrics.clone(),
+            prov: self.prov.clone(),
         }
     }
 
@@ -715,53 +776,66 @@ impl SmtSession {
     /// satisfiable verdict still re-solves, because models cannot be shared
     /// across arenas (counted in [`SessionStats::sat_resolves`]).
     pub fn check_under(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> SmtResult {
+        let started = Instant::now();
+        let phase = self.prov.phase();
         self.stats.queries += 1;
-        self.metrics.queries.inc();
+        self.metrics.note_query(phase);
         let mut span = self.query_span(assumptions.len());
         let key = self.query_key(arena, assumptions, self.config_fp);
-        match self.cache.lookup(key) {
+        let cached: Option<SmtResult> = match self.cache.lookup(key) {
             Some(Verdict::Unsat) => {
                 self.stats.cache_hits += 1;
                 self.metrics.cache_hits.inc();
                 span.record("cached", true);
                 span.record_str("verdict", "unsat");
-                return SmtResult::Unsat;
+                Some(SmtResult::Unsat)
             }
             Some(Verdict::Unknown { reason }) => {
                 self.stats.cache_hits += 1;
                 self.metrics.cache_hits.inc();
                 span.record("cached", true);
                 span.record_str("verdict", "unknown");
-                return SmtResult::Unknown(reason);
+                Some(SmtResult::Unknown(reason))
             }
             Some(Verdict::Sat { .. }) => {
                 self.stats.cache_hits += 1;
                 self.stats.sat_resolves += 1;
                 self.metrics.cache_hits.inc();
                 self.metrics.sat_resolves.inc();
+                None
             }
             None => {
                 self.stats.cache_misses += 1;
                 self.metrics.cache_misses.inc();
+                None
             }
-        }
-        let result = self.solve_and_cache(arena, assumptions, key);
-        if span.is_active() {
-            span.record("cached", false);
-            span.record_str(
-                "verdict",
-                match &result {
-                    SmtResult::Sat(_) => "sat",
-                    SmtResult::Unsat => "unsat",
-                    SmtResult::Unknown(_) => "unknown",
-                },
-            );
-        }
+        };
+        let result = match cached {
+            Some(r) => r,
+            None => {
+                let r = self.solve_and_cache(arena, assumptions, key);
+                if span.is_active() {
+                    span.record("cached", false);
+                    span.record_str(
+                        "verdict",
+                        match &r {
+                            SmtResult::Sat(_) => "sat",
+                            SmtResult::Unsat => "unsat",
+                            SmtResult::Unknown(_) => "unknown",
+                        },
+                    );
+                }
+                r
+            }
+        };
+        self.metrics.note_latency(phase, started.elapsed());
         result
     }
 
     /// Opens the per-query trace span, stamping the shared budget's
-    /// remaining allowance. Inert (no allocation) when tracing is off.
+    /// remaining allowance and the query's provenance (benchmark,
+    /// iteration, phase, path, CEGIS round). Inert (no allocation) when
+    /// tracing is off.
     fn query_span(&self, assumptions: usize) -> pins_trace::Span {
         let mut span = pins_trace::span("smt.query");
         if span.is_active() {
@@ -772,6 +846,20 @@ impl SmtSession {
             if let Some(s) = self.budget.steps_left() {
                 span.record_u64("budget_steps_left", s);
             }
+            let bench = self.prov.benchmark();
+            if !bench.is_empty() {
+                span.record_str("bench", &bench);
+            }
+            span.record_str("phase", self.prov.phase().as_str());
+            span.record_u64("iter", self.prov.iteration());
+            let path = self.prov.path();
+            if path != 0 {
+                span.record_u64("path", path);
+            }
+            let round = self.prov.cegis_round();
+            if round != 0 {
+                span.record_u64("cegis_round", round);
+            }
         }
         span
     }
@@ -779,8 +867,10 @@ impl SmtSession {
     /// The verdict of the current scope plus `assumptions`, without a model.
     /// Any cached verdict short-circuits the solver entirely.
     pub fn verdict_under(&mut self, arena: &mut TermArena, assumptions: &[TermId]) -> Verdict {
+        let started = Instant::now();
+        let phase = self.prov.phase();
         self.stats.queries += 1;
-        self.metrics.queries.inc();
+        self.metrics.note_query(phase);
         let mut span = self.query_span(assumptions.len());
         let key = self.query_key(arena, assumptions, self.config_fp);
         let (verdict, cached) = match self.cache.lookup(key) {
@@ -809,6 +899,7 @@ impl SmtSession {
                 },
             );
         }
+        self.metrics.note_latency(phase, started.elapsed());
         verdict
     }
 

@@ -184,6 +184,13 @@ impl<'p> Explorer<'p> {
         self.feas_counter = registry.counter("explore.feasibility_queries");
     }
 
+    /// Installs the shared provenance context on the internal solver
+    /// session, so feasibility queries are attributed to the engine's
+    /// current benchmark/iteration/phase/path.
+    pub fn set_provenance(&mut self, prov: pins_trace::ProvenanceCtx) {
+        self.session.set_provenance(prov);
+    }
+
     fn initial_state(&self) -> State<'p> {
         State {
             frames: vec![(self.program.body.as_slice(), 0)],

@@ -47,21 +47,25 @@
 //!     queries.inc();
 //! } // span end event emitted here, with the duration
 //!
-//! drop(_guard); // uninstalls the recorder
+//! drop(_guard); // uninstalls the recorder, appending a trace.summary point
 //! let events = recorder.events();
-//! assert_eq!(events.len(), 2); // start + end
+//! assert_eq!(events.len(), 3); // start + end + trace.summary
 //! assert_eq!(registry.get("smt.queries"), 1);
 //! ```
 
+pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod provenance;
 pub mod recorder;
 pub mod span;
 
 #[cfg(test)]
 mod tests;
 
+pub use hist::{HistSnapshot, Histogram};
 pub use metrics::{Counter, MetricsRegistry};
+pub use provenance::{Phase, PhaseGuard, ProvenanceCtx, PHASES};
 pub use recorder::{
     count, install, is_enabled, point, uninstall, Event, EventKind, FieldValue, InstallGuard,
     Recorder,

@@ -20,6 +20,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::hist::{HistSnapshot, Histogram};
+
 /// A handle to one named cell of a [`MetricsRegistry`]. Cloning shares the
 /// cell; increments are relaxed atomic adds, safe from any thread.
 #[derive(Debug, Clone, Default)]
@@ -79,6 +81,10 @@ impl Counter {
 #[derive(Debug, Default)]
 struct Inner {
     cells: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    /// Named log-scaled latency histograms, same sharing discipline as the
+    /// counters: a handle is an `Arc` of the buckets, so forked workers
+    /// holding clones record into the same cells their parent reads.
+    hists: Mutex<BTreeMap<String, Histogram>>,
 }
 
 /// A thread-safe registry of named counters. Cloning shares the registry
@@ -145,6 +151,33 @@ impl MetricsRegistry {
         cells
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// The histogram named `name`, created empty on first use. The returned
+    /// handle is cheap to clone and record into; hot paths should hold a
+    /// handle rather than calling this (it takes the registry lock).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut hists = self.inner.hists.lock().unwrap();
+        hists.entry(name.to_string()).or_default().clone()
+    }
+
+    /// A point-in-time copy of the named histogram's buckets (empty if the
+    /// histogram was never created).
+    pub fn histogram_snapshot(&self, name: &str) -> HistSnapshot {
+        let hists = self.inner.hists.lock().unwrap();
+        hists
+            .get(name)
+            .map(Histogram::snapshot)
+            .unwrap_or_else(HistSnapshot::empty)
+    }
+
+    /// Point-in-time snapshots of every histogram, sorted by name.
+    pub fn histograms(&self) -> BTreeMap<String, HistSnapshot> {
+        let hists = self.inner.hists.lock().unwrap();
+        hists
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
             .collect()
     }
 

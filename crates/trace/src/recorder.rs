@@ -358,12 +358,27 @@ pub fn install(recorder: Recorder) -> InstallGuard {
     InstallGuard { _priv: () }
 }
 
-/// Uninstalls and returns the current recorder, if any, flushing it first.
+/// Uninstalls and returns the current recorder, if any, emitting a final
+/// `trace.summary` point (total emitted, events dropped) and flushing it.
+/// The summary is how a consumer (`pins-report`) distinguishes a complete
+/// trace from one that silently lost events to ring eviction or sink write
+/// errors — under-attribution becomes a counted warning instead of wrong
+/// numbers.
 pub fn uninstall() -> Option<Recorder> {
     let mut slot = GLOBAL.lock().unwrap();
     ENABLED.store(false, Ordering::Relaxed);
     let r = slot.take();
     if let Some(r) = &r {
+        let emitted = r.emitted();
+        let dropped = r.dropped();
+        r.emit(
+            EventKind::Point,
+            "trace.summary",
+            0,
+            0,
+            None,
+            vec![("emitted", emitted.into()), ("dropped", dropped.into())],
+        );
         r.flush();
     }
     r

@@ -158,7 +158,9 @@ fn jsonl_sink_emits_one_parseable_object_per_line() {
     }
     let text = buf.contents();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 4); // span_start, count, point, span_end
+    // span_start, count, point, span_end, plus the trace.summary appended
+    // at uninstall
+    assert_eq!(lines.len(), 5);
     let mut prev_seq = 0.0;
     for line in &lines {
         let v = json::parse(line).expect("every JSONL line must parse");
@@ -170,6 +172,11 @@ fn jsonl_sink_emits_one_parseable_object_per_line() {
         json::parse(lines[3]).unwrap().get("kind").unwrap().as_str(),
         Some("span_end")
     );
+    let summary = json::parse(lines[4]).unwrap();
+    assert_eq!(summary.get("name").unwrap().as_str(), Some("trace.summary"));
+    let fields = summary.get("fields").unwrap();
+    assert_eq!(fields.get("emitted").unwrap().as_num(), Some(4.0));
+    assert_eq!(fields.get("dropped").unwrap().as_num(), Some(0.0));
 }
 
 // -- install / enable -------------------------------------------------------

@@ -80,3 +80,32 @@ fn disabled_counter_bumps_do_not_allocate() {
     // first iteration: 1 + 3 then raised to 7; each later iteration adds 4
     assert_eq!(counter.get(), 7 + 4 * 9_999);
 }
+
+#[test]
+fn histogram_records_do_not_allocate() {
+    let registry = pins_trace::MetricsRegistry::new();
+    let bound = registry.histogram("hot.hist"); // creation may allocate; outside the window
+    let detached = pins_trace::Histogram::detached();
+    let prov = pins_trace::ProvenanceCtx::new("bench");
+
+    let before = allocations();
+    for i in 0..10_000u64 {
+        bound.record(i * 17);
+        detached.record(i * 31);
+        detached.record_duration(std::time::Duration::from_nanos(i));
+        // provenance reads/writes on the query hot path are atomics only
+        prov.set_iteration(i);
+        let _ = prov.phase();
+        let g = prov.enter_phase(pins_trace::Phase::Solve);
+        drop(g);
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "histogram records and provenance updates must be allocation-free"
+    );
+    assert_eq!(bound.count(), 10_000);
+    assert_eq!(detached.count(), 20_000);
+}

@@ -120,6 +120,77 @@ fn registry_totals_match_typed_stats_in_serial_and_parallel() {
 }
 
 #[test]
+fn query_latency_histogram_counts_every_query_across_worker_forks() {
+    // the `smt.query_ns` histogram lives in shared cells that forked worker
+    // sessions write through, so its population must equal the query count
+    // in both execution modes — nothing lost or double-counted in the merge
+    for workers in [1usize, 4] {
+        let outcome = run_with_workers(BenchmarkId::SumI, workers);
+        let sess = pins::smt::SessionStats::from_registry(outcome.metrics(), "smt");
+        let lat = outcome.metrics().histogram_snapshot("smt.query_ns");
+        assert_eq!(
+            lat.count(),
+            sess.queries,
+            "workers={workers}: one latency sample per query"
+        );
+        assert!(lat.p50() <= lat.p90() && lat.p90() <= lat.p99());
+        // per-phase duration counters partition the same population
+        let by_phase: u64 = pins::trace::PHASES
+            .iter()
+            .map(|p| pins::smt::SessionStats::phase_queries(outcome.metrics(), "smt", *p))
+            .sum();
+        assert_eq!(by_phase, sess.queries, "workers={workers}");
+    }
+}
+
+#[test]
+fn histogram_merge_is_identical_serial_vs_forked_threads() {
+    // merge semantics, deterministically: the same sample population must
+    // produce bit-identical snapshots whether recorded through one handle
+    // or through clones on racing threads (the fork()-shared-cells model)
+    let samples: Vec<u64> = (0..4096u64).map(|i| (i * i * 2654435761) >> 16).collect();
+    let serial = pins::trace::Histogram::detached();
+    for &s in &samples {
+        serial.record(s);
+    }
+
+    let registry = pins::trace::MetricsRegistry::new();
+    let shared = registry.histogram("merge.test_ns");
+    let threads: Vec<_> = samples
+        .chunks(1024)
+        .map(|chunk| {
+            let handle = shared.clone(); // what SmtSession::fork does
+            let chunk = chunk.to_vec();
+            std::thread::spawn(move || {
+                for s in chunk {
+                    handle.record(s);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let a = serial.snapshot();
+    let b = registry.histogram_snapshot("merge.test_ns");
+    assert_eq!(a.buckets, b.buckets, "merged buckets must be identical");
+    assert_eq!(a.count(), b.count());
+    assert_eq!((a.p50(), a.p90(), a.p99()), (b.p50(), b.p90(), b.p99()));
+
+    // absorbing disjoint histograms is equivalent to sharing cells
+    let absorbed = pins::trace::Histogram::detached();
+    for chunk in samples.chunks(1024) {
+        let part = pins::trace::Histogram::detached();
+        for &s in chunk {
+            part.record(s);
+        }
+        absorbed.absorb(&part);
+    }
+    assert_eq!(absorbed.snapshot().buckets, a.buckets);
+}
+
+#[test]
 fn invert_facade_synthesizes_doubling_inverse() {
     let original = r#"
 proc dbl(in n: int, out m: int) {
