@@ -15,6 +15,12 @@
 //!
 //! Absolute numbers differ from the paper (2011 hardware + Z3 vs. this
 //! from-scratch stack); EXPERIMENTS.md records the shape comparison.
+//!
+//! The numbers are only meaningful if the verdicts under them are sound:
+//! `pins-fuzz` (crates/fuzz) differentially validates the whole solver
+//! stack these tables exercise, and CI's `fuzz-smoke` job gates every
+//! change on a zero-violation run — treat a perf win that only appears
+//! alongside fuzz violations as a soundness bug, not a speedup.
 
 use std::time::Duration;
 

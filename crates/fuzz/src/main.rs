@@ -1,0 +1,159 @@
+//! The `pins-fuzz` binary: differential fuzzing driver and replay tool.
+//!
+//! ```text
+//! pins-fuzz --iters 10000 --seed 42 [--oracle NAME] [--budget-ms N]
+//!           [--report PATH] [--no-shrink]
+//! pins-fuzz --oracle NAME --tape HEX        # replay one artifact
+//! ```
+//!
+//! Exit codes: 0 — no violations; 1 — violations found; 2 — usage error.
+
+use std::process::ExitCode;
+
+use pins_fuzz::{run, run_oracle, Decisions, FuzzOptions, OracleKind, Tape, ALL_ORACLES};
+
+struct Args {
+    options: FuzzOptions,
+    report: Option<String>,
+    replay_tape: Option<Tape>,
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = ALL_ORACLES.iter().map(|o| o.name()).collect();
+    format!(
+        "usage: pins-fuzz [--iters N] [--seed N] [--oracle NAME] [--budget-ms N]\n\
+         \x20                [--report PATH] [--no-shrink]\n\
+         \x20      pins-fuzz --oracle NAME --tape HEX\n\
+         oracles: {}",
+        names.join(", ")
+    )
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut options = FuzzOptions {
+        iters: 10_000,
+        ..FuzzOptions::default()
+    };
+    let mut report = None;
+    let mut replay_tape = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg {
+            "--iters" => {
+                options.iters = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--budget-ms" => {
+                options.budget_ms = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--budget-ms: {e}"))?,
+                );
+            }
+            "--oracle" => {
+                let name = value(&mut i)?;
+                options.oracle = Some(
+                    OracleKind::from_name(&name).ok_or_else(|| format!("unknown oracle {name}"))?,
+                );
+            }
+            "--report" => report = Some(value(&mut i)?),
+            "--tape" => replay_tape = Some(Tape::from_hex(&value(&mut i)?)?),
+            "--no-shrink" => options.shrink = false,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+        i += 1;
+    }
+    if replay_tape.is_some() && options.oracle.is_none() {
+        return Err("--tape requires --oracle".to_owned());
+    }
+    Ok(Args {
+        options,
+        report,
+        replay_tape,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // replay mode: run the one artifact and print its outcome
+    if let Some(tape) = args.replay_tape {
+        let oracle = args.options.oracle.expect("checked in parse_args");
+        let mut d = Decisions::replay(&tape);
+        let out = run_oracle(oracle, &mut d);
+        if out.violations.is_empty() {
+            println!(
+                "{}: {} ({})",
+                oracle.name(),
+                if out.skipped { "skipped" } else { "pass" },
+                out.detail
+            );
+            return ExitCode::SUCCESS;
+        }
+        println!("{}: VIOLATION ({})", oracle.name(), out.detail);
+        for v in &out.violations {
+            println!("  {v}");
+        }
+        return ExitCode::from(1);
+    }
+
+    let summary = run(&args.options);
+    let jsonl = summary.to_jsonl(args.options.seed, args.options.iters, args.options.oracle);
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    println!(
+        "pins-fuzz: {} iterations, {} passed, {} skipped, {} violation(s)",
+        summary.iters,
+        summary.passed,
+        summary.skipped,
+        summary.findings.len()
+    );
+    for (name, c) in &summary.per_oracle {
+        println!(
+            "  {name:<16} passed {:<8} skipped {:<8} violations {}",
+            c.passed, c.skipped, c.violations
+        );
+    }
+    for f in &summary.findings {
+        println!(
+            "VIOLATION iter={} oracle={} seed={}\n  replay: pins-fuzz --oracle {} --tape {}",
+            f.iter,
+            f.oracle,
+            f.seed,
+            f.oracle,
+            f.shrunk_tape.as_deref().unwrap_or(&f.tape)
+        );
+        for v in &f.violations {
+            println!("  {v}");
+        }
+    }
+    if summary.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,544 @@
+//! The differential oracles: each consumes a decision stream, generates an
+//! input, exercises one cross-layer agreement property of the solver stack,
+//! and reports any definitive disagreement as a violation.
+//!
+//! All oracles are deterministic for a fixed tape: SMT configurations use
+//! step limits (never wall-clock limits), retries are disabled, and caches
+//! are private per run — so a `(oracle, tape)` pair replays identically on
+//! any machine, which is what makes shrunk artifacts and CI smoke runs
+//! trustworthy.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pins_budget::Budget;
+use pins_ir::{run as interp_run, ExternEnv, InterpError, Store, Value};
+use pins_ir::{Mode, Type, VarId};
+use pins_logic::TermId;
+use pins_smt::{QueryCache, Smt, SmtConfig, SmtResult, SmtSession, Verdict};
+use pins_symexec::{EmptyFiller, ExploreConfig, Explorer, SymCtx};
+
+use crate::eval::{check_model, enumerate_sat};
+use crate::genf::{gen_formula, FormulaConfig, GenFormula};
+use crate::genp::{gen_program, ProgramConfig};
+use crate::tape::Decisions;
+
+/// The six differential oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// `Sat` verdicts: the returned model must satisfy the formula under an
+    /// independent evaluator (including EUF congruence of the assignment).
+    ModelEval,
+    /// `Unsat` verdicts: small-domain exhaustive enumeration must not find
+    /// a satisfying assignment.
+    EnumUnsat,
+    /// Cached `SmtSession` verdicts must agree with recomputation and with
+    /// a fresh one-shot solver (cache-key soundness).
+    Cache,
+    /// Serial and forked-parallel query verdicts over the same query list
+    /// must agree elementwise.
+    Parallel,
+    /// Concrete `interp` runs vs symbolic path conditions discharged
+    /// through the SMT solver: exactly one feasible path, same exit state.
+    InterpSymexec,
+    /// Budget-degraded runs must never contradict an unbudgeted run.
+    Budget,
+}
+
+/// All oracles, in the round-robin order the driver uses.
+pub const ALL_ORACLES: [OracleKind; 6] = [
+    OracleKind::ModelEval,
+    OracleKind::EnumUnsat,
+    OracleKind::Cache,
+    OracleKind::Parallel,
+    OracleKind::InterpSymexec,
+    OracleKind::Budget,
+];
+
+impl OracleKind {
+    /// Stable name used in reports, artifacts, and `--oracle`.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::ModelEval => "model-eval",
+            OracleKind::EnumUnsat => "enum-unsat",
+            OracleKind::Cache => "cache",
+            OracleKind::Parallel => "parallel",
+            OracleKind::InterpSymexec => "interp-symexec",
+            OracleKind::Budget => "budget",
+        }
+    }
+
+    /// Parses a [`OracleKind::name`].
+    pub fn from_name(s: &str) -> Option<OracleKind> {
+        ALL_ORACLES.into_iter().find(|o| o.name() == s)
+    }
+}
+
+/// The outcome of one oracle run.
+#[derive(Debug, Clone, Default)]
+pub struct OracleOutcome {
+    /// Definitive cross-layer disagreements; empty means the run passed.
+    pub violations: Vec<String>,
+    /// The run was inconclusive (e.g. everything degraded to `Unknown`, or
+    /// path enumeration hit its bound): no property was checked.
+    pub skipped: bool,
+    /// One-word outcome summary for the report (deterministic).
+    pub detail: String,
+}
+
+impl OracleOutcome {
+    fn pass(detail: impl Into<String>) -> OracleOutcome {
+        OracleOutcome {
+            violations: Vec::new(),
+            skipped: false,
+            detail: detail.into(),
+        }
+    }
+
+    fn skip(detail: impl Into<String>) -> OracleOutcome {
+        OracleOutcome {
+            violations: Vec::new(),
+            skipped: true,
+            detail: detail.into(),
+        }
+    }
+
+    fn fail(violations: Vec<String>, detail: impl Into<String>) -> OracleOutcome {
+        OracleOutcome {
+            violations,
+            skipped: false,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The deterministic SMT configuration every oracle uses: step-limited
+/// (never wall-clock), no Unknown-retry — identical verdicts on any host.
+pub fn fuzz_smt_config() -> SmtConfig {
+    SmtConfig {
+        time_limit: None,
+        step_limit: Some(500_000),
+        retry_unknown: false,
+        ..SmtConfig::default()
+    }
+}
+
+fn verdict_name(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Unsat => "unsat",
+        Verdict::Sat { complete: true } => "sat",
+        Verdict::Sat { complete: false } => "sat-incomplete",
+        Verdict::Unknown { .. } => "unknown",
+    }
+}
+
+/// Runs one oracle on one decision stream.
+pub fn run_oracle(kind: OracleKind, d: &mut Decisions) -> OracleOutcome {
+    match kind {
+        OracleKind::ModelEval => model_eval(d),
+        OracleKind::EnumUnsat => enum_unsat(d),
+        OracleKind::Cache => cache_soundness(d),
+        OracleKind::Parallel => parallel_agreement(d),
+        OracleKind::InterpSymexec => interp_vs_symexec(d),
+        OracleKind::Budget => budget_compat(d),
+    }
+}
+
+fn solve_fresh(f: &mut GenFormula) -> SmtResult {
+    let mut smt = Smt::new(fuzz_smt_config());
+    for &a in &f.asserts {
+        smt.assert_term(&mut f.arena, a);
+    }
+    smt.check(&mut f.arena)
+}
+
+// ---------------------------------------------------------------------------
+// 1. model-eval
+// ---------------------------------------------------------------------------
+
+fn model_eval(d: &mut Decisions) -> OracleOutcome {
+    let mut f = gen_formula(d, FormulaConfig::default());
+    match solve_fresh(&mut f) {
+        SmtResult::Sat(model) if model.complete => {
+            let res = check_model(&f.arena, &f.asserts, &model);
+            if res.ok() {
+                OracleOutcome::pass("sat")
+            } else {
+                let mut v: Vec<String> = res
+                    .falsified
+                    .iter()
+                    .map(|i| format!("model falsifies assert #{i}"))
+                    .collect();
+                v.extend(res.euf_conflicts);
+                OracleOutcome::fail(v, "sat")
+            }
+        }
+        SmtResult::Sat(_) => OracleOutcome::skip("sat-incomplete"),
+        SmtResult::Unsat => OracleOutcome::pass("unsat"),
+        SmtResult::Unknown(_) => OracleOutcome::skip("unknown"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. enum-unsat
+// ---------------------------------------------------------------------------
+
+fn enum_unsat(d: &mut Decisions) -> OracleOutcome {
+    let mut f = gen_formula(
+        d,
+        FormulaConfig {
+            enumerable: true,
+            ..FormulaConfig::default()
+        },
+    );
+    let result = solve_fresh(&mut f);
+    match result {
+        SmtResult::Unsat => {
+            if let Some((ints, bools)) =
+                enumerate_sat(&f.arena, &f.asserts, &f.int_vars, &f.bool_vars)
+            {
+                OracleOutcome::fail(
+                    vec![format!(
+                        "solver says unsat but enumeration found ints={ints:?} bools={bools:?}"
+                    )],
+                    "unsat",
+                )
+            } else {
+                OracleOutcome::pass("unsat")
+            }
+        }
+        SmtResult::Sat(model) if model.complete => {
+            // free extra coverage: the model must also check out
+            let res = check_model(&f.arena, &f.asserts, &model);
+            if res.ok() {
+                OracleOutcome::pass("sat")
+            } else {
+                OracleOutcome::fail(
+                    res.falsified
+                        .iter()
+                        .map(|i| format!("enumerable model falsifies assert #{i}"))
+                        .collect(),
+                    "sat",
+                )
+            }
+        }
+        SmtResult::Sat(_) => OracleOutcome::skip("sat-incomplete"),
+        SmtResult::Unknown(_) => OracleOutcome::skip("unknown"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. cache
+// ---------------------------------------------------------------------------
+
+fn cache_soundness(d: &mut Decisions) -> OracleOutcome {
+    let mut f = gen_formula(d, FormulaConfig::default());
+    let cache = Arc::new(QueryCache::new());
+    let mut s1 = SmtSession::with_cache(fuzz_smt_config(), Arc::clone(&cache));
+    let v1 = s1.verdict_under(&mut f.arena, &f.asserts);
+    let mut s2 = SmtSession::with_cache(fuzz_smt_config(), Arc::clone(&cache));
+    let v2 = s2.verdict_under(&mut f.arena, &f.asserts);
+    let vf = Verdict::of(&solve_fresh(&mut f));
+    let mut violations = Vec::new();
+    if !v1.agrees_with(v2) {
+        violations.push(format!(
+            "cached verdict {} disagrees with first computation {}",
+            verdict_name(v2),
+            verdict_name(v1)
+        ));
+    }
+    if !v1.agrees_with(vf) {
+        violations.push(format!(
+            "session verdict {} disagrees with fresh solver {}",
+            verdict_name(v1),
+            verdict_name(vf)
+        ));
+    }
+    if cache.hits() == 0 && v1.is_definitive() {
+        violations.push("identical repeat query missed the cache".to_owned());
+    }
+    if violations.is_empty() {
+        OracleOutcome::pass(verdict_name(v1))
+    } else {
+        OracleOutcome::fail(violations, verdict_name(v1))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. parallel
+// ---------------------------------------------------------------------------
+
+fn parallel_agreement(d: &mut Decisions) -> OracleOutcome {
+    let mut f = gen_formula(d, FormulaConfig::default());
+    let workers = 2 + d.choose(2) as usize;
+    // one query per assert prefix: re-checks under growing assumption sets,
+    // the same shape the engine's constraint verification issues
+    let queries: Vec<Vec<TermId>> = (0..f.asserts.len())
+        .map(|i| f.asserts[..=i].to_vec())
+        .collect();
+
+    let mut serial_session = SmtSession::with_cache(fuzz_smt_config(), Arc::new(QueryCache::new()));
+    let serial: Vec<Verdict> = queries
+        .iter()
+        .map(|q| serial_session.verdict_under(&mut f.arena, q))
+        .collect();
+
+    let base = SmtSession::with_cache(fuzz_smt_config(), Arc::new(QueryCache::new()));
+    let parallel: Vec<Verdict> = {
+        let mut out: Vec<Option<Verdict>> = vec![None; queries.len()];
+        let chunks: Vec<Vec<usize>> = (0..workers)
+            .map(|w| (w..queries.len()).step_by(workers).collect())
+            .collect();
+        let results: Vec<Vec<(usize, Verdict)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let mut session = base.fork();
+                    let mut arena = f.arena.clone();
+                    let queries = &queries;
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&i| (i, session.verdict_under(&mut arena, &queries[i])))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for chunk in results {
+            for (i, v) in chunk {
+                out[i] = Some(v);
+            }
+        }
+        out.into_iter().map(|v| v.unwrap()).collect()
+    };
+
+    let violations: Vec<String> = serial
+        .iter()
+        .zip(&parallel)
+        .enumerate()
+        .filter(|(_, (s, p))| !s.agrees_with(**p))
+        .map(|(i, (s, p))| {
+            format!(
+                "query #{i}: serial {} vs parallel {}",
+                verdict_name(*s),
+                verdict_name(*p)
+            )
+        })
+        .collect();
+    let detail = verdict_name(*serial.last().expect("at least one assert"));
+    if violations.is_empty() {
+        OracleOutcome::pass(detail)
+    } else {
+        OracleOutcome::fail(violations, detail)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. interp-symexec
+// ---------------------------------------------------------------------------
+
+fn interp_vs_symexec(d: &mut Decisions) -> OracleOutcome {
+    // arrays are excluded here: the interpreter's sparse default-0 cells and
+    // an unconstrained symbolic array only agree given extensional bindings,
+    // which a finite assumption set cannot express
+    let program = gen_program(
+        d,
+        ProgramConfig {
+            allow_arrays: false,
+            ..ProgramConfig::default()
+        },
+    );
+    let int_vars: Vec<VarId> = program
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.ty == Type::Int)
+        .map(|(i, _)| VarId(i as u32))
+        .collect();
+    // concrete initial state: drawn values for inputs, 0 elsewhere (the
+    // interpreter's own defaulting rule)
+    let mut initial: HashMap<VarId, i64> = int_vars.iter().map(|&v| (v, 0)).collect();
+    for &(v, m) in &program.params {
+        if matches!(m, Mode::In | Mode::InOut) && program.var(v).ty == Type::Int {
+            initial.insert(v, d.int_in(-8, 8));
+        }
+    }
+    let store: Store = initial.iter().map(|(&v, &x)| (v, Value::Int(x))).collect();
+    let env = ExternEnv::new();
+    let concrete = interp_run(&program, &store, &env, 10_000);
+
+    let mut ctx = SymCtx::new(&program);
+    let mut explorer = Explorer::new(
+        &program,
+        ExploreConfig {
+            max_unroll: 5,
+            check_feasibility: false,
+            smt: fuzz_smt_config(),
+            ..ExploreConfig::default()
+        },
+    );
+    const PATH_LIMIT: usize = 128;
+    let paths = explorer.enumerate(&mut ctx, &EmptyFiller, PATH_LIMIT);
+    if explorer.budget_hit || paths.len() >= PATH_LIMIT {
+        return OracleOutcome::skip("path-bound");
+    }
+
+    // bind every variable's initial (version-0) term to its concrete value
+    let binding: Vec<TermId> = int_vars
+        .iter()
+        .map(|&v| {
+            let vt = ctx.var_term(v, 0);
+            let c = ctx.arena.mk_int(initial[&v]);
+            ctx.arena.mk_eq(vt, c)
+        })
+        .collect();
+
+    let mut session = SmtSession::with_cache(fuzz_smt_config(), Arc::new(QueryCache::new()));
+    let mut sat_paths = Vec::new();
+    for (i, path) in paths.iter().enumerate() {
+        let mut assumptions = binding.clone();
+        assumptions.extend_from_slice(&path.substituted);
+        match session.verdict_under(&mut ctx.arena, &assumptions) {
+            Verdict::Sat { complete: true } => sat_paths.push(i),
+            Verdict::Unsat => {}
+            _ => return OracleOutcome::skip("unknown-path"),
+        }
+    }
+
+    match concrete {
+        Ok(exit_store) => {
+            if sat_paths.len() != 1 {
+                return OracleOutcome::fail(
+                    vec![format!(
+                        "concrete run succeeded but {} of {} symbolic paths are feasible \
+                         under the input binding (expected exactly 1)",
+                        sat_paths.len(),
+                        paths.len()
+                    )],
+                    "run-ok",
+                );
+            }
+            let path = &paths[sat_paths[0]];
+            // the feasible path must entail the concrete exit values
+            for &out in &program.outputs() {
+                if program.var(out).ty != Type::Int {
+                    continue;
+                }
+                let got = match exit_store.get(&out) {
+                    Some(Value::Int(x)) => *x,
+                    _ => continue,
+                };
+                let final_t = ctx.var_term(out, path.final_version(out));
+                let c = ctx.arena.mk_int(got);
+                let eq = ctx.arena.mk_eq(final_t, c);
+                let ne = ctx.arena.mk_not(eq);
+                let mut assumptions = binding.clone();
+                assumptions.extend_from_slice(&path.substituted);
+                assumptions.push(ne);
+                match session.verdict_under(&mut ctx.arena, &assumptions) {
+                    Verdict::Unsat => {}
+                    Verdict::Sat { complete: true } => {
+                        return OracleOutcome::fail(
+                            vec![format!(
+                                "symbolic exit value of `{}` can differ from concrete {}",
+                                program.var(out).name,
+                                got
+                            )],
+                            "run-ok",
+                        );
+                    }
+                    _ => return OracleOutcome::skip("unknown-exit"),
+                }
+            }
+            OracleOutcome::pass("run-ok")
+        }
+        Err(InterpError::AssumeViolated) => {
+            if sat_paths.is_empty() {
+                OracleOutcome::pass("assume-violated")
+            } else {
+                OracleOutcome::fail(
+                    vec![format!(
+                        "concrete run violated an assume but {} symbolic path(s) are \
+                         feasible under the input binding",
+                        sat_paths.len()
+                    )],
+                    "assume-violated",
+                )
+            }
+        }
+        Err(_) => OracleOutcome::skip("interp-error"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 6. budget
+// ---------------------------------------------------------------------------
+
+fn budget_compat(d: &mut Decisions) -> OracleOutcome {
+    let mut f = gen_formula(d, FormulaConfig::default());
+    let full = Verdict::of(&solve_fresh(&mut f));
+    let steps = 50 + d.choose(2_000);
+    let mut limited = Smt::new(fuzz_smt_config());
+    limited.set_budget(Budget::with_limits(None, Some(steps)));
+    for &a in &f.asserts {
+        limited.assert_term(&mut f.arena, a);
+    }
+    let degraded = Verdict::of(&limited.check(&mut f.arena));
+    if full.agrees_with(degraded) {
+        OracleOutcome::pass(verdict_name(full))
+    } else {
+        OracleOutcome::fail(
+            vec![format!(
+                "budgeted run ({steps} steps) says {} but unbudgeted run says {}",
+                verdict_name(degraded),
+                verdict_name(full)
+            )],
+            verdict_name(full),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_names_roundtrip() {
+        for o in ALL_ORACLES {
+            assert_eq!(OracleKind::from_name(o.name()), Some(o));
+        }
+        assert_eq!(OracleKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn every_oracle_passes_on_a_spread_of_seeds() {
+        for (i, oracle) in ALL_ORACLES.into_iter().enumerate() {
+            for seed in 0..25u64 {
+                let mut d = Decisions::record(seed * 31 + i as u64);
+                let out = run_oracle(oracle, &mut d);
+                assert!(
+                    out.violations.is_empty(),
+                    "{} seed {seed}: {:?}",
+                    oracle.name(),
+                    out.violations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_outcomes_replay_identically_from_the_tape() {
+        for (i, oracle) in ALL_ORACLES.into_iter().enumerate() {
+            let mut rec = Decisions::record(1000 + i as u64);
+            let first = run_oracle(oracle, &mut rec);
+            let tape = rec.tape();
+            let mut rep = Decisions::replay(&tape);
+            let second = run_oracle(oracle, &mut rep);
+            assert_eq!(first.violations, second.violations, "{}", oracle.name());
+            assert_eq!(first.skipped, second.skipped, "{}", oracle.name());
+            assert_eq!(first.detail, second.detail, "{}", oracle.name());
+        }
+    }
+}

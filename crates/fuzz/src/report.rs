@@ -1,0 +1,118 @@
+//! Deterministic JSONL reporting.
+//!
+//! One line per event, no timestamps, no durations, no host-dependent
+//! fields — the same `(seed, iters)` pair produces a byte-identical report
+//! on any machine, which CI exploits by diffing two runs. The line shape
+//! (`{"kind": ...}`) matches the trace events `pins-report` ingests, so the
+//! report can be fed to the same tooling (unknown kinds are counted and
+//! skipped, violations are surfaced verbatim).
+
+use std::fmt::Write as _;
+
+use crate::{Finding, FuzzSummary};
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the meta line (run parameters).
+pub fn meta_line(seed: u64, iters: u64, oracle: Option<&str>) -> String {
+    let oracle_field = match oracle {
+        Some(o) => format!("\"{}\"", esc(o)),
+        None => "null".to_owned(),
+    };
+    format!("{{\"kind\":\"fuzz.meta\",\"version\":1,\"seed\":{seed},\"iters\":{iters},\"oracle\":{oracle_field}}}")
+}
+
+/// Renders one violation line.
+pub fn finding_line(f: &Finding) -> String {
+    let viols: Vec<String> = f
+        .violations
+        .iter()
+        .map(|v| format!("\"{}\"", esc(v)))
+        .collect();
+    format!(
+        "{{\"kind\":\"fuzz.violation\",\"iter\":{},\"oracle\":\"{}\",\"seed\":{},\"tape\":\"{}\",\"shrunk_tape\":{},\"violations\":[{}]}}",
+        f.iter,
+        esc(f.oracle),
+        f.seed,
+        esc(&f.tape),
+        match &f.shrunk_tape {
+            Some(t) => format!("\"{}\"", esc(t)),
+            None => "null".to_owned(),
+        },
+        viols.join(",")
+    )
+}
+
+/// Renders the summary line.
+pub fn summary_line(s: &FuzzSummary) -> String {
+    let mut per = String::new();
+    for (i, (name, counts)) in s.per_oracle.iter().enumerate() {
+        if i > 0 {
+            per.push(',');
+        }
+        let _ = write!(
+            per,
+            "\"{}\":{{\"passed\":{},\"skipped\":{},\"violations\":{}}}",
+            esc(name),
+            counts.passed,
+            counts.skipped,
+            counts.violations
+        );
+    }
+    format!(
+        "{{\"kind\":\"fuzz.summary\",\"iters\":{},\"passed\":{},\"skipped\":{},\"violations\":{},\"per_oracle\":{{{}}}}}",
+        s.iters, s.passed, s.skipped, s.findings.len(), per
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn lines_are_valid_json() {
+        // parse with the in-tree minimal JSON parser to keep the report
+        // consumable by pins-report's ingest layer
+        let line = meta_line(42, 1000, None);
+        let v = pins_trace::json::parse(&line).expect("meta parses");
+        assert_eq!(
+            v.get("kind").and_then(|k| k.as_str()),
+            Some("fuzz.meta"),
+            "{line}"
+        );
+        let f = Finding {
+            iter: 3,
+            oracle: "cache",
+            seed: 42,
+            tape: "a.b".to_owned(),
+            shrunk_tape: Some("a".to_owned()),
+            violations: vec!["verdict \"flip\"".to_owned()],
+        };
+        let line = finding_line(&f);
+        let v = pins_trace::json::parse(&line).expect("finding parses");
+        assert_eq!(v.get("iter").and_then(|x| x.as_num()), Some(3.0));
+    }
+}

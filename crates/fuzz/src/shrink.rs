@@ -1,0 +1,167 @@
+//! Greedy delta-reduction over decision tapes.
+//!
+//! A failing input is a `(oracle, tape)` pair. Shrinking never needs to
+//! understand the generated object: it deletes chunks of the tape (larger
+//! first) and zeroes surviving entries, re-running the oracle after each
+//! edit and keeping any edit that still fails. Replay clamps out-of-bound
+//! entries and pads exhausted tapes with 0 — the minimal choice — so every
+//! candidate tape is valid by construction and the process only moves
+//! toward structurally smaller inputs.
+
+use crate::oracles::{run_oracle, OracleKind};
+use crate::tape::{Decisions, Tape};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized tape (normalized by replay).
+    pub tape: Tape,
+    /// Violations reported by the minimized tape.
+    pub violations: Vec<String>,
+    /// Oracle executions spent shrinking.
+    pub attempts: usize,
+}
+
+/// Replays `tape` against `kind`; returns the normalized tape and its
+/// violations when the run still fails.
+fn try_tape(kind: OracleKind, tape: &Tape) -> Option<(Tape, Vec<String>)> {
+    let mut d = Decisions::replay(tape);
+    let out = run_oracle(kind, &mut d);
+    if out.violations.is_empty() {
+        None
+    } else {
+        Some((d.tape(), out.violations))
+    }
+}
+
+/// Minimizes a failing tape by greedy delta-reduction, spending at most
+/// `max_attempts` oracle executions. The input tape must fail; the result
+/// is the smallest failing tape found (possibly the input itself).
+pub fn shrink(kind: OracleKind, tape: &Tape, max_attempts: usize) -> Shrunk {
+    let mut attempts = 0usize;
+    let (mut best, mut violations) = match try_tape(kind, tape) {
+        Some(r) => r,
+        None => {
+            // flaky input (should not happen: oracles are deterministic);
+            // return it unshrunk
+            return Shrunk {
+                tape: tape.clone(),
+                violations: Vec::new(),
+                attempts: 1,
+            };
+        }
+    };
+    attempts += 1;
+
+    // pass 1: chunk deletion, halving chunk size
+    let mut improved = true;
+    while improved && attempts < max_attempts {
+        improved = false;
+        let mut chunk = (best.choices.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < best.choices.len() && attempts < max_attempts {
+                let mut candidate = best.clone();
+                let end = (i + chunk).min(candidate.choices.len());
+                candidate.choices.drain(i..end);
+                attempts += 1;
+                if let Some((norm, v)) = try_tape(kind, &candidate) {
+                    if norm.choices.len() <= best.choices.len() {
+                        best = norm;
+                        violations = v;
+                        improved = true;
+                        continue; // same index now covers the next chunk
+                    }
+                }
+                i += chunk;
+            }
+            if chunk == 1 || attempts >= max_attempts {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // pass 2: zero and halve surviving entries
+        let mut i = 0;
+        while i < best.choices.len() && attempts < max_attempts {
+            if best.choices[i] != 0 {
+                let mut candidate = best.clone();
+                candidate.choices[i] = 0;
+                attempts += 1;
+                if let Some((norm, v)) = try_tape(kind, &candidate) {
+                    best = norm;
+                    violations = v;
+                    improved = true;
+                    i += 1;
+                    continue;
+                }
+                if best.choices[i] > 1 {
+                    let mut candidate = best.clone();
+                    candidate.choices[i] /= 2;
+                    attempts += 1;
+                    if let Some((norm, v)) = try_tape(kind, &candidate) {
+                        best = norm;
+                        violations = v;
+                        improved = true;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    Shrunk {
+        tape: best,
+        violations,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // the shrinker is oracle-agnostic, so unit-test the mechanics against a
+    // synthetic predicate by reusing its internal moves through a tiny
+    // local harness rather than a real oracle
+    fn greedy_min<F: Fn(&Tape) -> bool>(fails: F, tape: &Tape) -> Tape {
+        let mut best = tape.clone();
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for i in 0..best.choices.len() {
+                let mut c = best.clone();
+                c.choices.remove(i);
+                if fails(&c) {
+                    best = c;
+                    improved = true;
+                    break;
+                }
+                if best.choices[i] != 0 {
+                    let mut c = best.clone();
+                    c.choices[i] = 0;
+                    if fails(&c) {
+                        best = c;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn greedy_reduction_reaches_a_local_minimum() {
+        // failure condition: tape contains an entry >= 7
+        let fails = |t: &Tape| t.choices.iter().any(|&c| c >= 7);
+        let start = Tape {
+            choices: vec![3, 9, 0, 12, 5, 1],
+        };
+        let min = greedy_min(fails, &start);
+        assert!(fails(&min));
+        // a single large entry survives; everything else is gone
+        assert_eq!(min.choices.len(), 1);
+        assert!(min.choices[0] >= 7);
+    }
+}

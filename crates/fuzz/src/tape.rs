@@ -1,0 +1,200 @@
+//! Decision tapes: the replayable randomness substrate of every generator.
+//!
+//! Generators never touch a PRNG directly; they draw bounded choices from a
+//! [`Decisions`] stream. In *record* mode the stream draws from a seeded
+//! [`SplitMix64`] and logs every choice; in *replay* mode it reads the
+//! logged choices back (padding with 0 — the minimal choice — when the tape
+//! runs out). Because every generator decision is a tape entry, a failing
+//! input is fully described by `(oracle, tape)`, shrinking is greedy
+//! delta-reduction over the tape, and a shrunk artifact replays
+//! byte-identically on any machine.
+
+use pins_prng::SplitMix64;
+
+/// A recorded sequence of bounded choices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tape {
+    /// The choices, in draw order. Entry `i` is the value (already reduced
+    /// into its bound) of the `i`-th draw.
+    pub choices: Vec<u64>,
+}
+
+impl Tape {
+    /// Renders the tape as a compact dot-separated hex string, the format
+    /// accepted by `pins-fuzz --tape`.
+    pub fn to_hex(&self) -> String {
+        if self.choices.is_empty() {
+            return "-".to_owned();
+        }
+        let parts: Vec<String> = self.choices.iter().map(|c| format!("{c:x}")).collect();
+        parts.join(".")
+    }
+
+    /// Parses the format produced by [`Tape::to_hex`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn from_hex(s: &str) -> Result<Tape, String> {
+        let s = s.trim();
+        if s.is_empty() || s == "-" {
+            return Ok(Tape::default());
+        }
+        let mut choices = Vec::new();
+        for part in s.split('.') {
+            let v = u64::from_str_radix(part, 16)
+                .map_err(|e| format!("bad tape entry {part:?}: {e}"))?;
+            choices.push(v);
+        }
+        Ok(Tape { choices })
+    }
+}
+
+enum Source {
+    /// Fresh draws from a seeded generator.
+    Record(SplitMix64),
+    /// Reads from a fixed tape; exhausted entries read as 0.
+    Replay { tape: Vec<u64>, pos: usize },
+}
+
+/// A stream of bounded decisions, recording everything it hands out.
+pub struct Decisions {
+    source: Source,
+    recorded: Vec<u64>,
+}
+
+impl Decisions {
+    /// A recording stream seeded with `seed`.
+    pub fn record(seed: u64) -> Decisions {
+        Decisions {
+            source: Source::Record(SplitMix64::new(seed)),
+            recorded: Vec::new(),
+        }
+    }
+
+    /// A replaying stream over `tape`. Choices beyond the tape's end are 0,
+    /// and every choice is clamped into its bound, so any tape (including a
+    /// shrunk or truncated one) replays without panicking.
+    pub fn replay(tape: &Tape) -> Decisions {
+        Decisions {
+            source: Source::Replay {
+                tape: tape.choices.clone(),
+                pos: 0,
+            },
+            recorded: Vec::new(),
+        }
+    }
+
+    /// The normalized tape of everything drawn so far. Replaying this tape
+    /// reproduces the exact same generation, by construction.
+    pub fn tape(&self) -> Tape {
+        Tape {
+            choices: self.recorded.clone(),
+        }
+    }
+
+    /// A uniform choice in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is 0.
+    pub fn choose(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "choose(0)");
+        let v = match &mut self.source {
+            Source::Record(rng) => {
+                if bound == 1 {
+                    0
+                } else {
+                    rng.gen_index(bound as usize) as u64
+                }
+            }
+            Source::Replay { tape, pos } => {
+                let raw = tape.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                // clamp (not mod) so zeroing a tape entry always yields the
+                // minimal choice, which is what the shrinker relies on
+                raw.min(bound - 1)
+            }
+        };
+        self.recorded.push(v);
+        v
+    }
+
+    /// A choice from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        let i = self.choose(items.len() as u64) as usize;
+        &items[i]
+    }
+
+    /// `true` with probability `num`/`den` (entry 0 on the tape means
+    /// `false`, so shrinking drives optional structure away).
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.choose(den) < num
+    }
+
+    /// A signed value in `lo..=hi` (stored on the tape as an offset from
+    /// `lo`, so 0 shrinks to the range minimum).
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            // the only full-range caller draws two halves instead
+            return self.choose(u64::MAX) as i64;
+        }
+        lo.wrapping_add(self.choose(span + 1) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_replay_is_identical() {
+        let mut rec = Decisions::record(42);
+        let drawn: Vec<u64> = (1..20u64).map(|b| rec.choose(b)).collect();
+        let tape = rec.tape();
+        let mut rep = Decisions::replay(&tape);
+        let replayed: Vec<u64> = (1..20u64).map(|b| rep.choose(b)).collect();
+        assert_eq!(drawn, replayed);
+        assert_eq!(rep.tape(), tape);
+    }
+
+    #[test]
+    fn truncated_tape_pads_with_minimal_choices() {
+        let mut rec = Decisions::record(7);
+        for _ in 0..10 {
+            rec.choose(100);
+        }
+        let mut tape = rec.tape();
+        tape.choices.truncate(3);
+        let mut rep = Decisions::replay(&tape);
+        let vals: Vec<u64> = (0..10).map(|_| rep.choose(100)).collect();
+        assert_eq!(&vals[3..], &[0; 7]);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let tape = Tape {
+            choices: vec![0, 1, 255, u64::MAX],
+        };
+        assert_eq!(Tape::from_hex(&tape.to_hex()).unwrap(), tape);
+        assert_eq!(Tape::from_hex("-").unwrap(), Tape::default());
+        assert!(Tape::from_hex("xyz.3").is_err());
+    }
+
+    #[test]
+    fn clamping_keeps_choices_in_bounds() {
+        let tape = Tape {
+            choices: vec![u64::MAX, 500, 3],
+        };
+        let mut rep = Decisions::replay(&tape);
+        assert_eq!(rep.choose(4), 3);
+        assert_eq!(rep.choose(10), 9);
+        assert_eq!(rep.choose(2), 1);
+    }
+}

@@ -203,6 +203,47 @@ impl Program {
         self.externs.iter().find(|e| e.name == name)
     }
 
+    /// `true` when the program is *closed*: no expression or predicate
+    /// holes and no `*` guards anywhere in the body, so concrete
+    /// interpretation cannot fail with `HoleInProgram`/`NondetGuard`. Used
+    /// by differential-testing harnesses to decide which programs are
+    /// runnable on both the concrete and symbolic semantics.
+    pub fn is_closed(&self) -> bool {
+        fn expr_closed(e: &Expr) -> bool {
+            match e {
+                Expr::Int(_) | Expr::Var(_) => true,
+                Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Sel(a, b) => {
+                    expr_closed(a) && expr_closed(b)
+                }
+                Expr::Upd(a, b, c) => expr_closed(a) && expr_closed(b) && expr_closed(c),
+                Expr::Call(_, args) => args.iter().all(expr_closed),
+                Expr::Hole(_) => false,
+            }
+        }
+        fn pred_closed(p: &Pred) -> bool {
+            match p {
+                Pred::Bool(_) => true,
+                Pred::Cmp(_, a, b) => expr_closed(a) && expr_closed(b),
+                Pred::And(ps) | Pred::Or(ps) => ps.iter().all(pred_closed),
+                Pred::Not(q) => pred_closed(q),
+                Pred::Call(_, args) => args.iter().all(expr_closed),
+                Pred::Hole(_) | Pred::Star => false,
+            }
+        }
+        fn stmt_closed(s: &Stmt) -> bool {
+            match s {
+                Stmt::Assign(pairs) => pairs.iter().all(|(_, e)| expr_closed(e)),
+                Stmt::If(c, t, e) => {
+                    pred_closed(c) && t.iter().all(stmt_closed) && e.iter().all(stmt_closed)
+                }
+                Stmt::While(_, c, body) => pred_closed(c) && body.iter().all(stmt_closed),
+                Stmt::Assume(c) => pred_closed(c),
+                Stmt::Exit | Stmt::Skip => true,
+            }
+        }
+        self.body.iter().all(stmt_closed)
+    }
+
     /// Declares a fresh local variable, returning its id.
     pub fn add_local(&mut self, name: &str, ty: Type) -> VarId {
         let id = VarId(self.vars.len() as u32);

@@ -1,0 +1,228 @@
+//! Ingestion and rendering of `pins-fuzz` JSONL reports.
+//!
+//! The fuzzer emits three deterministic line kinds — `fuzz.meta` (run
+//! parameters), `fuzz.violation` (one per surviving finding, with the
+//! replayable decision tape), and `fuzz.summary` (per-oracle counts). This
+//! module turns such a file into the same kind of human-readable report the
+//! trace analyzer produces, including the exact `pins-fuzz --oracle NAME
+//! --tape HEX` command that reproduces each finding.
+
+use pins_trace::json::{parse, Json};
+
+/// One `fuzz.violation` line.
+#[derive(Debug, Clone)]
+pub struct FuzzViolation {
+    /// Iteration the finding surfaced at.
+    pub iter: u64,
+    /// Oracle that flagged it.
+    pub oracle: String,
+    /// Per-iteration seed.
+    pub seed: u64,
+    /// Replay tape (shrunk if shrinking succeeded, original otherwise).
+    pub tape: String,
+    /// The violation messages.
+    pub messages: Vec<String>,
+}
+
+/// Per-oracle counters from the `fuzz.summary` line.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzOracleRow {
+    /// Oracle name.
+    pub oracle: String,
+    /// Iterations that checked the property and passed.
+    pub passed: u64,
+    /// Inconclusive iterations (nothing definitive to compare).
+    pub skipped: u64,
+    /// Iterations that produced a violation.
+    pub violations: u64,
+}
+
+/// A parsed fuzz report.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Master seed of the run, from `fuzz.meta`.
+    pub seed: Option<u64>,
+    /// Requested iteration count, from `fuzz.meta`.
+    pub iters: Option<u64>,
+    /// Completed iterations, from `fuzz.summary`.
+    pub completed: Option<u64>,
+    /// Violations, in emission order.
+    pub violations: Vec<FuzzViolation>,
+    /// Per-oracle counters, in emission order.
+    pub per_oracle: Vec<FuzzOracleRow>,
+    /// Lines that failed to parse or had an unexpected shape.
+    pub skipped_lines: u64,
+}
+
+impl FuzzReport {
+    /// Whether the run surfaced any oracle violation.
+    pub fn has_violations(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+fn num(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_num).map(|n| n as u64)
+}
+
+/// Parses a fuzz JSONL report. Unknown kinds and malformed lines are
+/// counted in [`FuzzReport::skipped_lines`], mirroring the trace ingester's
+/// skip-and-count policy.
+pub fn parse_report(text: &str) -> FuzzReport {
+    let mut r = FuzzReport::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = parse(line) else {
+            r.skipped_lines += 1;
+            continue;
+        };
+        match v.get("kind").and_then(Json::as_str) {
+            Some("fuzz.meta") => {
+                r.seed = num(&v, "seed");
+                r.iters = num(&v, "iters");
+            }
+            Some("fuzz.violation") => {
+                let messages = match v.get("violations") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .filter_map(|m| m.as_str().map(str::to_owned))
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                let tape = v
+                    .get("shrunk_tape")
+                    .and_then(Json::as_str)
+                    .or_else(|| v.get("tape").and_then(Json::as_str))
+                    .unwrap_or_default()
+                    .to_owned();
+                r.violations.push(FuzzViolation {
+                    iter: num(&v, "iter").unwrap_or(0),
+                    oracle: v
+                        .get("oracle")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_owned(),
+                    seed: num(&v, "seed").unwrap_or(0),
+                    tape,
+                    messages,
+                });
+            }
+            Some("fuzz.summary") => {
+                r.completed = num(&v, "iters");
+                if let Some(Json::Obj(per)) = v.get("per_oracle") {
+                    for (name, counts) in per {
+                        r.per_oracle.push(FuzzOracleRow {
+                            oracle: name.clone(),
+                            passed: num(counts, "passed").unwrap_or(0),
+                            skipped: num(counts, "skipped").unwrap_or(0),
+                            violations: num(counts, "violations").unwrap_or(0),
+                        });
+                    }
+                }
+            }
+            _ => r.skipped_lines += 1,
+        }
+    }
+    r
+}
+
+/// Renders the report for the terminal.
+pub fn render(r: &FuzzReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== differential fuzz report ==");
+    let _ = writeln!(
+        out,
+        "seed {}  iterations {} requested / {} completed",
+        r.seed.map_or("?".to_owned(), |s| s.to_string()),
+        r.iters.map_or("?".to_owned(), |s| s.to_string()),
+        r.completed.map_or("?".to_owned(), |s| s.to_string()),
+    );
+    if !r.per_oracle.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>9} {:>11}",
+            "oracle", "passed", "skipped", "violations"
+        );
+        for row in &r.per_oracle {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>9} {:>9} {:>11}",
+                row.oracle, row.passed, row.skipped, row.violations
+            );
+        }
+    }
+    if r.violations.is_empty() {
+        let _ = writeln!(out, "no oracle violations");
+    } else {
+        for vio in &r.violations {
+            let _ = writeln!(
+                out,
+                "VIOLATION iter={} oracle={} seed={}",
+                vio.iter, vio.oracle, vio.seed
+            );
+            for m in &vio.messages {
+                let _ = writeln!(out, "  {m}");
+            }
+            let _ = writeln!(
+                out,
+                "  replay: pins-fuzz --oracle {} --tape {}",
+                vio.oracle, vio.tape
+            );
+        }
+    }
+    if r.skipped_lines > 0 {
+        let _ = writeln!(out, "({} unrecognized lines skipped)", r.skipped_lines);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"kind\":\"fuzz.meta\",\"version\":1,\"seed\":42,\"iters\":100,\"oracle\":null}\n",
+        "{\"kind\":\"fuzz.violation\",\"iter\":7,\"oracle\":\"model-eval\",\"seed\":9,",
+        "\"tape\":\"1.2.3\",\"shrunk_tape\":\"1.2\",\"violations\":[\"model falsifies assert #0\"]}\n",
+        "{\"kind\":\"fuzz.summary\",\"iters\":100,\"passed\":95,\"skipped\":4,\"violations\":1,",
+        "\"per_oracle\":{\"model-eval\":{\"passed\":15,\"skipped\":1,\"violations\":1}}}\n",
+    );
+
+    #[test]
+    fn parses_all_three_kinds() {
+        let r = parse_report(SAMPLE);
+        assert_eq!(r.seed, Some(42));
+        assert_eq!(r.iters, Some(100));
+        assert_eq!(r.completed, Some(100));
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].tape, "1.2", "shrunk tape wins");
+        assert_eq!(r.per_oracle.len(), 1);
+        assert_eq!(r.per_oracle[0].passed, 15);
+        assert!(r.has_violations());
+        assert_eq!(r.skipped_lines, 0);
+    }
+
+    #[test]
+    fn renders_replay_command_and_skips_garbage() {
+        let text = format!("{SAMPLE}not json at all\n{{\"kind\":\"span_start\"}}\n");
+        let r = parse_report(&text);
+        assert_eq!(r.skipped_lines, 2);
+        let rendered = render(&r);
+        assert!(rendered.contains("pins-fuzz --oracle model-eval --tape 1.2"));
+        assert!(rendered.contains("model falsifies assert #0"));
+        assert!(rendered.contains("2 unrecognized lines skipped"));
+    }
+
+    #[test]
+    fn clean_run_renders_no_violations() {
+        let clean = "{\"kind\":\"fuzz.summary\",\"iters\":10,\"passed\":10,\"skipped\":0,\
+                     \"violations\":0,\"per_oracle\":{}}";
+        let r = parse_report(clean);
+        assert!(!r.has_violations());
+        assert!(render(&r).contains("no oracle violations"));
+    }
+}

@@ -38,10 +38,12 @@
 pub mod analyze;
 pub mod bench;
 pub mod diff;
+pub mod fuzz;
 pub mod ingest;
 pub mod render;
 
 pub use analyze::{Analysis, LayerLatency, OriginCost, TopQuery};
 pub use bench::BenchRow;
 pub use diff::{diff, DiffReport, Severity};
+pub use fuzz::{parse_report as parse_fuzz_report, FuzzReport};
 pub use ingest::{IngestStats, Trace, TraceEvent};

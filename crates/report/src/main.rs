@@ -8,12 +8,14 @@
 //!
 //! pins-report --diff OLD.json NEW.json  regression-gate two profile reports
 //!   --threshold PCT                     allowed growth in % (default 20)
+//!
+//! pins-report --fuzz REPORT.jsonl       summarize a pins-fuzz report
 //! ```
 //!
-//! Exit codes: `0` success / no regressions, `1` regressions found,
-//! `2` usage or IO error.
+//! Exit codes: `0` success / no regressions or violations, `1` regressions
+//! or fuzz violations found, `2` usage or IO error.
 
-use pins_report::{analyze::Analysis, bench, diff, ingest::Trace, render};
+use pins_report::{analyze::Analysis, bench, diff, fuzz, ingest::Trace, render};
 
 struct Cli {
     traces: Vec<String>,
@@ -22,9 +24,10 @@ struct Cli {
     folded: Option<String>,
     diff: Option<(String, String)>,
     threshold: f64,
+    fuzz: Option<String>,
 }
 
-const USAGE: &str = "usage: pins-report [--bench-json FILE] [--top K] [--folded FILE] TRACE.jsonl...\n       pins-report --diff OLD.json NEW.json [--threshold PCT]";
+const USAGE: &str = "usage: pins-report [--bench-json FILE] [--top K] [--folded FILE] TRACE.jsonl...\n       pins-report --diff OLD.json NEW.json [--threshold PCT]\n       pins-report --fuzz REPORT.jsonl";
 
 fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
@@ -34,6 +37,7 @@ fn parse_cli() -> Result<Cli, String> {
         folded: None,
         diff: None,
         threshold: 20.0,
+        fuzz: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,19 +66,30 @@ fn parse_cli() -> Result<Cli, String> {
                 let new = args.next().ok_or("--diff takes OLD and NEW paths")?;
                 cli.diff = Some((old, new));
             }
+            "--fuzz" => {
+                cli.fuzz = Some(args.next().ok_or("--fuzz takes a report path")?);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag}\n{USAGE}"));
             }
             path => cli.traces.push(path.to_string()),
         }
     }
-    if cli.diff.is_none() && cli.traces.is_empty() && cli.bench_json.is_none() {
+    if cli.diff.is_none() && cli.fuzz.is_none() && cli.traces.is_empty() && cli.bench_json.is_none()
+    {
         return Err(USAGE.to_string());
     }
     Ok(cli)
 }
 
 fn run(cli: &Cli) -> Result<i32, String> {
+    if let Some(path) = &cli.fuzz {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = fuzz::parse_report(&text);
+        print!("{}", fuzz::render(&report));
+        return Ok(if report.has_violations() { 1 } else { 0 });
+    }
+
     if let Some((old_path, new_path)) = &cli.diff {
         let old = bench::read(old_path)?;
         let new = bench::read(new_path)?;

@@ -73,8 +73,11 @@ pub fn ematch_round(
             .copied()
             .unwrap_or(t)
     };
-    // one seed per class, not per term
-    let seeds: Vec<TermId> = repr.values().copied().collect();
+    // one seed per class, not per term; sorted, because seed order decides
+    // which matches land inside the instance/branch caps and hash-map order
+    // would make the instantiated set differ from process to process
+    let mut seeds: Vec<TermId> = repr.values().copied().collect();
+    seeds.sort_unstable();
 
     let mut out = Vec::new();
     for &ax in axioms {
@@ -270,7 +273,8 @@ fn select_triggers(arena: &TermArena, body: TermId, bound: &[(TermId, Sort)]) ->
         }
         candidates.push((s, vars, inner.len()));
     }
-    candidates.sort_by_key(|&(_, _, size)| size);
+    // term id as tie-break: equal-size candidates arrive in hash-set order
+    candidates.sort_by_key(|&(t, _, size)| (size, t));
     for (s, vars, _) in &candidates {
         if vars.len() == bound_set.len() {
             return vec![*s];

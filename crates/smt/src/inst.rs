@@ -130,8 +130,9 @@ fn select_triggers(arena: &TermArena, body: TermId, bound: &[(TermId, Sort)]) ->
         }
         candidates.push((s, vars, inner.len()));
     }
-    // single covering trigger, smallest first
-    candidates.sort_by_key(|&(_, _, size)| size);
+    // single covering trigger, smallest first; term id as tie-break so the
+    // choice does not follow the hash set's per-process iteration order
+    candidates.sort_by_key(|&(t, _, size)| (size, t));
     for (s, vars, _) in &candidates {
         if vars.len() == bound_set.len() {
             return vec![*s];

@@ -3,7 +3,7 @@
 //! multiplications), the interface between the term language and the
 //! simplex core.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pins_logic::{Term, TermArena, TermId};
 
@@ -13,10 +13,14 @@ use pins_logic::{Term, TermArena, TermId};
 /// sets [`overflowed`](Self::overflowed) instead of panicking (or silently
 /// wrapping under `overflow-checks = false`), and the solver degrades such
 /// an expression to an `Unknown(Overflow)` verdict.
+///
+/// The coefficient map is ordered: simplex variable allocation follows the
+/// iteration order of asserted expressions, so an unordered map would make
+/// pivoting — and hence the models found — differ from process to process.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinExpr {
-    /// Coefficients of opaque terms.
-    pub coeffs: HashMap<TermId, i64>,
+    /// Coefficients of opaque terms, ordered by term id.
+    pub coeffs: BTreeMap<TermId, i64>,
     /// The constant offset.
     pub constant: i64,
     /// Set when any step of building the expression overflowed `i64`; the

@@ -234,6 +234,22 @@ impl Verdict {
     pub fn is_sat(self) -> bool {
         matches!(self, Verdict::Sat { .. })
     }
+
+    /// Whether the verdict pins down an answer: `Unsat` (always sound) or a
+    /// complete `Sat`. Budget-degraded results (`Unknown`, incomplete
+    /// `Sat`) are not definitive.
+    pub fn is_definitive(self) -> bool {
+        matches!(self, Verdict::Unsat | Verdict::Sat { complete: true })
+    }
+
+    /// Whether two verdicts for the *same query* are mutually consistent.
+    /// Non-definitive results are compatible with anything; two definitive
+    /// results must agree on sat-vs-unsat. Differential harnesses
+    /// (`pins-fuzz`) flag exactly the pairs for which this is `false` —
+    /// any such pair witnesses a soundness bug in at least one of the runs.
+    pub fn agrees_with(self, other: Verdict) -> bool {
+        !(self.is_definitive() && other.is_definitive() && self.is_unsat() != other.is_unsat())
+    }
 }
 
 /// A process-wide map from normalized query fingerprints to verdicts,

@@ -193,7 +193,7 @@ impl Lia {
     /// rounded inward to multiples of `g`. Detects e.g. `2x - 2y = 1`
     /// directly, which plain branch-and-bound diverges on.
     fn gcd_tighten(&mut self) -> Result<(), Conflict> {
-        let slacks: Vec<(usize, u128)> = self
+        let mut slacks: Vec<(usize, u128)> = self
             .expr_of_slack
             .iter()
             .map(|(&s, expr)| {
@@ -204,6 +204,9 @@ impl Lia {
                 (s, g)
             })
             .collect();
+        // tightening can pivot, so its order shapes the final vertex: keep
+        // it independent of the hash map's per-process iteration order
+        slacks.sort_unstable();
         for (s, g) in slacks {
             if g <= 1 {
                 continue;

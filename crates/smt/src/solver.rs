@@ -685,13 +685,24 @@ impl Smt {
 
         // EUF -> LIA equality propagation: merge arithmetic views of
         // congruent integer terms.
+        // assert the merges in a fixed root order: assertion order shapes
+        // slack creation and pivoting, so hash-map order would make the
+        // model depend on the process. First-appearance order in
+        // `class_terms` keeps the merges adjacent to the assertions that
+        // produced the classes.
         let mut by_root: HashMap<u32, Vec<TermId>> = HashMap::new();
+        let mut roots: Vec<u32> = Vec::new();
         for &(t, root) in class_terms {
             if arena.sort(t).is_int() {
-                by_root.entry(root).or_default().push(t);
+                let members = by_root.entry(root).or_default();
+                if members.is_empty() {
+                    roots.push(root);
+                }
+                members.push(t);
             }
         }
-        for members in by_root.values() {
+        for root in roots {
+            let members = &by_root[&root];
             if members.len() < 2 {
                 continue;
             }
@@ -731,31 +742,57 @@ impl Smt {
         // ---- model-based theory combination ---------------------------------
         // integer terms under uninterpreted/array operators whose LIA values
         // coincide but whose EUF classes differ get a fresh equality atom.
-        let mut shared: Vec<TermId> = Vec::new();
+        // The kids need not be opaque `lvar` atoms: `f(x)` with `x = 2` must
+        // merge with `f(2)`, and `sel(a, y - z)` with `y - z = 3` must merge
+        // with `sel(a, 3)` — any kid whose linear form evaluates under the
+        // LIA assignment takes part. Pairs are restricted to kids that can
+        // occupy *corresponding* congruence positions (same function symbol
+        // and argument index; all array indices together; all update values
+        // together): a merge across unrelated slots can never complete a
+        // congruence, and value-coincidence is transitive, so any pair a
+        // later round needs is regenerated within its own slot.
+        const SLOT_SEL_UPD_IDX: u64 = 1;
+        const SLOT_UPD_VAL: u64 = 2;
+        const SLOT_APP_BASE: u64 = 3;
+        let mut shared: Vec<(u64, i64, TermId)> = Vec::new();
         {
             let mut seen = HashSet::new();
-            for &(t, _) in class_terms {
-                let kids: Vec<TermId> = match arena.term(t) {
-                    Term::App(_, args) => args.clone(),
-                    Term::Sel(a, i) => vec![*a, *i],
-                    Term::Upd(a, i, v) => vec![*a, *i, *v],
-                    _ => continue,
-                };
-                for k in kids {
-                    if arena.sort(k).is_int() && lvar.contains_key(&k) && seen.insert(k) {
-                        shared.push(k);
+            let mut add = |arena: &TermArena, slot: u64, k: TermId, seen: &mut HashSet<_>| {
+                if arena.sort(k).is_int() && seen.insert((slot, k)) {
+                    if let Some(v) = eval_int(arena, k, &lvar, &lia) {
+                        shared.push((slot, v, k));
                     }
+                }
+            };
+            for &(t, _) in class_terms {
+                match arena.term(t) {
+                    Term::App(f, args) => {
+                        let (f, args) = (*f, args.clone());
+                        for (pos, k) in args.into_iter().enumerate() {
+                            let slot = SLOT_APP_BASE + ((f.index() as u64) << 16) + pos as u64;
+                            add(arena, slot, k, &mut seen);
+                        }
+                    }
+                    Term::Sel(_, i) => add(arena, SLOT_SEL_UPD_IDX, *i, &mut seen),
+                    Term::Upd(_, i, v) => {
+                        let (i, v) = (*i, *v);
+                        add(arena, SLOT_SEL_UPD_IDX, i, &mut seen);
+                        add(arena, SLOT_UPD_VAL, v, &mut seen);
+                    }
+                    _ => continue,
                 }
             }
         }
+        shared.sort_unstable();
         let mut new_atoms = Vec::new();
         for i in 0..shared.len() {
             for j in (i + 1)..shared.len() {
-                let (s, t) = (shared[i], shared[j]);
-                if lia.value(lvar[&s]) != lia.value(lvar[&t]) {
-                    continue;
+                let (slot_s, val_s, s) = shared[i];
+                let (slot_t, val_t, t) = shared[j];
+                if slot_s != slot_t || val_s != val_t {
+                    break; // sorted: the (slot, value) group ends here
                 }
-                if euf.same_class(s, t) {
+                if s == t || euf.same_class(s, t) {
                     continue;
                 }
                 let key = (s.min(t), s.max(t));
@@ -788,6 +825,26 @@ impl Smt {
                 model.complete = false;
             }
         }
+        // nonlinear products enter LIA as opaque atoms with no product
+        // axioms, so the assignment may give one a value unrelated to its
+        // operands' actual product; a model where that happens only
+        // satisfies the linear abstraction, not the formula
+        for &t in lvar.keys() {
+            if let Term::Mul(a, b) = arena.term(t) {
+                let (a, b) = (*a, *b);
+                let got = model.ints.get(&t).copied();
+                let product = match (
+                    eval_lin(arena, a, &lvar, &lia),
+                    eval_lin(arena, b, &lvar, &lia),
+                ) {
+                    (Some(va), Some(vb)) => va.checked_mul(vb),
+                    _ => None,
+                };
+                if product.is_none() || product != got {
+                    model.complete = false;
+                }
+            }
+        }
         for &(atom, value, _) in assignment {
             model.bools.insert(atom, value);
         }
@@ -817,6 +874,32 @@ impl Smt {
             }
         }
         Outcome::Ok(Box::new(model))
+    }
+}
+
+/// Evaluates an integer term *semantically* under the LIA assignment:
+/// arithmetic is computed structurally (so a nonlinear product evaluates to
+/// the actual product of its operands, not to whatever value its opaque LIA
+/// atom happened to receive), and only true leaves — variables, `sel`s,
+/// applications — read the assignment through their linear form. Model-based
+/// theory combination must use this view, because the independent model
+/// evaluation it guards against computes products the same way.
+fn eval_int(arena: &TermArena, t: TermId, lvar: &HashMap<TermId, usize>, lia: &Lia) -> Option<i64> {
+    match arena.term(t) {
+        Term::IntConst(v) => Some(*v),
+        Term::Add(a, b) => {
+            let (a, b) = (*a, *b);
+            eval_int(arena, a, lvar, lia)?.checked_add(eval_int(arena, b, lvar, lia)?)
+        }
+        Term::Sub(a, b) => {
+            let (a, b) = (*a, *b);
+            eval_int(arena, a, lvar, lia)?.checked_sub(eval_int(arena, b, lvar, lia)?)
+        }
+        Term::Mul(a, b) => {
+            let (a, b) = (*a, *b);
+            eval_int(arena, a, lvar, lia)?.checked_mul(eval_int(arena, b, lvar, lia)?)
+        }
+        _ => eval_lin(arena, t, lvar, lia),
     }
 }
 

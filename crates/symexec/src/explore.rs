@@ -104,6 +104,16 @@ pub struct PathResult {
     pub key: TermId,
 }
 
+impl PathResult {
+    /// The final SSA version of `v` on this path (0 when the path never
+    /// assigns it). `SymCtx::var_term(v, final_version(v))` is the term
+    /// denoting `v`'s value at path exit — the handle differential
+    /// harnesses use to compare symbolic exit states against concrete runs.
+    pub fn final_version(&self, v: VarId) -> u32 {
+        version_of(&self.final_vmap, v)
+    }
+}
+
 #[derive(Clone)]
 struct State<'p> {
     frames: Vec<(&'p [Stmt], usize)>,

@@ -42,6 +42,7 @@ pub use pins_bmc as bmc;
 pub use pins_budget as budget;
 pub use pins_cegis as cegis;
 pub use pins_core as core;
+pub use pins_fuzz as fuzz;
 pub use pins_ir as ir;
 pub use pins_logic as logic;
 pub use pins_mining as mining;

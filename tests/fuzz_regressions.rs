@@ -1,0 +1,270 @@
+//! Regression pins for solver defects surfaced by `pins-fuzz` differential
+//! fuzzing, plus hand-built adversarial inputs the generators are known to
+//! reach only rarely.
+//!
+//! Each pinned tape is a replayable fuzz artifact (`pins-fuzz --oracle NAME
+//! --tape HEX` reproduces it from the command line). They are kept verbatim:
+//! a tape re-generates the exact formula that exposed the original bug, so
+//! these tests fail loudly if any of the fixes regress.
+
+use pins::fuzz::eval::check_model;
+use pins::fuzz::{fuzz_smt_config, run_oracle, Decisions, OracleKind, Tape};
+use pins::logic::{Sort, TermArena, TermId};
+use pins::smt::{Smt, SmtResult};
+
+fn assert_tape_clean(oracle: OracleKind, tape_hex: &str) {
+    let tape = Tape::from_hex(tape_hex).expect("pinned tape must parse");
+    let mut d = Decisions::replay(&tape);
+    let out = run_oracle(oracle, &mut d);
+    assert!(
+        out.violations.is_empty(),
+        "pinned tape regressed ({}): {:?}",
+        out.detail,
+        out.violations
+    );
+}
+
+// ---------------------------------------------------------------------------
+// pinned fuzz findings
+// ---------------------------------------------------------------------------
+
+/// Finding 1: nonlinear products are opaque LIA atoms with no product
+/// axioms, and the solver used to return `Sat { complete: true }` with
+/// `x0 = 0` yet `x0 * x0 = i64::MAX` for `i64::MAX <= x0 + x0*x0`. Models
+/// whose nonlinear atoms contradict the actual product must not claim
+/// completeness.
+#[test]
+fn nonlinear_product_model_is_not_claimed_complete() {
+    assert_tape_clean(
+        OracleKind::ModelEval,
+        "0.0.0.0.0.0.3.2.5.1.1.0.1.0.0.0.0.0.0.0.0.0.0.0.0.0.2.1.0.4.1.0.0.1.0.0",
+    );
+}
+
+/// Finding 2: `f(x0)` with `x0 = 2` was never merged with `f(2)` — integer
+/// constants are folded away by linearization, so model-based theory
+/// combination skipped them and the model interpreted `f` inconsistently at
+/// the same argument value.
+#[test]
+fn constant_argument_euf_applications_are_merged() {
+    assert_tape_clean(
+        OracleKind::ModelEval,
+        "0.1.0.1.0.2.3.5.0.2.5.1.0.1.0.1.0.6.0.0.9.5.5.1.0.1.0.1.0.6.0.0.1.2.2.2.0.7.\
+         6.5.1.0.0.6.3.0.b.4.0.4.6.2.1.1.3.6.0.1.0.0.7.5.2.0.2.0.5.4.1.0.0",
+    );
+}
+
+/// Finding 3: the same hole for compound indices — `sel(a, x2 - x1)` with
+/// `x2 - x1 = 3` was never merged with `sel(a, 3)`, so the model read two
+/// different values from one array cell.
+#[test]
+fn computed_array_indices_are_merged_with_constant_indices() {
+    assert_tape_clean(
+        OracleKind::ModelEval,
+        "2.1.0.2.1.1.2.3.5.1.0.1.0.0.8.1.3.1.2.1.1.1.1.2.2.3.2.5.0.0.2.6.1.0.0.4.0.0",
+    );
+}
+
+/// Findings 4–6: further congruence splits over EUF applications whose
+/// arguments only coincide through arithmetic (including an i64-boundary
+/// variant that must now degrade to `Sat { complete: false }` rather than
+/// report a self-contradictory complete model).
+#[test]
+fn remaining_congruence_findings_stay_clean() {
+    for tape in [
+        "2.2.0.1.1.3.0.0.0.3.2.0.a.1.7.2.2.1.0.1.1.0.8.4.1.6.0.2.1.1.1.1.3.7.0.0.0.5.\
+         6.0.1.1.0.0.5.0.3.2.6.0.1.0.0.0.0.0.0.0.0",
+        "1.2.0.1.1.3.3.4.2.7.0.0.6.0.1.1.2.0.7.3.0.0.0.3.4.0.2.3.1.9.0.1.1.0.2.2.4.4.\
+         0.5.0.0.0.0.5.2.7.2.6.0.2.1.1.1.0.0.2.0.1.0.3.1.1.1.0.0",
+        "0.0.0.0.0.4.1.3.7.0.0.1.0.0.4.5.4.1.0.0.1.0.2.1.0.0.1.5.0.6.0.0.1.1.1.0.6.1.\
+         1.0.0.0.0.0.0.1.2.6.1.0.0.5.1.4.1.0.0.1.1.0.1.5.0.4.0.1.1.1.1.0.2.2.6.0.4.1.\
+         0.3.3.5.3.6.0.1.0.0.0.0.0",
+    ] {
+        assert_tape_clean(OracleKind::ModelEval, tape);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// adversarial hand-built cases
+// ---------------------------------------------------------------------------
+
+fn check_complete_sat(arena: &TermArena, asserts: &[TermId], result: &SmtResult) {
+    if let SmtResult::Sat(m) = result {
+        if m.complete {
+            let res = check_model(arena, asserts, m);
+            assert!(
+                res.ok(),
+                "complete model fails independent evaluation: falsified={:?} euf={:?}",
+                res.falsified,
+                res.euf_conflicts
+            );
+        }
+    }
+}
+
+/// A deep read-over-write chain: forty nested stores at distinct constant
+/// indices, then reads that must resolve through the whole chain. Asserting
+/// the correct value is satisfiable; asserting an off-by-one value must be
+/// refuted.
+#[test]
+fn deep_read_over_write_chain_resolves_exactly() {
+    const DEPTH: i64 = 40;
+    let build = |expected: i64| {
+        let mut arena = TermArena::new();
+        let a = arena.sym("a");
+        let mut chain = arena.mk_var(a, 0, Sort::IntArray);
+        for k in 0..DEPTH {
+            let i = arena.mk_int(k);
+            let v = arena.mk_int(2 * k);
+            chain = arena.mk_upd(chain, i, v);
+        }
+        // index 5 was overwritten at step 5 and never again
+        let idx = arena.mk_int(5);
+        let read = arena.mk_sel(chain, idx);
+        let want = arena.mk_int(expected);
+        let eq = arena.mk_eq(read, want);
+        (arena, eq)
+    };
+
+    let (mut arena, eq) = build(10);
+    let mut smt = Smt::new(fuzz_smt_config());
+    smt.assert_term(&mut arena, eq);
+    let r = smt.check(&mut arena);
+    assert!(
+        matches!(r, SmtResult::Sat(_)),
+        "sel over 40-deep store chain must find the written value: {r:?}"
+    );
+    check_complete_sat(&arena, &[eq], &r);
+
+    let (mut arena, eq) = build(11);
+    let mut smt = Smt::new(fuzz_smt_config());
+    smt.assert_term(&mut arena, eq);
+    let r = smt.check(&mut arena);
+    assert!(
+        matches!(r, SmtResult::Unsat),
+        "wrong value must be refuted through the whole chain: {r:?}"
+    );
+}
+
+/// i64-boundary LIA constants: tight satisfiable and unsatisfiable windows
+/// at `i64::MAX` / `i64::MIN` must produce correct verdicts (or degrade to
+/// `Unknown`), never a wrong definitive answer or a wrapped model value.
+#[test]
+fn i64_boundary_constants_do_not_wrap() {
+    // MAX-1 <= x <= MAX: satisfiable, and any complete model must check out
+    let mut arena = TermArena::new();
+    let x = arena.sym("x");
+    let vx = arena.mk_var(x, 0, Sort::Int);
+    let lo = arena.mk_int(i64::MAX - 1);
+    let hi = arena.mk_int(i64::MAX);
+    let a1 = arena.mk_le(lo, vx);
+    let a2 = arena.mk_le(vx, hi);
+    let mut smt = Smt::new(fuzz_smt_config());
+    smt.assert_term(&mut arena, a1);
+    smt.assert_term(&mut arena, a2);
+    let r = smt.check(&mut arena);
+    assert!(
+        !matches!(r, SmtResult::Unsat),
+        "[MAX-1, MAX] is non-empty: {r:?}"
+    );
+    check_complete_sat(&arena, &[a1, a2], &r);
+
+    // MAX <= x < MAX (empty window): must not be satisfiable
+    let mut arena = TermArena::new();
+    let x = arena.sym("x");
+    let vx = arena.mk_var(x, 0, Sort::Int);
+    let max = arena.mk_int(i64::MAX);
+    let a1 = arena.mk_le(max, vx);
+    let a2 = arena.mk_lt(vx, max);
+    let mut smt = Smt::new(fuzz_smt_config());
+    smt.assert_term(&mut arena, a1);
+    smt.assert_term(&mut arena, a2);
+    match smt.check(&mut arena) {
+        SmtResult::Sat(m) => {
+            assert!(!m.complete, "empty window cannot have a complete model");
+        }
+        SmtResult::Unsat | SmtResult::Unknown(_) => {}
+    }
+
+    // x <= MIN and x >= MIN pins x exactly; the model must not saturate away
+    let mut arena = TermArena::new();
+    let x = arena.sym("x");
+    let vx = arena.mk_var(x, 0, Sort::Int);
+    let min = arena.mk_int(i64::MIN);
+    let a1 = arena.mk_le(vx, min);
+    let a2 = arena.mk_le(min, vx);
+    let mut smt = Smt::new(fuzz_smt_config());
+    smt.assert_term(&mut arena, a1);
+    smt.assert_term(&mut arena, a2);
+    if let SmtResult::Sat(m) = smt.check(&mut arena) {
+        if m.complete {
+            assert_eq!(m.ints.get(&vx), Some(&i64::MIN));
+        }
+    }
+}
+
+/// Unit-clause-only CNF: a conjunction of bare boolean literals exercises
+/// the propagation-only path of the SAT core (no decisions at all). The
+/// model must reproduce every literal, and one flipped duplicate must flip
+/// the verdict to Unsat.
+#[test]
+fn unit_clause_only_cnf_propagates_exactly() {
+    let mut arena = TermArena::new();
+    let mut asserts = Vec::new();
+    let mut vars = Vec::new();
+    for i in 0..12u32 {
+        let s = arena.sym(&format!("b{i}"));
+        let v = arena.mk_var(s, 0, Sort::Bool);
+        vars.push(v);
+        let lit = if i % 3 == 0 { arena.mk_not(v) } else { v };
+        asserts.push(lit);
+    }
+    let mut smt = Smt::new(fuzz_smt_config());
+    for &a in &asserts {
+        smt.assert_term(&mut arena, a);
+    }
+    match smt.check(&mut arena) {
+        SmtResult::Sat(m) => {
+            for (i, &v) in vars.iter().enumerate() {
+                let want = i % 3 != 0;
+                assert_eq!(
+                    m.bools.get(&v),
+                    Some(&want),
+                    "unit literal b{i} must be forced to {want}"
+                );
+            }
+            check_model(&arena, &asserts, &m);
+        }
+        other => panic!("unit-only CNF is satisfiable: {other:?}"),
+    }
+
+    // add the negation of one asserted unit: now trivially unsat
+    let contra = arena.mk_not(asserts[1]);
+    let mut smt = Smt::new(fuzz_smt_config());
+    for &a in &asserts {
+        smt.assert_term(&mut arena, a);
+    }
+    smt.assert_term(&mut arena, contra);
+    assert!(matches!(smt.check(&mut arena), SmtResult::Unsat));
+}
+
+/// Determinism pin: one full generator + oracle round-robin pass over a
+/// fixed seed must produce identical outcomes when repeated in-process.
+/// (Cross-process determinism is covered by the CI fuzz-smoke job, which
+/// compares report bytes across two runs.)
+#[test]
+fn oracle_replay_is_deterministic_in_process() {
+    for oracle in pins::fuzz::ALL_ORACLES {
+        let mut rec = Decisions::record(0xfeed_5eed);
+        let first = run_oracle(oracle, &mut rec);
+        let tape = rec.tape();
+        let mut rep = Decisions::replay(&tape);
+        let second = run_oracle(oracle, &mut rep);
+        assert_eq!(
+            first.violations, second.violations,
+            "{oracle:?}: replay diverged from recording"
+        );
+        assert_eq!(first.skipped, second.skipped, "{oracle:?}");
+        assert_eq!(first.detail, second.detail, "{oracle:?}");
+    }
+}

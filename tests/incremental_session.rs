@@ -191,6 +191,76 @@ fn histogram_merge_is_identical_serial_vs_forked_threads() {
 }
 
 #[test]
+fn cache_counters_partition_queries_under_fuzz_load() {
+    // adversarial load: a few hundred fuzz-generated formulas, each queried
+    // as a growing assumption prefix, the whole batch repeated once, and a
+    // forked worker replaying a slice concurrently. Every query must land in
+    // exactly one of {hit, miss} — the partition may not drift under
+    // generated (rather than benchmark-shaped) traffic.
+    use pins::fuzz::genf::{gen_formula, FormulaConfig};
+    use pins::fuzz::{fuzz_smt_config, Decisions};
+    use pins::smt::{QueryCache, SessionStats};
+    use std::sync::Arc;
+
+    let registry = MetricsRegistry::new();
+    let cache = Arc::new(QueryCache::new());
+    let mut session = SmtSession::with_cache(fuzz_smt_config(), Arc::clone(&cache));
+    session.bind_metrics(&registry, "fuzzload");
+
+    let formulas: Vec<_> = (0..60u64)
+        .map(|seed| {
+            let mut d = Decisions::record(seed);
+            gen_formula(&mut d, FormulaConfig::default())
+        })
+        .collect();
+
+    let mut issued = 0u64;
+    for _round in 0..2 {
+        for f in &formulas {
+            let mut arena = f.arena.clone();
+            for end in 1..=f.asserts.len() {
+                let _ = session.verdict_under(&mut arena, &f.asserts[..end]);
+                issued += 1;
+            }
+        }
+    }
+
+    // a forked worker shares both the cache and the metric cells
+    let mut worker = session.fork();
+    let worker_issued: u64 = std::thread::spawn(move || {
+        let mut n = 0u64;
+        for seed in 0..20u64 {
+            let mut d = Decisions::record(seed);
+            let f = gen_formula(&mut d, FormulaConfig::default());
+            let mut arena = f.arena.clone();
+            let _ = worker.verdict_under(&mut arena, &f.asserts);
+            n += 1;
+        }
+        n
+    })
+    .join()
+    .expect("worker must not panic");
+
+    let stats = SessionStats::from_registry(&registry, "fuzzload");
+    assert_eq!(
+        stats.queries,
+        issued + worker_issued,
+        "every issued query must be counted exactly once"
+    );
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        stats.queries,
+        "hits and misses must partition the query count exactly"
+    );
+    // the cache is private to this test, so its own counters must agree
+    // with the session view
+    assert_eq!(cache.hits(), stats.cache_hits);
+    assert_eq!(cache.misses(), stats.cache_misses);
+    // the second identical round guarantees repeats actually hit
+    assert!(stats.cache_hits > 0, "repeated round saw no cache hits");
+}
+
+#[test]
 fn invert_facade_synthesizes_doubling_inverse() {
     let original = r#"
 proc dbl(in n: int, out m: int) {
