@@ -15,7 +15,7 @@ use pins_budget::Budget;
 use pins_ir::{run as interp_run, ExternEnv, InterpError, Store, Value};
 use pins_ir::{Mode, Type, VarId};
 use pins_logic::TermId;
-use pins_smt::{QueryCache, Smt, SmtConfig, SmtResult, SmtSession, Verdict};
+use pins_smt::{CoreSlot, QueryCache, Smt, SmtConfig, SmtResult, SmtSession, Verdict};
 use pins_symexec::{EmptyFiller, ExploreConfig, Explorer, SymCtx};
 
 use crate::eval::{check_model, enumerate_sat};
@@ -23,7 +23,7 @@ use crate::genf::{gen_formula, FormulaConfig, GenFormula};
 use crate::genp::{gen_program, ProgramConfig};
 use crate::tape::Decisions;
 
-/// The six differential oracles.
+/// The seven differential oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OracleKind {
     /// `Sat` verdicts: the returned model must satisfy the formula under an
@@ -43,16 +43,20 @@ pub enum OracleKind {
     InterpSymexec,
     /// Budget-degraded runs must never contradict an unbudgeted run.
     Budget,
+    /// Every extracted unsat core must itself be unsat when its members are
+    /// re-solved fresh (core-tracking soundness).
+    Core,
 }
 
 /// All oracles, in the round-robin order the driver uses.
-pub const ALL_ORACLES: [OracleKind; 6] = [
+pub const ALL_ORACLES: [OracleKind; 7] = [
     OracleKind::ModelEval,
     OracleKind::EnumUnsat,
     OracleKind::Cache,
     OracleKind::Parallel,
     OracleKind::InterpSymexec,
     OracleKind::Budget,
+    OracleKind::Core,
 ];
 
 impl OracleKind {
@@ -65,6 +69,7 @@ impl OracleKind {
             OracleKind::Parallel => "parallel",
             OracleKind::InterpSymexec => "interp-symexec",
             OracleKind::Budget => "budget",
+            OracleKind::Core => "core",
         }
     }
 
@@ -141,6 +146,7 @@ pub fn run_oracle(kind: OracleKind, d: &mut Decisions) -> OracleOutcome {
         OracleKind::Parallel => parallel_agreement(d),
         OracleKind::InterpSymexec => interp_vs_symexec(d),
         OracleKind::Budget => budget_compat(d),
+        OracleKind::Core => core_soundness(d),
     }
 }
 
@@ -497,6 +503,73 @@ fn budget_compat(d: &mut Decisions) -> OracleOutcome {
             )],
             verdict_name(full),
         )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 7. core
+// ---------------------------------------------------------------------------
+
+fn core_soundness(d: &mut Decisions) -> OracleOutcome {
+    let mut f = gen_formula(d, FormulaConfig::default());
+    let mut session = SmtSession::with_cache(fuzz_smt_config(), Arc::new(QueryCache::new()));
+    let v = session.verdict_under(&mut f.arena, &f.asserts);
+    if !v.is_unsat() {
+        return OracleOutcome::skip(verdict_name(v));
+    }
+    let core = match session.last_unsat_core() {
+        Some(c) => c.clone(),
+        None => {
+            return OracleOutcome::fail(
+                vec!["unsat verdict carried no core with tracking on".to_owned()],
+                "unsat",
+            )
+        }
+    };
+    // generated formulas have no axioms, so unsatisfiability must come from
+    // the asserted formulas themselves: an empty core is a tracking bug
+    if core.is_empty() {
+        return OracleOutcome::fail(
+            vec!["empty core for an axiom-free unsat query".to_owned()],
+            "unsat",
+        );
+    }
+    let mut members: Vec<TermId> = Vec::with_capacity(core.len());
+    for m in &core.members {
+        match m.slot {
+            CoreSlot::Assumption(i) if i < f.asserts.len() => members.push(f.asserts[i]),
+            slot => {
+                return OracleOutcome::fail(
+                    vec![format!(
+                        "core member resolves to a nonexistent slot {slot:?}"
+                    )],
+                    "unsat",
+                )
+            }
+        }
+    }
+    // the defining property: the members alone must re-solve to unsat.
+    // Budget-degraded re-solves are inconclusive, not violations.
+    let mut smt = Smt::new(fuzz_smt_config());
+    for &t in &members {
+        smt.assert_term(&mut f.arena, t);
+    }
+    match smt.check(&mut f.arena) {
+        SmtResult::Unsat => OracleOutcome::pass(if core.exact {
+            "unsat"
+        } else {
+            "unsat-fallback"
+        }),
+        SmtResult::Sat(m) if m.complete => OracleOutcome::fail(
+            vec![format!(
+                "core of {} member(s) re-solves to sat (exact={})",
+                core.len(),
+                core.exact
+            )],
+            "unsat",
+        ),
+        SmtResult::Sat(_) => OracleOutcome::skip("core-sat-incomplete"),
+        SmtResult::Unknown(_) => OracleOutcome::skip("core-unknown"),
     }
 }
 

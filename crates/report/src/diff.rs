@@ -144,6 +144,10 @@ fn compare_num(
     let severity = match delta_pct {
         Some(pct) if past_floor && pct > threshold_pct => Severity::Regression,
         Some(pct) if past_floor && pct < -threshold_pct => Severity::Improvement,
+        // zero baseline: there is no percentage to divide by, but cost
+        // appearing from nothing past the noise floor is a regression, not
+        // a silent pass
+        None if past_floor && new > old => Severity::Regression,
         _ => Severity::Unchanged,
     };
     report.entries.push(DiffEntry {
@@ -213,6 +217,50 @@ mod tests {
         let report = diff(&old, &new, 20.0);
         assert!(report.has_regressions());
         assert_eq!(report.regressions().next().unwrap().metric, "verdict");
+    }
+
+    /// Regression test: a zero-baseline metric that grows past the noise
+    /// floor must fail the gate, not divide by zero or silently pass.
+    #[test]
+    fn growth_from_a_zero_baseline_regresses_instead_of_passing_silently() {
+        let old = vec![row("Σi", "solved", 0.0, 0)];
+        let new = vec![row("Σi", "solved", 500.0, 200)];
+        let report = diff(&old, &new, 20.0);
+        let metrics: Vec<&str> = report.regressions().map(|r| r.metric).collect();
+        assert!(metrics.contains(&"wall_ms"), "got {metrics:?}");
+        assert!(metrics.contains(&"smt_queries"), "got {metrics:?}");
+        for r in report.regressions() {
+            assert_eq!(r.delta_pct, None, "no finite percentage from zero");
+        }
+        // the rendered row must show the undefined delta, not panic or "-"
+        let text = crate::render::diff_report(&report, 20.0);
+        assert!(text.contains("+inf%"), "rendered:\n{text}");
+    }
+
+    /// Zero-baseline growth below the noise floor stays unchanged.
+    #[test]
+    fn zero_baseline_jitter_below_the_floor_is_ignored() {
+        let old = vec![row("Σi", "solved", 0.0, 0)];
+        let new = vec![row("Σi", "solved", 50.0, 10)];
+        assert!(!diff(&old, &new, 20.0).has_regressions());
+    }
+
+    /// Unmatched benchmarks must surface as a prominent warning in the
+    /// rendered report, not a footnote that is easy to miss.
+    #[test]
+    fn unmatched_benchmarks_render_a_warning() {
+        let old = vec![row("Σi", "solved", 1000.0, 100)];
+        let new = vec![
+            row("Σi", "solved", 1000.0, 100),
+            row("Vector shift", "solved", 100.0, 10),
+        ];
+        let report = diff(&old, &new, 20.0);
+        let text = crate::render::diff_report(&report, 20.0);
+        assert!(
+            text.contains("WARNING") && text.contains("NOT gated"),
+            "rendered:\n{text}"
+        );
+        assert!(text.contains("Vector shift (candidate only)"));
     }
 
     #[test]

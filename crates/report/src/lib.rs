@@ -14,6 +14,10 @@
 //! * **Regression gating** — `--diff OLD NEW` compares two
 //!   `BENCH_pins.json` reports against a relative threshold and exits
 //!   non-zero on regressions; CI runs it against a committed baseline.
+//! * **Solver forensics** — `--xray` renders the incrementality
+//!   scoreboard, cache-miss-cause breakdown, and top-K unsat cores from
+//!   the pins-xray instrumentation (see [`xray`]), optionally archiving
+//!   the machine-readable form with `--xray-json`.
 //!
 //! Ingestion is deliberately paranoid: traces from crashed or concurrent
 //! runs are expected, so malformed lines are counted and skipped (see
@@ -41,9 +45,11 @@ pub mod diff;
 pub mod fuzz;
 pub mod ingest;
 pub mod render;
+pub mod xray;
 
 pub use analyze::{Analysis, LayerLatency, OriginCost, TopQuery};
 pub use bench::BenchRow;
 pub use diff::{diff, DiffReport, Severity};
 pub use fuzz::{parse_report as parse_fuzz_report, FuzzReport};
 pub use ingest::{IngestStats, Trace, TraceEvent};
+pub use xray::{BenchXray, CoreStat, XrayReport};

@@ -10,12 +10,17 @@
 //!   --threshold PCT                     allowed growth in % (default 20)
 //!
 //! pins-report --fuzz REPORT.jsonl       summarize a pins-fuzz report
+//!
+//! pins-report --xray TRACE.jsonl...     solver forensics from a trace
+//!   --delta-k N                         scoreboard delta bound (default 4)
+//!   --xray-json FILE                    also write the JSON artifact
+//!   --top K                             top-K unsat cores (default 10)
 //! ```
 //!
 //! Exit codes: `0` success / no regressions or violations, `1` regressions
 //! or fuzz violations found, `2` usage or IO error.
 
-use pins_report::{analyze::Analysis, bench, diff, fuzz, ingest::Trace, render};
+use pins_report::{analyze::Analysis, bench, diff, fuzz, ingest::Trace, render, xray};
 
 struct Cli {
     traces: Vec<String>,
@@ -25,9 +30,12 @@ struct Cli {
     diff: Option<(String, String)>,
     threshold: f64,
     fuzz: Option<String>,
+    xray: bool,
+    delta_k: u64,
+    xray_json: Option<String>,
 }
 
-const USAGE: &str = "usage: pins-report [--bench-json FILE] [--top K] [--folded FILE] TRACE.jsonl...\n       pins-report --diff OLD.json NEW.json [--threshold PCT]\n       pins-report --fuzz REPORT.jsonl";
+const USAGE: &str = "usage: pins-report [--bench-json FILE] [--top K] [--folded FILE] TRACE.jsonl...\n       pins-report --diff OLD.json NEW.json [--threshold PCT]\n       pins-report --fuzz REPORT.jsonl\n       pins-report --xray [--delta-k N] [--xray-json FILE] [--top K] TRACE.jsonl...";
 
 fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
@@ -38,6 +46,9 @@ fn parse_cli() -> Result<Cli, String> {
         diff: None,
         threshold: 20.0,
         fuzz: None,
+        xray: false,
+        delta_k: pins_report::xray::DEFAULT_DELTA_K,
+        xray_json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -68,6 +79,16 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--fuzz" => {
                 cli.fuzz = Some(args.next().ok_or("--fuzz takes a report path")?);
+            }
+            "--xray" => cli.xray = true,
+            "--delta-k" => {
+                cli.delta_k = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--delta-k takes an atom count")?;
+            }
+            "--xray-json" => {
+                cli.xray_json = Some(args.next().ok_or("--xray-json takes a path")?);
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag}\n{USAGE}"));
@@ -102,6 +123,18 @@ fn run(cli: &Cli) -> Result<i32, String> {
     for path in &cli.traces {
         trace.absorb(Trace::from_file(path)?);
     }
+
+    if cli.xray {
+        let report = xray::XrayReport::from_trace(&trace, cli.delta_k);
+        print!("{}", xray::render(&report, cli.top));
+        if let Some(path) = &cli.xray_json {
+            let text = report.to_json(cli.top);
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote xray JSON to {path}");
+        }
+        return Ok(0);
+    }
+
     let bench_rows = match &cli.bench_json {
         Some(path) => bench::read(path)?,
         None => Vec::new(),

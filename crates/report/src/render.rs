@@ -161,10 +161,13 @@ pub fn diff_report(report: &DiffReport, threshold_pct: f64) -> String {
     )
     .unwrap();
     for e in &report.entries {
-        let delta = e
-            .delta_pct
-            .map(|p| format!("{p:+.1}%"))
-            .unwrap_or_else(|| "-".to_string());
+        let delta = match (e.delta_pct, e.severity) {
+            (Some(p), _) => format!("{p:+.1}%"),
+            // zero-baseline regression: growth from nothing has no finite
+            // percentage
+            (None, Severity::Regression) => "+inf%".to_string(),
+            (None, _) => "-".to_string(),
+        };
         let status = match e.severity {
             Severity::Regression => "REGRESSION",
             Severity::Improvement => "improved",
@@ -177,8 +180,17 @@ pub fn diff_report(report: &DiffReport, threshold_pct: f64) -> String {
         )
         .unwrap();
     }
-    for u in &report.unmatched {
-        writeln!(s, "note: unmatched benchmark: {u}").unwrap();
+    if !report.unmatched.is_empty() {
+        writeln!(
+            s,
+            "WARNING: {} benchmark(s) present in only one report — their \
+             metrics were NOT gated:",
+            report.unmatched.len()
+        )
+        .unwrap();
+        for u in &report.unmatched {
+            writeln!(s, "  {u}").unwrap();
+        }
     }
     let n = report.regressions().count();
     if n > 0 {

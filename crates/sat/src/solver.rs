@@ -124,6 +124,9 @@ pub struct Solver {
     seen: Vec<bool>,
     ok: bool,
     max_learnts: f64,
+    /// Assumption literals responsible for the most recent
+    /// [`SolveResult::Unsat`] answer (see [`Solver::assumption_core`]).
+    assumption_core: Vec<Lit>,
     /// Work budget charged per conflict and per decision.
     budget: Budget,
     /// Statistics: total conflicts encountered.
@@ -163,6 +166,7 @@ impl Solver {
             seen: Vec::new(),
             ok: true,
             max_learnts: 1000.0,
+            assumption_core: Vec::new(),
             budget: Budget::unlimited(),
             conflicts: 0,
             decisions: 0,
@@ -566,6 +570,57 @@ impl Solver {
         None
     }
 
+    /// The assumption literals responsible for the most recent
+    /// [`SolveResult::Unsat`] answer: a subset of the `assumptions` passed to
+    /// [`Solver::solve_with_assumptions`] whose conjunction with the clause
+    /// set is already unsatisfiable. Empty means the clauses alone are unsat
+    /// (no assumption needed). Overwritten by every solve call.
+    pub fn assumption_core(&self) -> &[Lit] {
+        &self.assumption_core
+    }
+
+    /// Conflict analysis against a falsified assumption `p` (MiniSat's
+    /// `analyzeFinal`): walks the trail backwards from the first decision,
+    /// expanding reason clauses, and collects the assumption decisions the
+    /// conflict ultimately rests on. Returns them as assumption literals
+    /// (including `p` itself).
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        self.seen[p.var().index()] = true;
+        let start = self.trail_lim[0];
+        for idx in (start..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            self.seen[v] = false;
+            match self.reason[v] {
+                // a seen decision above level 0 is an assumption enqueue
+                None => core.push(l),
+                Some(cref) => {
+                    let lits = self.clauses[cref as usize].lits.clone();
+                    for &q in &lits[1..] {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.seen[p.var().index()] = false;
+        // defensive: clear any marks left below the walked range
+        for l in &self.trail[..start] {
+            self.seen[l.var().index()] = false;
+        }
+        core.sort_unstable();
+        core.dedup();
+        core
+    }
+
     /// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
     fn luby(mut x: u64) -> u64 {
         let mut size = 1u64;
@@ -630,6 +685,7 @@ impl Solver {
     /// The CDCL search loop behind [`Solver::solve_with_assumptions`].
     fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.cancel_until(0);
+        self.assumption_core.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -644,6 +700,19 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.conflicts += 1;
                 conflicts_this_restart += 1;
+                // timeline sample: every 256th conflict process-wide, so a
+                // long solve leaves a sparse trail of search-shape events
+                // while the disabled path stays a single masked branch
+                if self.conflicts & 0xFF == 0 {
+                    pins_trace::point("sat.conflict.sample", || {
+                        vec![
+                            ("conflicts", self.conflicts.into()),
+                            ("level", (self.decision_level() as u64).into()),
+                            ("trail", (self.trail.len() as u64).into()),
+                            ("learnts", (self.learnt_refs.len() as u64).into()),
+                        ]
+                    });
+                }
                 if let Err(reason) = self.budget.charge(1) {
                     return SolveResult::Interrupted(reason);
                 }
@@ -671,6 +740,13 @@ impl Solver {
                 if conflicts_this_restart >= conflicts_until_restart {
                     restart_count += 1;
                     self.restarts += 1;
+                    pins_trace::point("sat.restart", || {
+                        vec![
+                            ("restart", restart_count.into()),
+                            ("conflicts", self.conflicts.into()),
+                            ("learnts", (self.learnt_refs.len() as u64).into()),
+                        ]
+                    });
                     conflicts_until_restart = 100 * Self::luby(restart_count);
                     conflicts_this_restart = 0;
                     self.cancel_until(0);
@@ -685,6 +761,9 @@ impl Solver {
                             self.trail_lim.push(self.trail.len());
                         }
                         -1 => {
+                            // the assumption is falsified by earlier
+                            // assumptions + propagation: extract which ones
+                            self.assumption_core = self.analyze_final(p);
                             return SolveResult::Unsat;
                         }
                         _ => {

@@ -75,9 +75,12 @@ pub use linear::{linearize, LinExpr};
 pub use model::Model;
 pub use prep::{preprocess, Prepped};
 pub use rational::Rat;
-pub use session::{global_cache, QueryCache, SessionStats, SmtSession, Verdict};
+pub use session::{
+    global_cache, CacheEntry, CachedCore, CoreMember, CoreSlot, MissBreakdown, MissCause,
+    QueryCache, SessionStats, SmtSession, UnsatCore, Verdict, NEAR_MISS_DELTA,
+};
 pub use simplex::Lia;
-pub use solver::{Smt, SmtConfig, SmtResult, SmtStats};
+pub use solver::{Smt, SmtConfig, SmtResult, SmtStats, TrackedCore};
 
 #[cfg(test)]
 mod tests;

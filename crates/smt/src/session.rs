@@ -56,7 +56,7 @@ use pins_budget::{Budget, StopReason};
 use pins_logic::{Sort, SymbolTable, Term, TermArena, TermId};
 use pins_trace::{Counter, Histogram, MetricsRegistry, Phase, ProvenanceCtx, PHASES};
 
-use crate::solver::{Smt, SmtConfig, SmtResult};
+use crate::solver::{Smt, SmtConfig, SmtResult, TrackedCore};
 
 // ---------------------------------------------------------------------------
 // fingerprints
@@ -252,18 +252,119 @@ impl Verdict {
     }
 }
 
+/// Why a normalized-query cache miss happened — the pins-xray miss
+/// taxonomy. Every miss is exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissCause {
+    /// No structurally equal query was ever solved through this cache.
+    FirstSeen,
+    /// The same assertion set was solved before under a *different*
+    /// configuration fingerprint, and every verdict it reached there was
+    /// definitive or sat — the miss is pure config churn.
+    ConfigMismatch,
+    /// The same assertion set was solved before under a different config
+    /// and was budget-limited (`Unknown`) at least once: the miss belongs
+    /// to a budget-escalation ladder (sessions retrying at doubled budgets).
+    BudgetRetry,
+    /// No structural match, but some cached query differs from this one by
+    /// at most [`NEAR_MISS_DELTA`] assertions — the key smell that warm
+    /// starting (ROADMAP item 1) would pay off.
+    NearMiss,
+}
+
+impl MissCause {
+    /// Stable tag used in trace events and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MissCause::FirstSeen => "first_seen",
+            MissCause::ConfigMismatch => "config_mismatch",
+            MissCause::BudgetRetry => "budget_retry",
+            MissCause::NearMiss => "near_miss",
+        }
+    }
+}
+
+/// Maximum assertion-set delta (|added| + |removed|) for a miss to count as
+/// a structural near-miss.
+pub const NEAR_MISS_DELTA: usize = 4;
+
+/// Bound on how many structural keys the per-assertion inverted index keeps
+/// per fingerprint; beyond it an assertion is too common to vote usefully.
+const INVERTED_CAP: usize = 8;
+
+/// Per-miss counters, one per [`MissCause`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissBreakdown {
+    /// Misses with no structural precedent.
+    pub first_seen: u64,
+    /// Misses explained by a config-fingerprint change only.
+    pub config_mismatch: u64,
+    /// Misses on a budget-escalation ladder.
+    pub budget_retry: u64,
+    /// Misses within [`NEAR_MISS_DELTA`] assertions of a cached query.
+    pub near_miss: u64,
+}
+
+/// The unsat core stored alongside a cached `Unsat` verdict: the member
+/// formulas' structural fingerprints (a subset of the query's normalized
+/// assertion set, so any session that hits the entry can resolve them back
+/// to its own assert indices).
+#[derive(Debug, Clone)]
+pub struct CachedCore {
+    /// Sorted structural fingerprints of the core members.
+    pub fps: Vec<u128>,
+    /// Whether the core came from conflict analysis rather than the
+    /// all-asserts fallback over-approximation.
+    pub exact: bool,
+}
+
+/// What the cache stores per normalized key.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The model-free verdict.
+    pub verdict: Verdict,
+    /// For `Unsat` verdicts produced with core tracking on: the core.
+    pub core: Option<Arc<CachedCore>>,
+}
+
+/// What one structural query looked like when it was last solved; the
+/// forensics side-index is keyed by config-independent structural keys.
+#[derive(Debug, Default)]
+struct StructuralSeen {
+    /// Whether any config reached only a budget-limited verdict here.
+    any_unknown: bool,
+    /// Normalized assertion count (for near-miss delta computation).
+    atoms: u32,
+}
+
+#[derive(Debug, Default)]
+struct ForensicsIndex {
+    /// Structural key (config-independent) → what was seen there.
+    structural: HashMap<u128, StructuralSeen>,
+    /// Assertion fingerprint → structural keys containing it (each list
+    /// capped at [`INVERTED_CAP`]): the near-miss voting index.
+    inverted: HashMap<u128, Vec<u128>>,
+}
+
 /// A process-wide map from normalized query fingerprints to verdicts,
 /// shared by every session that opts in (all of them by default).
 ///
 /// The map is guarded by a [`Mutex`] — queries take microseconds to
 /// milliseconds, so contention on the lock is negligible next to solving —
 /// and the counters are lock-free atomics so hot paths can report stats
-/// without taking the lock.
+/// without taking the lock. A second mutex guards the miss-forensics
+/// side-index (structural keys and the near-miss inverted index), touched
+/// only on the miss path.
 #[derive(Debug, Default)]
 pub struct QueryCache {
-    map: Mutex<HashMap<u128, Verdict>>,
+    map: Mutex<HashMap<u128, CacheEntry>>,
+    forensics: Mutex<ForensicsIndex>,
     hits: AtomicU64,
     misses: AtomicU64,
+    miss_first_seen: AtomicU64,
+    miss_config_mismatch: AtomicU64,
+    miss_budget_retry: AtomicU64,
+    miss_near_miss: AtomicU64,
 }
 
 impl QueryCache {
@@ -272,9 +373,10 @@ impl QueryCache {
         QueryCache::default()
     }
 
-    /// Looks up a fingerprint, bumping the hit or miss counter.
-    pub fn lookup(&self, key: u128) -> Option<Verdict> {
-        let got = self.map.lock().unwrap().get(&key).copied();
+    /// Looks up a fingerprint, bumping the hit or miss counter. The entry
+    /// carries the verdict plus, for tracked `Unsat` results, its core.
+    pub fn lookup(&self, key: u128) -> Option<CacheEntry> {
+        let got = self.map.lock().unwrap().get(&key).cloned();
         match got {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -282,9 +384,102 @@ impl QueryCache {
         got
     }
 
-    /// Records a verdict for a fingerprint.
+    /// Records a verdict for a fingerprint (no core).
     pub fn insert(&self, key: u128, verdict: Verdict) {
-        self.map.lock().unwrap().insert(key, verdict);
+        self.insert_entry(key, verdict, None);
+    }
+
+    /// Records a verdict and (for `Unsat` with tracking) its core.
+    pub fn insert_entry(&self, key: u128, verdict: Verdict, core: Option<Arc<CachedCore>>) {
+        self.map
+            .lock()
+            .unwrap()
+            .insert(key, CacheEntry { verdict, core });
+    }
+
+    /// Classifies why `structural_key` (with normalized assertion
+    /// fingerprints `sorted_fps`) missed the cache. Returns the cause and,
+    /// for near-misses, the assertion-set delta to the closest cached query.
+    pub fn classify_miss(&self, structural_key: u128, sorted_fps: &[u128]) -> (MissCause, u64) {
+        let f = self.forensics.lock().unwrap();
+        if let Some(seen) = f.structural.get(&structural_key) {
+            return if seen.any_unknown {
+                (MissCause::BudgetRetry, 0)
+            } else {
+                (MissCause::ConfigMismatch, 0)
+            };
+        }
+        // near-miss vote: count shared assertions per candidate structural
+        // key through the inverted index, then take the smallest delta
+        let mut shared: HashMap<u128, usize> = HashMap::new();
+        for fp in sorted_fps {
+            if let Some(keys) = f.inverted.get(fp) {
+                for &k in keys {
+                    *shared.entry(k).or_insert(0) += 1;
+                }
+            }
+        }
+        let n = sorted_fps.len();
+        let mut best: Option<usize> = None;
+        for (k, s) in &shared {
+            let atoms = f.structural.get(k).map_or(0, |i| i.atoms as usize);
+            let delta = atoms.saturating_sub(*s) + n.saturating_sub(*s);
+            if best.is_none_or(|b| delta < b) {
+                best = Some(delta);
+            }
+        }
+        match best {
+            Some(delta) if delta <= NEAR_MISS_DELTA => (MissCause::NearMiss, delta as u64),
+            _ => (MissCause::FirstSeen, 0),
+        }
+    }
+
+    /// Bumps the per-cause miss counter.
+    pub fn note_miss_cause(&self, cause: MissCause) {
+        let cell = match cause {
+            MissCause::FirstSeen => &self.miss_first_seen,
+            MissCause::ConfigMismatch => &self.miss_config_mismatch,
+            MissCause::BudgetRetry => &self.miss_budget_retry,
+            MissCause::NearMiss => &self.miss_near_miss,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a solved query into the forensics side-index so later misses
+    /// can be classified against it.
+    pub fn note_solved(&self, structural_key: u128, sorted_fps: &[u128], verdict: Verdict) {
+        let mut f = self.forensics.lock().unwrap();
+        let is_new = !f.structural.contains_key(&structural_key);
+        if is_new {
+            f.structural.insert(
+                structural_key,
+                StructuralSeen {
+                    any_unknown: false,
+                    atoms: sorted_fps.len() as u32,
+                },
+            );
+            for fp in sorted_fps {
+                let keys = f.inverted.entry(*fp).or_default();
+                if keys.len() < INVERTED_CAP && !keys.contains(&structural_key) {
+                    keys.push(structural_key);
+                }
+            }
+        }
+        if matches!(verdict, Verdict::Unknown { .. }) {
+            if let Some(seen) = f.structural.get_mut(&structural_key) {
+                seen.any_unknown = true;
+            }
+        }
+    }
+
+    /// Per-cause miss counters since creation (or the last counter reset).
+    pub fn miss_breakdown(&self) -> MissBreakdown {
+        MissBreakdown {
+            first_seen: self.miss_first_seen.load(Ordering::Relaxed),
+            config_mismatch: self.miss_config_mismatch.load(Ordering::Relaxed),
+            budget_retry: self.miss_budget_retry.load(Ordering::Relaxed),
+            near_miss: self.miss_near_miss.load(Ordering::Relaxed),
+        }
     }
 
     /// Cache hits since creation (or the last [`reset_counters`](Self::reset_counters)).
@@ -328,6 +523,122 @@ pub fn global_cache() -> &'static Arc<QueryCache> {
 }
 
 // ---------------------------------------------------------------------------
+// unsat cores at the session level
+// ---------------------------------------------------------------------------
+
+/// Which session-level formula an unsat-core member refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreSlot {
+    /// Index into [`SmtSession::assertions`] at query time.
+    Assertion(usize),
+    /// Index into the assumption slice the query was issued with.
+    Assumption(usize),
+}
+
+/// One member of an unsat core: a position in the query plus the structural
+/// fingerprint of the formula there (stable across arenas and sessions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreMember {
+    /// Where the formula sat in the query.
+    pub slot: CoreSlot,
+    /// Structural fingerprint of the formula.
+    pub fingerprint: u128,
+}
+
+/// The unsat core attached to an `Unsat` verdict: a subset of the query's
+/// asserted formulas that is already unsatisfiable (together with any
+/// quantified axioms in scope — axiom instances are never tracked, so a core
+/// is relative to the axiom set).
+#[derive(Debug, Clone)]
+pub struct UnsatCore {
+    /// Core members in query order.
+    pub members: Vec<CoreMember>,
+    /// Whether the core came from conflict analysis (`true`) or is the
+    /// all-asserts fallback over-approximation (`false`).
+    pub exact: bool,
+    /// Content id: a hash of the member fingerprints, stable across runs,
+    /// sessions, and arenas — what `pins-report --xray` aggregates on.
+    pub id: u64,
+}
+
+impl UnsatCore {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the core has no members (unsatisfiability came from the
+    /// axioms alone).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Content id over a sorted, deduplicated fingerprint set.
+fn core_id(fps: &[u128]) -> u64 {
+    let mut h = mix_u64(FP_SEED, 0xc04e);
+    for &fp in fps {
+        h = mix(h, fp);
+    }
+    (h as u64) ^ ((h >> 64) as u64)
+}
+
+// ---------------------------------------------------------------------------
+// query shapes
+// ---------------------------------------------------------------------------
+
+/// The normalized fingerprints of one query, computed once and reused for
+/// the cache key, the structural (config-independent) forensics key, core
+/// provenance mapping, and the incrementality audit.
+#[derive(Debug)]
+struct QueryShape {
+    /// Assertion then assumption fingerprints in query order (not
+    /// deduplicated): index = core provenance id.
+    ordered: Vec<u128>,
+    /// Sorted, deduplicated assertion ∪ assumption fingerprints.
+    sorted: Vec<u128>,
+    /// Sorted, deduplicated axiom fingerprints.
+    ax: Vec<u128>,
+}
+
+impl QueryShape {
+    /// The cache key under `config_fp` (a config fingerprint or the
+    /// structural seed).
+    fn key_for(&self, config_fp: u128) -> u128 {
+        let mut key = config_fp;
+        key = mix_u64(key, self.ax.len() as u64);
+        for &h in &self.ax {
+            key = mix(key, h);
+        }
+        key = mix_u64(key, self.sorted.len() as u64);
+        for &h in &self.sorted {
+            key = mix(key, h);
+        }
+        key
+    }
+
+    /// The config-independent key the miss-forensics index is built on:
+    /// same hash chain as a cache key but seeded with a distinct constant,
+    /// so structural keys never collide with real cache keys by accident.
+    fn structural_key(&self) -> u128 {
+        self.key_for(mix_u64(FP_SEED, 0x57ac))
+    }
+}
+
+/// What the incrementality audit measured for one consecutive-query pair.
+#[derive(Debug, Clone, Copy)]
+struct AuditDelta {
+    /// Length of the shared ordered prefix with the previous query.
+    shared_prefix: u64,
+    /// Atoms in this query but not the previous one.
+    added: u64,
+    /// Atoms in the previous query but not this one.
+    removed: u64,
+    /// Total atoms in this query (ordered, with duplicates).
+    atoms: u64,
+}
+
+// ---------------------------------------------------------------------------
 // the session
 // ---------------------------------------------------------------------------
 
@@ -358,6 +669,29 @@ pub struct SessionStats {
     /// Final `Unknown` answers degraded from an arithmetic overflow in the
     /// exact rational LIA core.
     pub unknown_overflow: u64,
+    /// Misses classified [`MissCause::FirstSeen`].
+    pub miss_first_seen: u64,
+    /// Misses classified [`MissCause::ConfigMismatch`].
+    pub miss_config_mismatch: u64,
+    /// Misses classified [`MissCause::BudgetRetry`].
+    pub miss_budget_retry: u64,
+    /// Misses classified [`MissCause::NearMiss`].
+    pub miss_near_miss: u64,
+    /// Consecutive-query pairs measured by the incrementality audit.
+    pub audit_pairs: u64,
+    /// Summed shared-prefix length (atoms) over audited pairs.
+    pub audit_shared_prefix: u64,
+    /// Summed atoms added relative to the previous query.
+    pub audit_added: u64,
+    /// Summed atoms removed relative to the previous query.
+    pub audit_removed: u64,
+    /// Audited pairs that only *extended* the previous query (removed = 0):
+    /// exactly the queries a push-scoped warm start would serve.
+    pub audit_pure_extensions: u64,
+    /// `Unsat` verdicts that carried an unsat core (fresh or cached).
+    pub cores: u64,
+    /// Cores that were fallback over-approximations rather than exact.
+    pub cores_inexact: u64,
 }
 
 impl SessionStats {
@@ -374,6 +708,17 @@ impl SessionStats {
         self.unknown_cancelled += other.unknown_cancelled;
         self.unknown_step_limit += other.unknown_step_limit;
         self.unknown_overflow += other.unknown_overflow;
+        self.miss_first_seen += other.miss_first_seen;
+        self.miss_config_mismatch += other.miss_config_mismatch;
+        self.miss_budget_retry += other.miss_budget_retry;
+        self.miss_near_miss += other.miss_near_miss;
+        self.audit_pairs += other.audit_pairs;
+        self.audit_shared_prefix += other.audit_shared_prefix;
+        self.audit_added += other.audit_added;
+        self.audit_removed += other.audit_removed;
+        self.audit_pure_extensions += other.audit_pure_extensions;
+        self.cores += other.cores;
+        self.cores_inexact += other.cores_inexact;
     }
 
     /// Bumps the per-reason counter for a final `Unknown` answer.
@@ -402,6 +747,17 @@ impl SessionStats {
             unknown_cancelled: g("unknown.cancelled"),
             unknown_step_limit: g("unknown.step_limit"),
             unknown_overflow: g("unknown.overflow"),
+            miss_first_seen: g("miss.first_seen"),
+            miss_config_mismatch: g("miss.config_mismatch"),
+            miss_budget_retry: g("miss.budget_retry"),
+            miss_near_miss: g("miss.near_miss"),
+            audit_pairs: g("audit.pairs"),
+            audit_shared_prefix: g("audit.shared_prefix"),
+            audit_added: g("audit.added"),
+            audit_removed: g("audit.removed"),
+            audit_pure_extensions: g("audit.pure_extensions"),
+            cores: g("cores"),
+            cores_inexact: g("cores.inexact"),
         }
     }
 
@@ -438,6 +794,26 @@ struct SessionMetrics {
     unknown_cancelled: Counter,
     unknown_step_limit: Counter,
     unknown_overflow: Counter,
+    miss_first_seen: Counter,
+    miss_config_mismatch: Counter,
+    miss_budget_retry: Counter,
+    miss_near_miss: Counter,
+    audit_pairs: Counter,
+    audit_shared_prefix: Counter,
+    audit_added: Counter,
+    audit_removed: Counter,
+    audit_pure_extensions: Counter,
+    /// Summed nanoseconds spent in uncached solves — cache misses and sat
+    /// re-solves (the audit's denominator for projected warm-start savings).
+    audit_solve_ns: Counter,
+    /// Projected nanoseconds a warm-started solver would have saved:
+    /// `solve_ns x shared_prefix / atoms` summed over audited misses.
+    audit_warm_ns: Counter,
+    cores: Counter,
+    cores_inexact: Counter,
+    /// Log-scaled assertion-set delta (added + removed atoms) between
+    /// consecutive queries. Bound as `{prefix}.audit.delta_atoms`.
+    audit_delta_atoms: Histogram,
     /// Log-scaled end-to-end query latency (nanoseconds, cache hits
     /// included). Bound as `{prefix}.query_ns`; forked workers share the
     /// buckets, so serial and parallel runs fill identical cells.
@@ -463,6 +839,20 @@ impl SessionMetrics {
             unknown_cancelled: c("unknown.cancelled"),
             unknown_step_limit: c("unknown.step_limit"),
             unknown_overflow: c("unknown.overflow"),
+            miss_first_seen: c("miss.first_seen"),
+            miss_config_mismatch: c("miss.config_mismatch"),
+            miss_budget_retry: c("miss.budget_retry"),
+            miss_near_miss: c("miss.near_miss"),
+            audit_pairs: c("audit.pairs"),
+            audit_shared_prefix: c("audit.shared_prefix"),
+            audit_added: c("audit.added"),
+            audit_removed: c("audit.removed"),
+            audit_pure_extensions: c("audit.pure_extensions"),
+            audit_solve_ns: c("audit.solve_ns"),
+            audit_warm_ns: c("audit.warm_ns"),
+            cores: c("cores"),
+            cores_inexact: c("cores.inexact"),
+            audit_delta_atoms: registry.histogram(&format!("{prefix}.audit.delta_atoms")),
             query_ns: registry.histogram(&format!("{prefix}.query_ns")),
             queries_by_phase: std::array::from_fn(|i| {
                 c(&format!("queries.phase.{}", PHASES[i].as_str()))
@@ -513,7 +903,8 @@ fn config_fingerprint(config: &SmtConfig) -> u128 {
     h = mix_u64(h, config.time_limit.map_or(0, |d| d.as_nanos() as u64));
     h = mix_u64(h, config.step_limit.is_some() as u64);
     h = mix_u64(h, config.step_limit.unwrap_or(0));
-    mix_u64(h, config.retry_unknown as u64)
+    h = mix_u64(h, config.retry_unknown as u64);
+    mix_u64(h, config.track_cores as u64)
 }
 
 /// A persistent solver session: scoped assertions, assumption-based checks,
@@ -544,6 +935,19 @@ pub struct SmtSession {
     /// the run moves through iterations/phases/paths, and every query span
     /// and per-phase counter reads it. Forks share the handle.
     prov: ProvenanceCtx,
+    /// The unsat core of the most recent query, when that query was `Unsat`
+    /// and core tracking was on (fresh solve or cache hit with a stored
+    /// core). Reset at the start of every query.
+    last_core: Option<UnsatCore>,
+    /// Previous query's assertion fingerprints in assertion order — the
+    /// incrementality audit's shared-prefix baseline.
+    last_ordered: Vec<u128>,
+    /// Previous query's sorted, deduplicated assertion fingerprints — the
+    /// audit's added/removed baseline.
+    last_sorted: Vec<u128>,
+    /// Whether `last_ordered`/`last_sorted` describe a real previous query
+    /// (the audit skips the session's first query).
+    audit_primed: bool,
 }
 
 impl SmtSession {
@@ -568,6 +972,10 @@ impl SmtSession {
             stats: SessionStats::default(),
             metrics: SessionMetrics::default(),
             prov: ProvenanceCtx::default(),
+            last_core: None,
+            last_ordered: Vec::new(),
+            last_sorted: Vec::new(),
+            audit_primed: false,
         }
     }
 
@@ -612,6 +1020,15 @@ impl SmtSession {
     /// The cache this session reads and writes.
     pub fn cache(&self) -> &Arc<QueryCache> {
         &self.cache
+    }
+
+    /// The unsat core of the most recent query, when that query's verdict
+    /// was `Unsat` and core tracking ([`SmtConfig::track_cores`]) was on.
+    /// Cache hits resolve the stored core against the current query's
+    /// assertion/assumption positions. `None` after any non-`Unsat` query,
+    /// and after an `Unsat` cache hit whose entry predates core tracking.
+    pub fn last_unsat_core(&self) -> Option<&UnsatCore> {
+        self.last_core.as_ref()
     }
 
     /// Adds a persistent assertion to the current scope.
@@ -679,23 +1096,33 @@ impl SmtSession {
             // where the parent (and the harness) reads it
             metrics: self.metrics.clone(),
             prov: self.prov.clone(),
+            last_core: None,
+            // the audit baseline carries over: the worker's first query is
+            // measured against the last query before the fork
+            last_ordered: self.last_ordered.clone(),
+            last_sorted: self.last_sorted.clone(),
+            audit_primed: self.audit_primed,
         }
     }
 
-    /// The normalized cache key of the current scope plus `assumptions`,
-    /// under the configuration fingerprinted by `config_fp`.
-    fn query_key(&mut self, arena: &TermArena, assumptions: &[TermId], config_fp: u128) -> u128 {
-        let mut fps: Vec<u128> = Vec::with_capacity(self.assertions.len() + assumptions.len());
+    /// The normalized shape of the current scope plus `assumptions`: every
+    /// fingerprint a query needs, computed once. `ordered` holds the
+    /// assertion-then-assumption fingerprints in query order (positions
+    /// double as core provenance ids); `sorted` is the deduplicated
+    /// conjunction multiset the cache keys hash.
+    fn query_shape(&mut self, arena: &TermArena, assumptions: &[TermId]) -> QueryShape {
+        let mut ordered: Vec<u128> = Vec::with_capacity(self.assertions.len() + assumptions.len());
         for i in 0..self.assertions.len() {
             let t = self.assertions[i];
-            fps.push(fingerprint(arena, t, &mut self.fp_memo));
+            ordered.push(fingerprint(arena, t, &mut self.fp_memo));
         }
         for &t in assumptions {
-            fps.push(fingerprint(arena, t, &mut self.fp_memo));
+            ordered.push(fingerprint(arena, t, &mut self.fp_memo));
         }
-        // conjunction: order and multiplicity are irrelevant
-        fps.sort_unstable();
-        fps.dedup();
+        // conjunction: order and multiplicity are irrelevant to the key
+        let mut sorted = ordered.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
         let mut ax: Vec<u128> = Vec::with_capacity(self.axioms.len());
         for i in 0..self.axioms.len() {
             let t = self.axioms[i];
@@ -703,40 +1130,282 @@ impl SmtSession {
         }
         ax.sort_unstable();
         ax.dedup();
-        let mut key = config_fp;
-        key = mix_u64(key, ax.len() as u64);
-        for h in ax {
-            key = mix(key, h);
+        QueryShape {
+            ordered,
+            sorted,
+            ax,
         }
-        key = mix_u64(key, fps.len() as u64);
-        for h in fps {
-            key = mix(key, h);
-        }
-        key
     }
 
     /// Runs the underlying solver on the current scope plus `assumptions`,
-    /// under `config` and the session's shared budget.
+    /// under `config` and the session's shared budget. When
+    /// [`SmtConfig::track_cores`] is set, every assertion and assumption is
+    /// tracked under its position in the query (the same positions as
+    /// [`QueryShape::ordered`]) and an `Unsat` answer returns the tracked
+    /// core alongside the result.
     fn solve(
         &mut self,
         arena: &mut TermArena,
         assumptions: &[TermId],
         config: SmtConfig,
-    ) -> SmtResult {
+    ) -> (SmtResult, Option<TrackedCore>) {
         let mut smt = Smt::new(config);
         smt.set_budget(self.budget.clone());
         for i in 0..self.axioms.len() {
             let ax = self.axioms[i];
             smt.assert_term(arena, ax);
         }
+        let track = config.track_cores;
         for i in 0..self.assertions.len() {
             let t = self.assertions[i];
-            smt.assert_term(arena, t);
+            if track {
+                smt.assert_term_tracked(arena, t, i as u32);
+            } else {
+                smt.assert_term(arena, t);
+            }
         }
-        for &t in assumptions {
-            smt.assert_term(arena, t);
+        let base = self.assertions.len();
+        for (j, &t) in assumptions.iter().enumerate() {
+            if track {
+                smt.assert_term_tracked(arena, t, (base + j) as u32);
+            } else {
+                smt.assert_term(arena, t);
+            }
         }
-        smt.check(arena)
+        let result = smt.check(arena);
+        let core = match result {
+            SmtResult::Unsat => smt.unsat_core().cloned(),
+            _ => None,
+        };
+        (result, core)
+    }
+
+    /// The cacheable form of a tracked core: its members' structural
+    /// fingerprints, sorted and deduplicated.
+    fn cached_core(&self, shape: &QueryShape, tracked: &TrackedCore) -> CachedCore {
+        let mut fps: Vec<u128> = tracked
+            .ids
+            .iter()
+            .filter_map(|&p| shape.ordered.get(p as usize).copied())
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        CachedCore {
+            fps,
+            exact: tracked.exact,
+        }
+    }
+
+    /// The session-level view of a tracked core: provenance ids mapped back
+    /// to assertion/assumption slots.
+    fn core_of_tracked(&self, shape: &QueryShape, tracked: &TrackedCore) -> UnsatCore {
+        let n = self.assertions.len();
+        let members: Vec<CoreMember> = tracked
+            .ids
+            .iter()
+            .filter_map(|&p| {
+                let p = p as usize;
+                shape.ordered.get(p).map(|&fp| CoreMember {
+                    slot: if p < n {
+                        CoreSlot::Assertion(p)
+                    } else {
+                        CoreSlot::Assumption(p - n)
+                    },
+                    fingerprint: fp,
+                })
+            })
+            .collect();
+        let mut fps: Vec<u128> = members.iter().map(|m| m.fingerprint).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        UnsatCore {
+            members,
+            exact: tracked.exact,
+            id: core_id(&fps),
+        }
+    }
+
+    /// Resolves a cache-hit core's fingerprints back to this query's slots.
+    /// Key equality implies the cached core's fingerprints are a subset of
+    /// this query's normalized assertion set, so every member resolves; the
+    /// first matching position is taken when a formula occurs twice.
+    fn core_of_cached(&self, shape: &QueryShape, cached: &CachedCore) -> UnsatCore {
+        let n = self.assertions.len();
+        let members: Vec<CoreMember> = cached
+            .fps
+            .iter()
+            .filter_map(|&fp| {
+                shape
+                    .ordered
+                    .iter()
+                    .position(|&o| o == fp)
+                    .map(|p| CoreMember {
+                        slot: if p < n {
+                            CoreSlot::Assertion(p)
+                        } else {
+                            CoreSlot::Assumption(p - n)
+                        },
+                        fingerprint: fp,
+                    })
+            })
+            .collect();
+        UnsatCore {
+            members,
+            exact: cached.exact,
+            id: core_id(&cached.fps),
+        }
+    }
+
+    /// Books an `Unsat` verdict's core into `last_core`, the counters, and
+    /// (when tracing) the query span.
+    fn note_core(&mut self, core: UnsatCore, span: &mut pins_trace::Span) {
+        self.stats.cores += 1;
+        self.metrics.cores.inc();
+        if !core.exact {
+            self.stats.cores_inexact += 1;
+            self.metrics.cores_inexact.inc();
+        }
+        if span.is_active() {
+            span.record_u64("core_size", core.members.len() as u64);
+            span.record_str("core_id", &format!("{:016x}", core.id));
+            span.record("core_exact", core.exact);
+        }
+        self.last_core = Some(core);
+    }
+
+    /// Measures this query against the previous one for the incrementality
+    /// audit and advances the baseline. Returns the delta for span stamping
+    /// and warm-start projection (`None` on the session's first query).
+    fn note_audit(&mut self, shape: &QueryShape) -> Option<AuditDelta> {
+        let delta = if self.audit_primed {
+            let shared_prefix = shape
+                .ordered
+                .iter()
+                .zip(self.last_ordered.iter())
+                .take_while(|(a, b)| a == b)
+                .count() as u64;
+            // merge-walk the sorted fingerprint sets for the symmetric delta
+            let (a, b) = (&shape.sorted, &self.last_sorted);
+            let (mut i, mut j) = (0usize, 0usize);
+            let (mut added, mut removed) = (0u64, 0u64);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => {
+                        added += 1;
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        removed += 1;
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            added += (a.len() - i) as u64;
+            removed += (b.len() - j) as u64;
+            self.stats.audit_pairs += 1;
+            self.stats.audit_shared_prefix += shared_prefix;
+            self.stats.audit_added += added;
+            self.stats.audit_removed += removed;
+            self.metrics.audit_pairs.inc();
+            self.metrics.audit_shared_prefix.add(shared_prefix);
+            self.metrics.audit_added.add(added);
+            self.metrics.audit_removed.add(removed);
+            if removed == 0 {
+                self.stats.audit_pure_extensions += 1;
+                self.metrics.audit_pure_extensions.inc();
+            }
+            self.metrics.audit_delta_atoms.record(added + removed);
+            Some(AuditDelta {
+                shared_prefix,
+                added,
+                removed,
+                atoms: shape.ordered.len() as u64,
+            })
+        } else {
+            None
+        };
+        self.last_ordered.clone_from(&shape.ordered);
+        self.last_sorted.clone_from(&shape.sorted);
+        self.audit_primed = true;
+        delta
+    }
+
+    /// Stamps the audit fields onto the query span.
+    fn stamp_audit(
+        &self,
+        span: &mut pins_trace::Span,
+        shape: &QueryShape,
+        delta: Option<&AuditDelta>,
+    ) {
+        if span.is_active() {
+            span.record_u64("atoms", shape.ordered.len() as u64);
+            if let Some(d) = delta {
+                span.record_u64("shared_prefix", d.shared_prefix);
+                span.record_u64("delta_added", d.added);
+                span.record_u64("delta_removed", d.removed);
+            }
+        }
+    }
+
+    /// Books a cache miss: classifies it against the forensics index, bumps
+    /// the per-cause counters, stamps the query span, and emits the per-miss
+    /// trace point.
+    fn note_miss(&mut self, shape: &QueryShape, span: &mut pins_trace::Span) {
+        self.stats.cache_misses += 1;
+        self.metrics.cache_misses.inc();
+        let (cause, near_delta) = self
+            .cache
+            .classify_miss(shape.structural_key(), &shape.sorted);
+        self.cache.note_miss_cause(cause);
+        match cause {
+            MissCause::FirstSeen => {
+                self.stats.miss_first_seen += 1;
+                self.metrics.miss_first_seen.inc();
+            }
+            MissCause::ConfigMismatch => {
+                self.stats.miss_config_mismatch += 1;
+                self.metrics.miss_config_mismatch.inc();
+            }
+            MissCause::BudgetRetry => {
+                self.stats.miss_budget_retry += 1;
+                self.metrics.miss_budget_retry.inc();
+            }
+            MissCause::NearMiss => {
+                self.stats.miss_near_miss += 1;
+                self.metrics.miss_near_miss.inc();
+            }
+        }
+        if span.is_active() {
+            span.record_str("miss_cause", cause.as_str());
+            if cause == MissCause::NearMiss {
+                span.record_u64("near_delta", near_delta);
+            }
+        }
+        let atoms = shape.sorted.len() as u64;
+        pins_trace::point("smt.cache.miss", || {
+            vec![
+                ("cause", cause.as_str().into()),
+                ("near_delta", near_delta.into()),
+                ("atoms", atoms.into()),
+            ]
+        });
+    }
+
+    /// Books the warm-start projection for a solved miss: the audit's upper
+    /// bound on what a warm-started theory state could have saved, assuming
+    /// savings proportional to the shared prefix.
+    fn note_warm_projection(&mut self, delta: Option<&AuditDelta>, solve_ns: u64) {
+        self.metrics.audit_solve_ns.add(solve_ns);
+        if let Some(d) = delta {
+            if d.atoms > 0 {
+                let warm = ((solve_ns as u128 * d.shared_prefix as u128) / d.atoms as u128) as u64;
+                self.metrics.audit_warm_ns.add(warm);
+            }
+        }
     }
 
     /// Solves on a cache miss: one attempt at the session config, plus (when
@@ -745,14 +1414,18 @@ impl SmtSession {
     /// result is cached at `key`; a definitive retry result is additionally
     /// cached at the escalated config's own key, and its write to `key`
     /// upgrades the would-be `Unknown` entry in place
-    /// ([`SessionStats::cache_upgrades`]).
+    /// ([`SessionStats::cache_upgrades`]). An `Unsat` result's tracked core
+    /// is cached alongside the verdict and surfaced through
+    /// [`last_unsat_core`](Self::last_unsat_core).
     fn solve_and_cache(
         &mut self,
         arena: &mut TermArena,
         assumptions: &[TermId],
+        shape: &QueryShape,
         key: u128,
+        span: &mut pins_trace::Span,
     ) -> SmtResult {
-        let mut result = self.solve(arena, assumptions, self.config);
+        let (mut result, mut tracked) = self.solve(arena, assumptions, self.config);
         if let SmtResult::Unknown(reason) = result {
             // a cancellation is a caller's kill switch, not a budget the
             // query outgrew: never retry it
@@ -760,9 +1433,13 @@ impl SmtSession {
                 self.stats.retries += 1;
                 self.metrics.retries.inc();
                 let escalated = self.config.escalate();
-                let retried = self.solve(arena, assumptions, escalated);
-                let esc_key = self.query_key(arena, assumptions, config_fingerprint(&escalated));
-                self.cache.insert(esc_key, Verdict::of(&retried));
+                let (retried, retried_core) = self.solve(arena, assumptions, escalated);
+                let esc_key = shape.key_for(config_fingerprint(&escalated));
+                let esc_core = retried_core
+                    .as_ref()
+                    .map(|c| Arc::new(self.cached_core(shape, c)));
+                self.cache
+                    .insert_entry(esc_key, Verdict::of(&retried), esc_core);
                 if !matches!(retried, SmtResult::Unknown(_)) {
                     // the larger budget settled it: upgrade the entry the
                     // original key would otherwise pin to Unknown
@@ -770,13 +1447,24 @@ impl SmtSession {
                     self.metrics.cache_upgrades.inc();
                 }
                 result = retried;
+                tracked = retried_core;
             }
         }
         if let SmtResult::Unknown(reason) = result {
             self.stats.note_unknown(reason);
             self.metrics.note_unknown(reason);
         }
-        self.cache.insert(key, Verdict::of(&result));
+        let verdict = Verdict::of(&result);
+        let cached = tracked
+            .as_ref()
+            .map(|c| Arc::new(self.cached_core(shape, c)));
+        self.cache.insert_entry(key, verdict, cached);
+        self.cache
+            .note_solved(shape.structural_key(), &shape.sorted, verdict);
+        if let Some(c) = tracked {
+            let core = self.core_of_tracked(shape, &c);
+            self.note_core(core, span);
+        }
         result
     }
 
@@ -796,40 +1484,51 @@ impl SmtSession {
         let phase = self.prov.phase();
         self.stats.queries += 1;
         self.metrics.note_query(phase);
+        self.last_core = None;
         let mut span = self.query_span(assumptions.len());
-        let key = self.query_key(arena, assumptions, self.config_fp);
+        let shape = self.query_shape(arena, assumptions);
+        let delta = self.note_audit(&shape);
+        self.stamp_audit(&mut span, &shape, delta.as_ref());
+        let key = shape.key_for(self.config_fp);
         let cached: Option<SmtResult> = match self.cache.lookup(key) {
-            Some(Verdict::Unsat) => {
-                self.stats.cache_hits += 1;
-                self.metrics.cache_hits.inc();
-                span.record("cached", true);
-                span.record_str("verdict", "unsat");
-                Some(SmtResult::Unsat)
-            }
-            Some(Verdict::Unknown { reason }) => {
-                self.stats.cache_hits += 1;
-                self.metrics.cache_hits.inc();
-                span.record("cached", true);
-                span.record_str("verdict", "unknown");
-                Some(SmtResult::Unknown(reason))
-            }
-            Some(Verdict::Sat { .. }) => {
-                self.stats.cache_hits += 1;
-                self.stats.sat_resolves += 1;
-                self.metrics.cache_hits.inc();
-                self.metrics.sat_resolves.inc();
-                None
-            }
+            Some(entry) => match entry.verdict {
+                Verdict::Unsat => {
+                    self.stats.cache_hits += 1;
+                    self.metrics.cache_hits.inc();
+                    span.record("cached", true);
+                    span.record_str("verdict", "unsat");
+                    if let Some(c) = &entry.core {
+                        let core = self.core_of_cached(&shape, c);
+                        self.note_core(core, &mut span);
+                    }
+                    Some(SmtResult::Unsat)
+                }
+                Verdict::Unknown { reason } => {
+                    self.stats.cache_hits += 1;
+                    self.metrics.cache_hits.inc();
+                    span.record("cached", true);
+                    span.record_str("verdict", "unknown");
+                    Some(SmtResult::Unknown(reason))
+                }
+                Verdict::Sat { .. } => {
+                    self.stats.cache_hits += 1;
+                    self.stats.sat_resolves += 1;
+                    self.metrics.cache_hits.inc();
+                    self.metrics.sat_resolves.inc();
+                    None
+                }
+            },
             None => {
-                self.stats.cache_misses += 1;
-                self.metrics.cache_misses.inc();
+                self.note_miss(&shape, &mut span);
                 None
             }
         };
         let result = match cached {
             Some(r) => r,
             None => {
-                let r = self.solve_and_cache(arena, assumptions, key);
+                let t0 = Instant::now();
+                let r = self.solve_and_cache(arena, assumptions, &shape, key, &mut span);
+                self.note_warm_projection(delta.as_ref(), t0.elapsed().as_nanos() as u64);
                 if span.is_active() {
                     span.record("cached", false);
                     span.record_str(
@@ -887,21 +1586,30 @@ impl SmtSession {
         let phase = self.prov.phase();
         self.stats.queries += 1;
         self.metrics.note_query(phase);
+        self.last_core = None;
         let mut span = self.query_span(assumptions.len());
-        let key = self.query_key(arena, assumptions, self.config_fp);
+        let shape = self.query_shape(arena, assumptions);
+        let delta = self.note_audit(&shape);
+        self.stamp_audit(&mut span, &shape, delta.as_ref());
+        let key = shape.key_for(self.config_fp);
         let (verdict, cached) = match self.cache.lookup(key) {
-            Some(v) => {
+            Some(entry) => {
                 self.stats.cache_hits += 1;
                 self.metrics.cache_hits.inc();
-                (v, true)
+                if entry.verdict.is_unsat() {
+                    if let Some(c) = &entry.core {
+                        let core = self.core_of_cached(&shape, c);
+                        self.note_core(core, &mut span);
+                    }
+                }
+                (entry.verdict, true)
             }
             None => {
-                self.stats.cache_misses += 1;
-                self.metrics.cache_misses.inc();
-                (
-                    Verdict::of(&self.solve_and_cache(arena, assumptions, key)),
-                    false,
-                )
+                self.note_miss(&shape, &mut span);
+                let t0 = Instant::now();
+                let r = self.solve_and_cache(arena, assumptions, &shape, key, &mut span);
+                self.note_warm_projection(delta.as_ref(), t0.elapsed().as_nanos() as u64);
+                (Verdict::of(&r), false)
             }
         };
         if span.is_active() {

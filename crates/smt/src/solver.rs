@@ -39,6 +39,12 @@ pub struct SmtConfig {
     /// Whether a session retries a budget-limited `Unknown` once with
     /// doubled budgets before giving up.
     pub retry_unknown: bool,
+    /// Whether asserts registered through
+    /// [`Smt::assert_term_tracked`] are guarded by assumption literals so
+    /// every `Unsat` answer carries an unsat core of assert provenance ids
+    /// ([`Smt::unsat_core`]). Tracking costs one selector variable and one
+    /// extra literal per tracked root clause.
+    pub track_cores: bool,
 }
 
 impl Default for SmtConfig {
@@ -50,6 +56,7 @@ impl Default for SmtConfig {
             time_limit: None,
             step_limit: None,
             retry_unknown: true,
+            track_cores: true,
         }
     }
 }
@@ -68,6 +75,7 @@ impl SmtConfig {
             time_limit: self.time_limit.map(|d| d.saturating_mul(2)),
             step_limit: self.step_limit.map(|s| s.saturating_mul(2)),
             retry_unknown: false, // one escalation only
+            track_cores: self.track_cores,
         }
     }
 }
@@ -133,6 +141,26 @@ enum Outcome {
     Stopped(StopReason),
 }
 
+/// Bound on the iterative core-refinement passes after an assumption-level
+/// `Unsat`: each pass re-solves under only the current core, which lets
+/// conflict analysis shrink it further. Refinement re-uses the learnt
+/// clause database, so a pass is normally pure propagation.
+const CORE_REFINE_ROUNDS: usize = 3;
+
+/// The unsat core of the most recent `Unsat` answer, as the provenance ids
+/// passed to [`Smt::assert_term_tracked`].
+#[derive(Debug, Clone, Default)]
+pub struct TrackedCore {
+    /// Sorted, deduplicated provenance ids whose conjunction (with the
+    /// untracked asserts and axioms) is unsatisfiable.
+    pub ids: Vec<u32>,
+    /// Whether the ids were extracted from conflict analysis (`true`) or
+    /// are a sound over-approximation — every tracked id — taken when the
+    /// refutation closed through a hard theory clause before the assumption
+    /// layer could attribute it (`false`).
+    pub exact: bool,
+}
+
 /// A one-shot SMT solver instance: assert formulas, then call
 /// [`Smt::check`].
 pub struct Smt {
@@ -141,8 +169,17 @@ pub struct Smt {
     lit_of: HashMap<TermId, Lit>,
     atom_var: HashMap<TermId, Var>,
     var_atoms: Vec<(TermId, Var)>,
-    ground: Vec<TermId>,
+    /// Ground roots to assert, each with the provenance id of the tracked
+    /// assert it came from (`None` = hard, untracked).
+    ground: Vec<(TermId, Option<u32>)>,
     axioms: Vec<TermId>,
+    /// Selector literals guarding tracked roots, in first-use order.
+    selectors: Vec<(u32, Lit)>,
+    /// Tracked asserts that lifted quantified axioms during preprocessing:
+    /// their axiom halves are untracked, so they are forced into every core.
+    forced_core: Vec<u32>,
+    /// Core of the most recent `Unsat` answer (see [`Smt::unsat_core`]).
+    last_core: Option<TrackedCore>,
     exact: bool,
     true_lit: Option<Lit>,
     diseq_split: HashSet<TermId>,
@@ -167,6 +204,9 @@ impl Smt {
             var_atoms: Vec::new(),
             ground: Vec::new(),
             axioms: Vec::new(),
+            selectors: Vec::new(),
+            forced_core: Vec::new(),
+            last_core: None,
             exact: true,
             true_lit: None,
             diseq_split: HashSet::new(),
@@ -189,14 +229,42 @@ impl Smt {
     /// subformulas in positive positions are registered as axioms to be
     /// instantiated; negated universals are skolemized.
     pub fn assert_term(&mut self, arena: &mut TermArena, t: TermId) {
+        self.assert_with_prov(arena, t, None);
+    }
+
+    /// Asserts a formula labelled with a caller-chosen provenance id. When
+    /// [`SmtConfig::track_cores`] is on, every ground root of the formula is
+    /// guarded by an assumption literal, so an `Unsat` answer reports (via
+    /// [`Smt::unsat_core`]) which tracked asserts the refutation used.
+    pub fn assert_term_tracked(&mut self, arena: &mut TermArena, t: TermId, prov: u32) {
+        self.assert_with_prov(arena, t, Some(prov));
+    }
+
+    fn assert_with_prov(&mut self, arena: &mut TermArena, t: TermId, prov: Option<u32>) {
         let mut prep = Prepped::default();
         let exact = preprocess(arena, t, &mut prep);
         if !exact && !prep.axioms.is_empty() {
             // positive forall was lifted: sat answers are approximate
             self.exact = false;
         }
-        self.ground.extend(prep.ground);
+        if let Some(p) = prov {
+            if !prep.axioms.is_empty() {
+                // the quantified half is instantiated untracked; keeping the
+                // assert in every core keeps cores sound (over-approximate)
+                self.forced_core.push(p);
+            }
+        }
+        self.ground
+            .extend(prep.ground.into_iter().map(|g| (g, prov)));
         self.axioms.extend(prep.axioms);
+    }
+
+    /// The unsat core of the most recent `Unsat` answer from
+    /// [`Smt::check`], as provenance ids of tracked asserts. `None` when no
+    /// `Unsat` has been produced or tracking is off. An empty id list means
+    /// the untracked asserts and axioms are unsatisfiable on their own.
+    pub fn unsat_core(&self) -> Option<&TrackedCore> {
+        self.last_core.as_ref()
     }
 
     fn true_lit(&mut self) -> Lit {
@@ -297,6 +365,68 @@ impl Smt {
         self.sat.add_clause(&[l]);
     }
 
+    /// The selector literal guarding the tracked assert `prov`, allocated on
+    /// first use. Selector variables only ever occur negatively in clauses,
+    /// so a SAT-level refutation at decision level 0 is independent of every
+    /// tracked assert (the empty core is sound).
+    fn selector(&mut self, prov: u32) -> Lit {
+        if let Some(&(_, l)) = self.selectors.iter().find(|&&(p, _)| p == prov) {
+            return l;
+        }
+        let l = Lit::pos(self.sat.new_var());
+        self.selectors.push((prov, l));
+        l
+    }
+
+    /// Maps the SAT layer's failed-assumption set back to provenance ids,
+    /// after bounded iterative refinement: re-solving under only the current
+    /// core lets conflict analysis shrink it, and the persistent learnt
+    /// clauses make each pass near-free propagation in the common case.
+    fn extract_core(&mut self) -> TrackedCore {
+        let mut core_lits = self.sat.assumption_core().to_vec();
+        for _ in 0..CORE_REFINE_ROUNDS {
+            if core_lits.len() <= 1 {
+                break;
+            }
+            match self.sat.solve_with_assumptions(&core_lits) {
+                SolveResult::Unsat => {
+                    let smaller = self.sat.assumption_core().to_vec();
+                    if smaller.len() < core_lits.len() {
+                        core_lits = smaller;
+                    } else {
+                        break;
+                    }
+                }
+                // interrupted (budget) or — defensively — sat: the previous
+                // core is already sound, keep it
+                _ => break,
+            }
+        }
+        let mut ids: Vec<u32> = core_lits
+            .iter()
+            .filter_map(|l| {
+                self.selectors
+                    .iter()
+                    .find(|&&(_, s)| s == *l)
+                    .map(|&(p, _)| p)
+            })
+            .collect();
+        ids.extend(self.forced_core.iter().copied());
+        ids.sort_unstable();
+        ids.dedup();
+        TrackedCore { ids, exact: true }
+    }
+
+    /// Every tracked id: the sound over-approximation recorded when a hard
+    /// theory clause closed the refutation below the assumption layer.
+    fn fallback_core(&self) -> TrackedCore {
+        let mut ids: Vec<u32> = self.selectors.iter().map(|&(p, _)| p).collect();
+        ids.extend(self.forced_core.iter().copied());
+        ids.sort_unstable();
+        ids.dedup();
+        TrackedCore { ids, exact: false }
+    }
+
     /// Runs the decision procedure.
     pub fn check(&mut self, arena: &mut TermArena) -> SmtResult {
         // layer the per-query limits over the shared budget
@@ -343,10 +473,12 @@ impl Smt {
 
     fn check_inner(&mut self, arena: &mut TermArena, budget: &Budget) -> SmtResult {
         self.sat.set_budget(budget.clone());
+        self.last_core = None;
         // ground the axioms against the asserted formulas
         let t_prep = Instant::now();
         let roots = self.ground.clone();
-        let out = instantiate(arena, &self.axioms, &roots, self.config.inst, budget);
+        let root_terms: Vec<TermId> = roots.iter().map(|&(g, _)| g).collect();
+        let out = instantiate(arena, &self.axioms, &root_terms, self.config.inst, budget);
         if out.truncated {
             self.exact = false;
         }
@@ -360,15 +492,26 @@ impl Smt {
         for inst in out.instances {
             let mut prep = Prepped::default();
             preprocess(arena, inst, &mut prep);
-            to_assert.extend(prep.ground);
+            to_assert.extend(prep.ground.into_iter().map(|g| (g, None)));
             // nested axioms inside instances are not supported
             if !prep.axioms.is_empty() {
                 self.exact = false;
             }
         }
-        for g in to_assert {
-            self.assert_root(arena, g);
+        let track = self.config.track_cores;
+        for (g, prov) in to_assert {
+            match prov {
+                Some(p) if track => {
+                    // guarded root: selector => root, so the root is only
+                    // required while its selector is assumed true
+                    let s = self.selector(p);
+                    let l = self.encode(arena, g);
+                    self.sat.add_clause(&[!s, l]);
+                }
+                _ => self.assert_root(arena, g),
+            }
         }
+        let sels: Vec<Lit> = self.selectors.iter().map(|&(_, l)| l).collect();
         self.stats.prep_time += t_prep.elapsed();
 
         for _round in 0..self.config.max_theory_rounds {
@@ -378,10 +521,13 @@ impl Smt {
             }
             self.stats.sat_rounds += 1;
             let t_sat = Instant::now();
-            let sat_verdict = self.sat.solve();
+            let sat_verdict = self.sat.solve_with_assumptions(&sels);
             self.stats.sat_time += t_sat.elapsed();
             match sat_verdict {
                 SolveResult::Unsat => {
+                    if track {
+                        self.last_core = Some(self.extract_core());
+                    }
                     self.stats.formula_size = self.sat.formula_size();
                     return SmtResult::Unsat;
                 }
@@ -410,15 +556,37 @@ impl Smt {
                         }
                         Outcome::Conflict(tags) => {
                             self.stats.theory_conflicts += 1;
+                            // timeline sample: every 16th theory conflict
+                            if self.stats.theory_conflicts & 0xF == 1 {
+                                pins_trace::point("smt.theory_conflict", || {
+                                    vec![
+                                        ("count", self.stats.theory_conflicts.into()),
+                                        ("atoms", (tags.len() as u64).into()),
+                                    ]
+                                });
+                            }
                             let blocking: Vec<Lit> =
                                 tags.iter().map(|&t| !Lit::from_code(t)).collect();
                             if !self.sat.add_clause(&blocking) {
+                                if track {
+                                    // the refutation closed through a hard
+                                    // clause at level 0: attribute it to
+                                    // every tracked assert (sound, inexact)
+                                    self.last_core = Some(self.fallback_core());
+                                }
                                 self.stats.formula_size = self.sat.formula_size();
                                 return SmtResult::Unsat;
                             }
                         }
                         Outcome::Progress(lemmas, atoms) => {
                             self.stats.lemmas += lemmas.len() as u64;
+                            pins_trace::point("smt.lemma", || {
+                                vec![
+                                    ("count", (lemmas.len() as u64).into()),
+                                    ("new_atoms", (atoms.len() as u64).into()),
+                                    ("total", self.stats.lemmas.into()),
+                                ]
+                            });
                             for lem in lemmas {
                                 self.assert_root(arena, lem);
                             }
@@ -550,6 +718,12 @@ impl Smt {
             if !new_instances.is_empty() {
                 self.ematch_count += new_instances.len();
                 self.stats.instances += new_instances.len() as u64;
+                pins_trace::point("smt.ematch.round", || {
+                    vec![
+                        ("instances", (new_instances.len() as u64).into()),
+                        ("total", (self.ematch_count as u64).into()),
+                    ]
+                });
                 let mut ground = Vec::new();
                 for inst in new_instances {
                     let mut prep = Prepped::default();

@@ -1303,3 +1303,342 @@ mod session {
         assert_eq!(s.stats.unknown_cancelled, 1);
     }
 }
+
+mod xray {
+    use std::sync::Arc;
+
+    use super::{cfg, int_var};
+    use crate::session::MissCause;
+    use crate::{CoreSlot, QueryCache, SmtSession};
+    use pins_logic::{Sort, TermArena, TermId};
+
+    fn fresh_session() -> SmtSession {
+        SmtSession::with_cache(cfg(), Arc::new(QueryCache::new()))
+    }
+
+    /// Twenty satisfiable noise facts plus one contradictory pair: the
+    /// extracted core must contain the pair, shed (at least most of) the
+    /// noise, and itself be unsat when re-solved fresh.
+    #[test]
+    fn core_pinpoints_the_contradiction_among_noise() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let mut fs = Vec::new();
+        for k in 0..20 {
+            let v = int_var(&mut a, &format!("noise{k}"));
+            let c = a.mk_int(k);
+            fs.push(a.mk_ge(v, c));
+        }
+        let three = a.mk_int(3);
+        let four = a.mk_int(4);
+        fs.push(a.mk_ge(x, four)); // index 20
+        fs.push(a.mk_le(x, three)); // index 21
+        let mut s = fresh_session();
+        assert!(s.verdict_under(&mut a, &fs).is_unsat());
+
+        let core = s.last_unsat_core().expect("unsat must carry a core");
+        assert!(core.exact, "no fallback should be needed here");
+        let idxs: Vec<usize> = core
+            .members
+            .iter()
+            .map(|m| match m.slot {
+                CoreSlot::Assumption(i) => i,
+                CoreSlot::Assertion(i) => panic!("no persistent assertions, got {i}"),
+            })
+            .collect();
+        assert!(
+            idxs.contains(&20) && idxs.contains(&21),
+            "core {idxs:?} misses the pair"
+        );
+        assert!(
+            core.len() < fs.len(),
+            "core kept every assert: {} of {}",
+            core.len(),
+            fs.len()
+        );
+        // the defining property: the members alone are unsat
+        let members: Vec<TermId> = idxs.iter().map(|&i| fs[i]).collect();
+        assert!(fresh_session().verdict_under(&mut a, &members).is_unsat());
+        assert_eq!(s.stats.cores, 1);
+        assert_eq!(s.stats.cores_inexact, 0);
+    }
+
+    /// Core members carry their origin: persistent assertions vs. per-query
+    /// assumptions.
+    #[test]
+    fn core_slots_distinguish_assertions_from_assumptions() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let three = a.mk_int(3);
+        let four = a.mk_int(4);
+        let lo = a.mk_ge(x, four);
+        let hi = a.mk_le(x, three);
+        let mut s = fresh_session();
+        s.assert(lo);
+        assert!(s.is_unsat_under(&mut a, &[hi]));
+        let core = s.last_unsat_core().expect("core");
+        let mut slots: Vec<CoreSlot> = core.members.iter().map(|m| m.slot).collect();
+        slots.sort_by_key(|s| match s {
+            CoreSlot::Assertion(i) => (0, *i),
+            CoreSlot::Assumption(i) => (1, *i),
+        });
+        assert_eq!(slots, vec![CoreSlot::Assertion(0), CoreSlot::Assumption(0)]);
+    }
+
+    /// A second session hitting the cached `Unsat` entry gets the stored
+    /// core, resolved against its own query positions, with the same
+    /// content id.
+    #[test]
+    fn cache_hits_replay_the_stored_core() {
+        let cache = Arc::new(QueryCache::new());
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let noise = int_var(&mut a, "n");
+        let zero = a.mk_int(0);
+        let fs = vec![a.mk_ge(noise, zero), a.mk_ge(x, zero), a.mk_lt(x, zero)];
+
+        let mut s1 = SmtSession::with_cache(cfg(), Arc::clone(&cache));
+        assert!(s1.verdict_under(&mut a, &fs).is_unsat());
+        let id1 = s1.last_unsat_core().expect("fresh core").id;
+
+        let mut s2 = SmtSession::with_cache(cfg(), Arc::clone(&cache));
+        assert!(s2.verdict_under(&mut a, &fs).is_unsat());
+        assert_eq!(s2.stats.cache_hits, 1, "second solve must be a hit");
+        let core2 = s2
+            .last_unsat_core()
+            .expect("cache hit must replay the core");
+        assert_eq!(core2.id, id1, "content id must be stable across sessions");
+        assert_eq!(s2.stats.cores, 1);
+    }
+
+    /// With `track_cores` off there is no core, and the config fingerprint
+    /// keeps tracked and untracked entries apart in a shared cache.
+    #[test]
+    fn cores_off_yields_no_core_and_a_distinct_cache_key() {
+        let cache = Arc::new(QueryCache::new());
+        let mut off = cfg();
+        off.track_cores = false;
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let zero = a.mk_int(0);
+        let fs = vec![a.mk_ge(x, zero), a.mk_lt(x, zero)];
+
+        let mut s1 = SmtSession::with_cache(off, Arc::clone(&cache));
+        assert!(s1.verdict_under(&mut a, &fs).is_unsat());
+        assert!(s1.last_unsat_core().is_none());
+
+        let mut s2 = SmtSession::with_cache(cfg(), Arc::clone(&cache));
+        assert!(s2.verdict_under(&mut a, &fs).is_unsat());
+        assert_eq!(
+            s2.stats.cache_misses, 1,
+            "tracked config must not reuse the untracked entry"
+        );
+        assert!(s2.last_unsat_core().is_some());
+    }
+
+    /// When a quantified axiom participates in the refutation, the asserted
+    /// fact that grounded it stays in the core (axiom instances themselves
+    /// are untracked), and the core re-solves to unsat with the axioms.
+    #[test]
+    fn axiom_driven_unsat_keeps_the_grounding_assert_in_the_core() {
+        let mut a = TermArena::new();
+        let str_sort = Sort::Unint(a.sym("Str"));
+        let strlen = a.declare_fun("strlen", vec![str_sort], Sort::Int);
+        let s = a.sym("s");
+        let bs = a.mk_bound(s, str_sort);
+        let app = a.mk_app(strlen, vec![bs]);
+        let zero = a.mk_int(0);
+        let body = a.mk_ge(app, zero);
+        let ax = a.mk_forall(vec![(s, str_sort)], body);
+
+        let w = a.sym("w");
+        let vw = a.mk_var(w, 0, str_sort);
+        let lw = a.mk_app(strlen, vec![vw]);
+        let minus1 = a.mk_int(-1);
+        let bad = a.mk_eq(lw, minus1);
+
+        let mut sess = fresh_session();
+        sess.assert_axiom(ax);
+        assert!(sess.is_unsat_under(&mut a, &[bad]));
+        let core = sess.last_unsat_core().expect("core");
+        assert!(
+            core.members
+                .iter()
+                .any(|m| m.slot == CoreSlot::Assumption(0)),
+            "the grounding assert must survive in the core"
+        );
+        // re-solving the core members (with the same axioms) stays unsat
+        let mut again = fresh_session();
+        again.assert_axiom(ax);
+        assert!(again.is_unsat_under(&mut a, &[bad]));
+    }
+
+    /// Miss taxonomy: a brand-new query is `FirstSeen`; the same structural
+    /// query under a different config is `ConfigMismatch` (definitive
+    /// precedent) and the per-cause counters add up to total misses.
+    #[test]
+    fn miss_causes_distinguish_first_seen_from_config_churn() {
+        let cache = Arc::new(QueryCache::new());
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let zero = a.mk_int(0);
+        let fs = vec![a.mk_ge(x, zero), a.mk_lt(x, zero)];
+
+        let mut s1 = SmtSession::with_cache(cfg(), Arc::clone(&cache));
+        assert!(s1.verdict_under(&mut a, &fs).is_unsat());
+        assert_eq!(s1.stats.miss_first_seen, 1);
+
+        let mut other = cfg();
+        other.max_theory_rounds += 1; // semantically irrelevant, new key
+        let mut s2 = SmtSession::with_cache(other, Arc::clone(&cache));
+        assert!(s2.verdict_under(&mut a, &fs).is_unsat());
+        assert_eq!(s2.stats.miss_config_mismatch, 1, "{:?}", s2.stats);
+
+        let b = cache.miss_breakdown();
+        assert_eq!(
+            b.first_seen + b.config_mismatch + b.budget_retry + b.near_miss,
+            cache.misses()
+        );
+    }
+
+    /// A structural precedent that was budget-limited classifies later
+    /// misses on the same formula as `BudgetRetry` (the escalation-ladder
+    /// signature), not `ConfigMismatch`.
+    #[test]
+    fn budget_limited_precedents_classify_as_budget_retry() {
+        let cache = Arc::new(QueryCache::new());
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let y = int_var(&mut a, "y");
+        let one = a.mk_int(1);
+        let f1 = a.mk_le(x, y);
+        let sum = a.mk_add(y, one);
+        let f2 = a.mk_le(sum, x);
+
+        let mut tiny = cfg();
+        tiny.step_limit = Some(1); // guaranteed Unknown(StepLimit)
+        let mut s1 = SmtSession::with_cache(tiny, Arc::clone(&cache));
+        assert!(!s1.verdict_under(&mut a, &[f1, f2]).is_definitive());
+
+        let mut s2 = SmtSession::with_cache(cfg(), Arc::clone(&cache));
+        assert!(s2.verdict_under(&mut a, &[f1, f2]).is_unsat());
+        assert_eq!(s2.stats.miss_budget_retry, 1, "{:?}", s2.stats);
+    }
+
+    /// A query within [`crate::NEAR_MISS_DELTA`] atoms of a cached one is a
+    /// `NearMiss`; a disjoint query is `FirstSeen`.
+    #[test]
+    fn near_misses_are_detected_within_the_delta_bound() {
+        let cache = Arc::new(QueryCache::new());
+        let mut a = TermArena::new();
+        let mut fs: Vec<TermId> = Vec::new();
+        for k in 0..8 {
+            let v = int_var(&mut a, &format!("v{k}"));
+            let c = a.mk_int(k);
+            fs.push(a.mk_ge(v, c));
+        }
+        let mut s1 = SmtSession::with_cache(cfg(), Arc::clone(&cache));
+        assert!(s1.verdict_under(&mut a, &fs).is_sat());
+
+        // drop one atom, add one: delta 2 <= NEAR_MISS_DELTA
+        let mut near = fs.clone();
+        near.pop();
+        let w = int_var(&mut a, "w");
+        let hundred = a.mk_int(100);
+        near.push(a.mk_le(w, hundred));
+        let mut s2 = SmtSession::with_cache(cfg(), Arc::clone(&cache));
+        assert!(s2.verdict_under(&mut a, &near).is_sat());
+        assert_eq!(s2.stats.miss_near_miss, 1, "{:?}", s2.stats);
+
+        // a structurally disjoint query shares no atoms: FirstSeen
+        let z = int_var(&mut a, "z");
+        let seven = a.mk_int(7);
+        let other = vec![a.mk_eq(z, seven)];
+        let mut s3 = SmtSession::with_cache(cfg(), Arc::clone(&cache));
+        assert!(s3.verdict_under(&mut a, &other).is_sat());
+        assert_eq!(s3.stats.miss_first_seen, 1, "{:?}", s3.stats);
+    }
+
+    /// The incrementality audit measures consecutive queries: shared
+    /// prefix, added/removed atoms, and the pure-extension flag.
+    #[test]
+    fn audit_measures_deltas_between_consecutive_queries() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let y = int_var(&mut a, "y");
+        let zero = a.mk_int(0);
+        let ten = a.mk_int(10);
+        let f1 = a.mk_ge(x, zero);
+        let f2 = a.mk_le(x, ten);
+        let f3 = a.mk_ge(y, zero);
+        let f4 = a.mk_le(y, ten);
+
+        let mut s = fresh_session();
+        s.assert(f1);
+        s.assert(f2);
+        // query 1: first query, no pair measured
+        assert!(s.verdict_under(&mut a, &[]).is_sat());
+        assert_eq!(s.stats.audit_pairs, 0);
+
+        // query 2: pure extension (adds f3, removes nothing)
+        assert!(s.verdict_under(&mut a, &[f3]).is_sat());
+        assert_eq!(s.stats.audit_pairs, 1);
+        assert_eq!(s.stats.audit_shared_prefix, 2);
+        assert_eq!(s.stats.audit_added, 1);
+        assert_eq!(s.stats.audit_removed, 0);
+        assert_eq!(s.stats.audit_pure_extensions, 1);
+
+        // query 3: swaps f3 for f4 (prefix still shared, one in, one out)
+        assert!(s.verdict_under(&mut a, &[f4]).is_sat());
+        assert_eq!(s.stats.audit_pairs, 2);
+        assert_eq!(s.stats.audit_shared_prefix, 4);
+        assert_eq!(s.stats.audit_added, 2);
+        assert_eq!(s.stats.audit_removed, 1);
+        assert_eq!(s.stats.audit_pure_extensions, 1);
+    }
+
+    /// Forked workers inherit the audit baseline, so a worker's first query
+    /// is measured against the parent's last.
+    #[test]
+    fn forks_inherit_the_audit_baseline() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let zero = a.mk_int(0);
+        let ten = a.mk_int(10);
+        let f1 = a.mk_ge(x, zero);
+        let f2 = a.mk_le(x, ten);
+
+        let mut parent = fresh_session();
+        parent.assert(f1);
+        assert!(parent.verdict_under(&mut a, &[]).is_sat());
+
+        let mut worker = parent.fork();
+        assert!(worker.verdict_under(&mut a, &[f2]).is_sat());
+        assert_eq!(worker.stats.audit_pairs, 1);
+        assert_eq!(worker.stats.audit_shared_prefix, 1);
+        assert_eq!(worker.stats.audit_added, 1);
+
+        // mid-run, the cause-breakdown counters also surfaced per-cause
+        assert_eq!(
+            MissCause::NearMiss.as_str(),
+            "near_miss",
+            "stable trace tags"
+        );
+    }
+
+    /// `last_unsat_core` is per-query state: a sat query after an unsat one
+    /// clears it.
+    #[test]
+    fn last_core_resets_on_every_query() {
+        let mut a = TermArena::new();
+        let x = int_var(&mut a, "x");
+        let zero = a.mk_int(0);
+        let ge0 = a.mk_ge(x, zero);
+        let lt0 = a.mk_lt(x, zero);
+        let mut s = fresh_session();
+        assert!(s.is_unsat_under(&mut a, &[ge0, lt0]));
+        assert!(s.last_unsat_core().is_some());
+        assert!(s.verdict_under(&mut a, &[ge0]).is_sat());
+        assert!(s.last_unsat_core().is_none());
+    }
+}

@@ -236,6 +236,53 @@ mod tests {
         assert_eq!(h.count(), 3);
     }
 
+    /// An empty histogram must report zero for every quantile, not panic
+    /// or return a bucket midpoint.
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::detached();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 0);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(snap, HistSnapshot::empty());
+    }
+
+    /// With a single sample every quantile — including q=0 — must land in
+    /// that sample's bucket.
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::detached();
+        h.record(700);
+        let snap = h.snapshot();
+        let expect = bucket_mid(bucket_of(700));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), expect, "q={q}");
+        }
+        // out-of-range quantiles clamp instead of indexing out of bounds
+        assert_eq!(snap.quantile(-1.0), expect);
+        assert_eq!(snap.quantile(2.0), expect);
+    }
+
+    /// The top bucket saturates: `u64::MAX` and `2^63` both land in bucket
+    /// 63 and its midpoint stays representable (no shift overflow).
+    #[test]
+    fn extreme_values_saturate_the_top_bucket() {
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(1u64 << 63), BUCKETS - 1);
+        assert_eq!(bucket_of((1u64 << 62) + 1), BUCKETS - 1);
+        assert_eq!(bucket_mid(BUCKETS - 1), 3u64 << 61);
+
+        let h = Histogram::detached();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[BUCKETS - 1], 2);
+        assert_eq!(snap.p50(), 3u64 << 61);
+        assert_eq!(snap.p99(), 3u64 << 61);
+    }
+
     #[test]
     fn concurrent_records_equal_serial_records() {
         let values: Vec<u64> = (0..4000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
